@@ -1,0 +1,24 @@
+//! Baseline recommenders the paper evaluates against (§5.1):
+//!
+//! * [`Knn`] — the k-nearest-neighbor recommender "tailored to sparse
+//!   data, as in \[YP97\] for classifying text documents": transactions
+//!   are idf-weighted sparse vectors over non-target items, similarity is
+//!   cosine, and the recommendation is the `(target item, code)` pair most
+//!   voted (similarity-weighted) by the `k` nearest training transactions;
+//! * [`KnnProfit`] — the §5.3 post-processing variant that recommends the
+//!   most *profitable* pair among the k nearest neighbors ("the profit is
+//!   considered only after the k nearest neighbors are determined");
+//! * [`MostProfitableItem`] — MPI: always recommend the pair that
+//!   generated the most recorded profit in the training data.
+//!
+//! All implement [`profit_core::Recommender`], so the evaluation harness
+//! treats them interchangeably with the rule models.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod knn;
+pub mod mpi;
+
+pub use knn::{Knn, KnnConfig, KnnProfit};
+pub use mpi::MostProfitableItem;

@@ -1,0 +1,147 @@
+//! MPI — the most-profitable-item baseline (§5.1).
+
+use pm_txn::{Catalog, CodeId, ItemId, Sale, TransactionSet};
+use profit_core::{Recommendation, Recommender};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Recommends, to every customer, the `(target item, promotion code)`
+/// pair that generated the most recorded profit in the training
+/// transactions.
+#[derive(Debug, Clone)]
+pub struct MostProfitableItem {
+    catalog: Arc<Catalog>,
+    best: (ItemId, CodeId),
+    best_profit: f64,
+    best_hits: u32,
+    n_train: u32,
+}
+
+impl MostProfitableItem {
+    /// Learn the best pair from `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &TransactionSet) -> Self {
+        assert!(!data.is_empty(), "MPI needs at least one transaction");
+        let catalog = data.catalog_arc();
+        let mut profit: HashMap<(ItemId, CodeId), (f64, u32)> = HashMap::new();
+        for t in data.transactions() {
+            let s = t.target_sale();
+            let e = profit.entry((s.item, s.code)).or_insert((0.0, 0));
+            e.0 += s.profit(&catalog).as_dollars();
+            e.1 += 1;
+        }
+        let (&best, &(best_profit, best_hits)) = profit
+            .iter()
+            .max_by(|a, b| {
+                (a.1 .0)
+                    .total_cmp(&b.1 .0)
+                    // Deterministic tie-break on the pair itself.
+                    .then_with(|| b.0.cmp(a.0))
+            })
+            .expect("non-empty data");
+        Self {
+            catalog,
+            best,
+            best_profit,
+            best_hits,
+            n_train: data.len() as u32,
+        }
+    }
+
+    /// The learned pair.
+    pub fn best_pair(&self) -> (ItemId, CodeId) {
+        self.best
+    }
+
+    /// Total recorded profit of the learned pair in training.
+    pub fn best_profit(&self) -> f64 {
+        self.best_profit
+    }
+}
+
+impl Recommender for MostProfitableItem {
+    fn name(&self) -> String {
+        "MPI".to_string()
+    }
+
+    fn recommend(&self, _customer: &[Sale]) -> Recommendation {
+        let (item, code) = self.best;
+        Recommendation {
+            item,
+            code,
+            promotion: *self.catalog.code(item, code),
+            expected_profit: self.best_profit / self.n_train as f64,
+            confidence: self.best_hits as f64 / self.n_train as f64,
+            rule_index: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_txn::{Hierarchy, ItemDef, Money, PromotionCode, Transaction};
+
+    fn dataset() -> TransactionSet {
+        let mut cat = Catalog::new();
+        cat.push(ItemDef {
+            name: "trigger".into(),
+            codes: vec![PromotionCode::unit(Money::from_cents(100), Money::from_cents(50))],
+            is_target: false,
+        });
+        cat.push(ItemDef {
+            name: "cheap".into(),
+            codes: vec![PromotionCode::unit(Money::from_cents(100), Money::from_cents(50))],
+            is_target: true,
+        });
+        cat.push(ItemDef {
+            name: "dear".into(),
+            codes: vec![PromotionCode::unit(Money::from_cents(1000), Money::from_cents(400))],
+            is_target: true,
+        });
+        let h = Hierarchy::flat(3);
+        let mut txns = Vec::new();
+        // 10 cheap sales at $0.50 profit each ($5 total), 1 dear sale at
+        // $6 profit — MPI must pick the dear pair despite its low count.
+        for _ in 0..10 {
+            txns.push(Transaction::new(
+                vec![Sale::new(ItemId(0), CodeId(0), 1)],
+                Sale::new(ItemId(1), CodeId(0), 1),
+            ));
+        }
+        txns.push(Transaction::new(
+            vec![Sale::new(ItemId(0), CodeId(0), 1)],
+            Sale::new(ItemId(2), CodeId(0), 1),
+        ));
+        TransactionSet::new(cat, h, txns).unwrap()
+    }
+
+    #[test]
+    fn picks_total_profit_not_frequency() {
+        let mpi = MostProfitableItem::fit(&dataset());
+        assert_eq!(mpi.best_pair(), (ItemId(2), CodeId(0)));
+        assert!((mpi.best_profit() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recommendation_is_constant() {
+        let mpi = MostProfitableItem::fit(&dataset());
+        let a = mpi.recommend(&[Sale::new(ItemId(0), CodeId(0), 1)]);
+        let b = mpi.recommend(&[]);
+        assert_eq!(a, b);
+        assert_eq!(a.item, ItemId(2));
+        assert!((a.confidence - 1.0 / 11.0).abs() < 1e-12);
+        assert_eq!(mpi.name(), "MPI");
+        assert_eq!(mpi.n_rules(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_data_rejected() {
+        let ds = dataset();
+        let _ = MostProfitableItem::fit(&ds.subset(&[]));
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablations over the design choices called out in DESIGN.md §4: the
+//! default-dominance pre-filter, the maximum body length, and concept
+//! hierarchies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_bench::bench_dataset;
+use pm_datagen::{DatasetConfig, HierarchyConfig};
+use pm_rules::{MinerConfig, RuleMiner, Support};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_prefilter(c: &mut Criterion) {
+    let data = bench_dataset(3000, 300, 9);
+    let mut group = c.benchmark_group("ablation/default-prefilter");
+    group.sample_size(10);
+    for (label, on) in [("on", true), ("off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &on, |b, &on| {
+            b.iter(|| {
+                RuleMiner::new(MinerConfig {
+                    min_support: Support::Fraction(0.01),
+                    max_body_len: 3,
+                    prune_default_dominated: on,
+                    ..MinerConfig::default()
+                })
+                .mine(&data)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_body_len(c: &mut Criterion) {
+    let data = bench_dataset(3000, 300, 9);
+    let mut group = c.benchmark_group("ablation/max-body-len");
+    group.sample_size(10);
+    for len in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                RuleMiner::new(MinerConfig {
+                    min_support: Support::Fraction(0.01),
+                    max_body_len: len,
+                    ..MinerConfig::default()
+                })
+                .mine(&data)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/hierarchy");
+    group.sample_size(10);
+    for (label, levels) in [("flat", 0usize), ("two-level", 2)] {
+        let mut cfg = DatasetConfig::dataset_i()
+            .with_transactions(3000)
+            .with_items(300);
+        cfg.quest.n_patterns = 60;
+        if levels > 0 {
+            cfg = cfg.with_hierarchy(HierarchyConfig {
+                branching: 5,
+                levels,
+            });
+        }
+        let data = cfg.generate(&mut StdRng::seed_from_u64(9));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                RuleMiner::new(MinerConfig {
+                    min_support: Support::Fraction(0.01),
+                    max_body_len: 2,
+                    ..MinerConfig::default()
+                })
+                .mine(&data)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_prefilter, bench_body_len, bench_hierarchy
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Baseline recommenders: kNN training, kNN query, MPI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_baselines::{Knn, KnnConfig, MostProfitableItem};
+use pm_bench::bench_dataset;
+use profit_core::Recommender;
+
+fn bench_baselines(c: &mut Criterion) {
+    let data = bench_dataset(4000, 300, 7);
+    c.bench_function("knn/fit", |b| {
+        b.iter(|| Knn::fit(&data, KnnConfig::default()))
+    });
+    let knn = Knn::fit(&data, KnnConfig::default());
+    let customers: Vec<_> = data
+        .transactions()
+        .iter()
+        .take(256)
+        .map(|t| t.non_target_sales().to_vec())
+        .collect();
+    let mut i = 0usize;
+    c.bench_function("knn/recommend", |b| {
+        b.iter(|| {
+            i = (i + 1) % customers.len();
+            knn.recommend(&customers[i])
+        })
+    });
+    c.bench_function("mpi/fit", |b| b.iter(|| MostProfitableItem::fit(&data)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_baselines
+}
+criterion_main!(benches);

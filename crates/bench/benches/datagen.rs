@@ -1,0 +1,40 @@
+//! Synthetic data generation throughput (Quest reproduction + the
+//! price/cost augmentation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_datagen::{DatasetConfig, QuestConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::new("quest", n), &n, |b, &n| {
+            let cfg = QuestConfig {
+                n_transactions: n,
+                n_items: 500,
+                n_patterns: (n / 50).max(20),
+                ..QuestConfig::default()
+            };
+            b.iter(|| cfg.generate(&mut StdRng::seed_from_u64(1)))
+        });
+        group.bench_with_input(BenchmarkId::new("dataset-i", n), &n, |b, &n| {
+            let cfg = DatasetConfig::dataset_i()
+                .with_transactions(n)
+                .with_items(500);
+            b.iter(|| cfg.generate(&mut StdRng::seed_from_u64(1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_datagen
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Mining throughput: the vertical miner across MOA modes, body lengths,
+//! and minimum supports (the step that dominates Figure 3's runtime, per
+//! §5.3 "the execution time is dominated by the step of generating
+//! association rules").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_bench::bench_dataset;
+use pm_rules::{MinerConfig, MoaMode, RuleMiner, Support};
+
+fn bench_mining(c: &mut Criterion) {
+    let data = bench_dataset(4000, 300, 7);
+    let mut group = c.benchmark_group("mine");
+    group.sample_size(10);
+    for moa in [MoaMode::Enabled, MoaMode::Disabled] {
+        for max_len in [2usize, 3] {
+            let id = format!(
+                "{}len{max_len}",
+                if moa == MoaMode::Enabled { "+MOA/" } else { "-MOA/" }
+            );
+            group.bench_with_input(BenchmarkId::new("0.5%", id), &(), |b, _| {
+                b.iter(|| {
+                    RuleMiner::new(MinerConfig {
+                        min_support: Support::Fraction(0.005),
+                        max_body_len: max_len,
+                        moa,
+                        ..MinerConfig::default()
+                    })
+                    .mine(&data)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_mining
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Recommender construction: dominance removal, covering tree, coverage
+//! assignment, and the optimal cut (§4), on pre-mined rule sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_bench::bench_dataset;
+use pm_rules::{MinerConfig, ProfitMode, RuleMiner, Support};
+use profit_core::{CutConfig, RuleModel};
+
+fn bench_pruning(c: &mut Criterion) {
+    let data = bench_dataset(4000, 300, 7);
+    let mined = RuleMiner::new(MinerConfig {
+        min_support: Support::Fraction(0.005),
+        max_body_len: 3,
+        ..MinerConfig::default()
+    })
+    .mine(&data);
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for (label, prune) in [("cut-optimal", true), ("mpf-only", false)] {
+        for mode in [ProfitMode::Profit, ProfitMode::Confidence] {
+            let id = format!("{label}/{mode:?}");
+            group.bench_with_input(BenchmarkId::from_parameter(&id), &(), |b, _| {
+                b.iter(|| {
+                    RuleModel::build(
+                        &mined,
+                        &CutConfig {
+                            profit_mode: mode,
+                            prune,
+                            ..CutConfig::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_pruning
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Numerics substrate: the pessimistic estimator and the samplers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_stats::{pessimistic_upper, PessimisticEstimator, Normal, Poisson, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("pessimistic_upper/n=100,e=20", |b| {
+        b.iter(|| pessimistic_upper(100, 20, 0.25))
+    });
+    let est = PessimisticEstimator::default();
+    // Warm the memo with the values the loop will hit.
+    est.upper(100, 20);
+    c.bench_function("pessimistic_upper/memoized", |b| b.iter(|| est.upper(100, 20)));
+    let zipf = Zipf::new(1000, 1.0);
+    let normal = Normal::new(0.0, 1.0);
+    let poisson = Poisson::new(10.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("sample/zipf", |b| b.iter(|| zipf.sample(&mut rng)));
+    c.bench_function("sample/normal", |b| b.iter(|| normal.sample(&mut rng)));
+    c.bench_function("sample/poisson", |b| b.iter(|| poisson.sample(&mut rng)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_stats
+}
+criterion_main!(benches);

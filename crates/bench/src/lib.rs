@@ -1,0 +1,16 @@
+//! Shared fixtures for the criterion benches and the `experiments`
+//! figure-regeneration binary.
+
+use pm_datagen::DatasetConfig;
+use pm_txn::TransactionSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic bench-sized Dataset-I workload.
+pub fn bench_dataset(transactions: usize, items: usize, seed: u64) -> TransactionSet {
+    let mut cfg = DatasetConfig::dataset_i()
+        .with_transactions(transactions)
+        .with_items(items);
+    cfg.quest.n_patterns = (transactions / 50).clamp(20, 2000);
+    cfg.generate(&mut StdRng::seed_from_u64(seed))
+}

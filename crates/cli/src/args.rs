@@ -1,0 +1,113 @@
+//! Minimal flag/value argument parsing.
+
+use std::collections::HashMap;
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation — print usage, exit 1.
+    Usage(String),
+    /// Valid invocation that failed at runtime (I/O, bad data).
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed `--flag value` / `--switch` arguments.
+#[derive(Debug, Default)]
+pub struct ArgMap {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Boolean switches (no value follows).
+const SWITCHES: [&str; 4] = ["--no-moa", "--conf", "--no-prune", "--buying"];
+
+impl ArgMap {
+    /// Parse a flat argument list.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut map = ArgMap::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = &args[i];
+            if !flag.starts_with("--") {
+                return Err(CliError::Usage(format!("unexpected argument {flag:?}")));
+            }
+            if SWITCHES.contains(&flag.as_str()) {
+                map.switches.push(flag.clone());
+            } else {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+                map.values.insert(flag.clone(), value.clone());
+            }
+            i += 1;
+        }
+        Ok(map)
+    }
+
+    /// A required string value.
+    pub fn require(&self, flag: &str) -> Result<&str, CliError> {
+        self.values
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required {flag}")))
+    }
+
+    /// An optional string value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// An optional parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("{flag}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Is a boolean switch present?
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = ArgMap::parse(&v(&["--out", "x.json", "--no-moa", "--txns", "100"])).unwrap();
+        assert_eq!(a.require("--out").unwrap(), "x.json");
+        assert!(a.switch("--no-moa"));
+        assert!(!a.switch("--conf"));
+        assert_eq!(a.get_or("--txns", 0usize).unwrap(), 100);
+        assert_eq!(a.get_or("--seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(ArgMap::parse(&v(&["positional"])).is_err());
+        assert!(ArgMap::parse(&v(&["--out"])).is_err());
+        let a = ArgMap::parse(&v(&["--txns", "abc"])).unwrap();
+        assert!(a.get_or("--txns", 0usize).is_err());
+        assert!(a.require("--missing").is_err());
+    }
+}

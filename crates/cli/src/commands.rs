@@ -1,0 +1,252 @@
+//! The CLI subcommands.
+
+use crate::args::{ArgMap, CliError};
+use pm_baselines::MostProfitableItem;
+use pm_datagen::DatasetConfig;
+use pm_eval::runner::{run_sweep, EvalConfig};
+use pm_rules::{MinerConfig, MoaMode, ProfitMode, Support};
+use pm_txn::{QuantityModel, Sale, TransactionSet};
+use profit_core::{CutConfig, ProfitMiner, Recommender, RuleModel, SavedModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))
+}
+
+fn write(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError::Runtime(format!("{path}: {e}")))
+}
+
+fn load_data(args: &ArgMap) -> Result<TransactionSet, CliError> {
+    let path = args.require("--data")?;
+    TransactionSet::from_json(&read(path)?)
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))
+}
+
+fn load_model(args: &ArgMap) -> Result<RuleModel, CliError> {
+    let path = args.require("--model")?;
+    let saved: SavedModel = serde_json::from_str(&read(path)?)
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    Ok(RuleModel::load(saved))
+}
+
+fn miner_config(args: &ArgMap) -> Result<MinerConfig, CliError> {
+    let minsup: f64 = args.get_or("--minsup", 0.001)?;
+    if !(0.0..=1.0).contains(&minsup) || minsup == 0.0 {
+        return Err(CliError::Usage("--minsup must be in (0, 1]".into()));
+    }
+    Ok(MinerConfig {
+        min_support: Support::Fraction(minsup),
+        max_body_len: args.get_or("--max-body", 3usize)?,
+        moa: if args.switch("--no-moa") {
+            MoaMode::Disabled
+        } else {
+            MoaMode::Enabled
+        },
+        quantity: if args.switch("--buying") {
+            QuantityModel::Buying
+        } else {
+            QuantityModel::Saving
+        },
+        min_confidence: match args.get("--min-conf") {
+            None => Some(0.5),
+            Some(v) => {
+                let f: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--min-conf: bad number".into()))?;
+                (f > 0.0).then_some(f)
+            }
+        },
+        min_rule_profit: None,
+        prune_default_dominated: true,
+    })
+}
+
+/// `gen`: write a synthetic dataset.
+pub fn gen(args: &ArgMap) -> Result<String, CliError> {
+    let out = args.require("--out")?;
+    let dataset = args.get("--dataset").unwrap_or("i");
+    let mut cfg = match dataset {
+        "i" | "I" => DatasetConfig::dataset_i(),
+        "ii" | "II" => DatasetConfig::dataset_ii(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--dataset must be i or ii, got {other:?}"
+            )))
+        }
+    };
+    cfg = cfg
+        .with_transactions(args.get_or("--txns", 10_000usize)?)
+        .with_items(args.get_or("--items", 300usize)?);
+    cfg.quest.n_patterns = (cfg.quest.n_transactions / 50).clamp(20, 2000);
+    let seed: u64 = args.get_or("--seed", 2002u64)?;
+    let data = cfg.generate(&mut StdRng::seed_from_u64(seed));
+    write(out, &data.to_json())?;
+    Ok(format!(
+        "wrote {} — {} transactions, {} items ({} targets), recorded profit {}",
+        out,
+        data.len(),
+        data.catalog().len(),
+        data.catalog().target_items().len(),
+        data.total_recorded_profit()
+    ))
+}
+
+/// `fit`: train and save a recommender.
+pub fn fit(args: &ArgMap) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let out = args.require("--out")?;
+    let miner = miner_config(args)?;
+    let cut = CutConfig {
+        profit_mode: if args.switch("--conf") {
+            ProfitMode::Confidence
+        } else {
+            ProfitMode::Profit
+        },
+        prune: !args.switch("--no-prune"),
+        ..CutConfig::default()
+    };
+    let model = ProfitMiner::new(miner).with_cut(cut).fit(&data);
+    let stats = *model.stats();
+    write(
+        out,
+        &serde_json::to_string(&model.save())
+            .map_err(|e| CliError::Runtime(e.to_string()))?,
+    )?;
+    Ok(format!(
+        "wrote {} — {} ({} rules; mined {}, after dominance {}, projected profit {:.2})",
+        out,
+        model.name(),
+        stats.after_cut,
+        stats.mined_rules,
+        stats.after_dominance,
+        stats.projected_profit
+    ))
+}
+
+/// `recommend`: recommend for one dataset transaction's customer.
+pub fn recommend(args: &ArgMap) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let model = load_model(args)?;
+    let txn: usize = args.get_or("--txn", 0usize)?;
+    let k: usize = args.get_or("--top", 1usize)?;
+    let t = data
+        .transactions()
+        .get(txn)
+        .ok_or_else(|| CliError::Runtime(format!("transaction {txn} out of range")))?;
+    let customer: &[Sale] = t.non_target_sales();
+    let mut out = format!(
+        "customer of transaction {txn} ({} non-target sales):\n",
+        customer.len()
+    );
+    for rec in model.recommend_top_k(customer, k.max(1)) {
+        let catalog = model.moa().catalog();
+        out.push_str(&format!(
+            "recommend {} at {}  [expected profit {:.4}, confidence {:.0}%]\n  via {}\n",
+            catalog.item(rec.item).name,
+            rec.promotion,
+            rec.expected_profit,
+            rec.confidence * 100.0,
+            model.explain(rec.rule_index.expect("rule-based model")),
+        ));
+    }
+    Ok(out)
+}
+
+/// `rules`: print a model's rules.
+pub fn rules(args: &ArgMap) -> Result<String, CliError> {
+    let model = load_model(args)?;
+    let top: usize = args.get_or("--top", usize::MAX)?;
+    let mut out = format!("{} — {} rules\n", model.name(), model.rules().len());
+    for i in 0..model.rules().len().min(top) {
+        out.push_str(&format!("{:4}. {}\n", i + 1, model.explain(i)));
+    }
+    Ok(out)
+}
+
+/// `eval`: cross-validated comparison on a dataset.
+pub fn eval(args: &ArgMap) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let minsup: f64 = args.get_or("--minsup", 0.002)?;
+    let cfg = EvalConfig {
+        n_folds: args.get_or("--folds", 5usize)?,
+        seed: args.get_or("--seed", 2002u64)?,
+        sweep: vec![minsup],
+        max_body_len: args.get_or("--max-body", 3usize)?,
+        quantity: if args.switch("--buying") {
+            QuantityModel::Buying
+        } else {
+            QuantityModel::Saving
+        },
+        ..EvalConfig::default()
+    };
+    let report = run_sweep(&data, &cfg);
+    let mut out = report
+        .gain_table(&format!("gain (minsup {:.3}%)", minsup * 100.0))
+        .render();
+    out.push('\n');
+    out.push_str(&report.hit_rate_table("hit rate").render());
+    out.push('\n');
+    out.push_str(&report.rules_table("rules").render());
+    Ok(out)
+}
+
+/// `import`: build a dataset from catalog + sales CSVs.
+pub fn import(args: &ArgMap) -> Result<String, CliError> {
+    let catalog_csv = read(args.require("--catalog")?)?;
+    let sales_csv = read(args.require("--sales")?)?;
+    let out = args.require("--out")?;
+    let (catalog, names) = pm_txn::csv::parse_catalog(&catalog_csv)
+        .map_err(|e| CliError::Runtime(format!("catalog: {e}")))?;
+    let data = pm_txn::csv::parse_sales(&sales_csv, catalog, &names)
+        .map_err(|e| CliError::Runtime(format!("sales: {e}")))?;
+    write(out, &data.to_json())?;
+    Ok(format!(
+        "wrote {} — {} transactions over {} items",
+        out,
+        data.len(),
+        data.catalog().len()
+    ))
+}
+
+/// `export`: write a dataset back to catalog + sales CSVs.
+pub fn export(args: &ArgMap) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let catalog_path = args.require("--catalog")?;
+    let sales_path = args.require("--sales")?;
+    let (cat_csv, sales_csv) = pm_txn::csv::to_csv(&data);
+    write(catalog_path, &cat_csv)?;
+    write(sales_path, &sales_csv)?;
+    Ok(format!("wrote {catalog_path} and {sales_path}"))
+}
+
+/// `stats`: summarize a dataset.
+pub fn stats(args: &ArgMap) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let catalog = data.catalog();
+    let targets = catalog.target_items();
+    let basket: f64 = data
+        .transactions()
+        .iter()
+        .map(|t| t.basket_size() as f64)
+        .sum::<f64>()
+        / data.len().max(1) as f64;
+    let mpi = MostProfitableItem::fit(&data);
+    let (item, code) = mpi.best_pair();
+    Ok(format!(
+        "transactions: {}\nitems: {} ({} targets, {} non-target)\n\
+         mean basket size: {basket:.2}\nconcepts: {}\n\
+         recorded target profit: {}\n\
+         most profitable pair: {} at {} (${:.2} total)",
+        data.len(),
+        catalog.len(),
+        targets.len(),
+        catalog.len() - targets.len(),
+        data.hierarchy().n_concepts(),
+        data.total_recorded_profit(),
+        catalog.item(item).name,
+        catalog.code(item, code),
+        mpi.best_profit(),
+    ))
+}

@@ -1,0 +1,147 @@
+//! Implementation of the `profit-mining` command-line tool.
+//!
+//! Kept as a library so each subcommand is unit-testable; `main.rs` is a
+//! thin shim. Argument parsing is hand-rolled (flag/value pairs only) to
+//! keep the dependency set at the workspace baseline.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgMap, CliError};
+
+/// Dispatch a CLI invocation; returns the text to print on stdout.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (command, rest) = argv
+        .split_first()
+        .ok_or_else(|| CliError::Usage(usage()))?;
+    let args = ArgMap::parse(rest)?;
+    match command.as_str() {
+        "gen" => commands::gen(&args),
+        "fit" => commands::fit(&args),
+        "recommend" => commands::recommend(&args),
+        "rules" => commands::rules(&args),
+        "eval" => commands::eval(&args),
+        "stats" => commands::stats(&args),
+        "import" => commands::import(&args),
+        "export" => commands::export(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+profit-mining — build profit-maximizing item/price recommenders (EDBT 2002)
+
+USAGE
+  profit-mining gen        --out data.json [--dataset i|ii] [--txns N] [--items N] [--seed N]
+  profit-mining fit        --data data.json --out model.json [--minsup F] [--max-body N]
+                           [--no-moa] [--conf] [--no-prune] [--min-conf F] [--buying]
+  profit-mining recommend  --data data.json --model model.json [--txn N] [--top K]
+  profit-mining rules      --model model.json [--top N]
+  profit-mining eval       --data data.json [--minsup F] [--folds N] [--buying] [--seed N]
+  profit-mining stats      --data data.json
+  profit-mining import     --catalog catalog.csv --sales sales.csv --out data.json
+  profit-mining export     --data data.json --catalog catalog.csv --sales sales.csv
+  profit-mining help
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&v(&["help"])).unwrap().contains("USAGE"));
+        assert!(matches!(run(&v(&["bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn end_to_end_gen_fit_recommend_eval() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        let model = dir.join("model.json").display().to_string();
+
+        let out = run(&v(&[
+            "gen", "--out", &data, "--dataset", "i", "--txns", "400", "--items", "80",
+            "--seed", "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("400 transactions"), "{out}");
+
+        let out = run(&v(&["stats", "--data", &data])).unwrap();
+        assert!(out.contains("transactions: 400"), "{out}");
+
+        let out = run(&v(&[
+            "fit", "--data", &data, "--out", &model, "--minsup", "0.03", "--max-body", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("rules"), "{out}");
+
+        let out = run(&v(&["rules", "--model", &model, "--top", "5"])).unwrap();
+        assert!(out.contains("→"), "{out}");
+
+        let out = run(&v(&[
+            "recommend", "--data", &data, "--model", &model, "--txn", "0", "--top", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("recommend"), "{out}");
+
+        let out = run(&v(&[
+            "eval", "--data", &data, "--minsup", "0.03", "--folds", "2", "--max-body", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("gain"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_import_export_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.json").display().to_string();
+        let cat = dir.join("c.csv").display().to_string();
+        let sal = dir.join("s.csv").display().to_string();
+        run(&v(&["gen", "--out", &data, "--txns", "50", "--items", "20"])).unwrap();
+        run(&v(&["export", "--data", &data, "--catalog", &cat, "--sales", &sal])).unwrap();
+        let data2 = dir.join("d2.json").display().to_string();
+        let out = run(&v(&["import", "--catalog", &cat, "--sales", &sal, "--out", &data2]))
+            .unwrap();
+        assert!(out.contains("50 transactions"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_are_runtime_errors() {
+        assert!(matches!(
+            run(&v(&["fit", "--data", "/nonexistent.json", "--out", "/tmp/x.json"])),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            run(&v(&["stats", "--data", "/nonexistent.json"])),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn missing_required_flags_are_usage_errors() {
+        assert!(matches!(run(&v(&["gen"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&v(&["recommend"])), Err(CliError::Usage(_))));
+    }
+}

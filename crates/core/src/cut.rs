@@ -1,0 +1,407 @@
+//! The cut-optimal recommender (§4.2, Definition 9, Theorems 1–2).
+//!
+//! A *cut* contains exactly one node on each root-to-leaf path of the
+//! covering tree; pruning all subtrees below the cut turns each cut node
+//! into a leaf that inherits its subtree's coverage. The optimal cut
+//! maximizes the recommender's total projected profit and, among maximal
+//! cuts, is as small as possible.
+//!
+//! The linear algorithm is one post-order pass. At each node `r`:
+//!
+//! * `Tree_Prof(r)` — projected profit of the (already-pruned) subtree:
+//!   `Prof_pr(r | Cover(r))` plus the children's final subtree profits;
+//! * `Leaf_Prof(r)` — `Prof_pr` of `r` over the *merged* coverage of its
+//!   entire subtree, as if `r` were a leaf.
+//!
+//! If `Leaf_Prof(r) ≥ Tree_Prof(r)` the subtree is pruned at `r`.
+//! (The paper's text prints this inequality reversed — pruning when the
+//! profit would *drop* — which contradicts both its stated goal and the
+//! C4.5 analogue it cites; we implement the evidently intended direction.
+//! `≥` rather than `>` keeps the cut minimal on ties, per Definition 9.)
+//!
+//! The recursion this implements is exactly
+//! `opt(r) = max(Leaf_Prof(r), Prof_pr(r|Cover(r)) + Σ_child opt(child))`,
+//! whose correctness is Theorem 2; [`reference::best_cut`] re-derives the
+//! optimum by exhaustive cut enumeration for the test suite.
+
+/// Tree input for cut optimization, decoupled from rule specifics: node
+/// `i`'s projected profit over any tid list is supplied by the evaluator.
+#[derive(Debug, Clone)]
+pub struct CutTree {
+    /// Parent per node; exactly one `None` (the root).
+    pub parent: Vec<Option<usize>>,
+    /// Own coverage per node (disjoint tid lists).
+    pub cover: Vec<Vec<u32>>,
+}
+
+impl CutTree {
+    /// Children lists derived from the parent array.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(i);
+            }
+        }
+        ch
+    }
+
+    /// Index of the root.
+    pub fn root(&self) -> usize {
+        self.parent
+            .iter()
+            .position(Option::is_none)
+            .expect("tree has a root")
+    }
+}
+
+/// Outcome of cut optimization.
+#[derive(Debug, Clone)]
+pub struct CutResult {
+    /// Whether each node is retained (at or above the cut).
+    pub retained: Vec<bool>,
+    /// Final coverage of each retained node: the merged subtree coverage
+    /// for cut leaves, the own coverage otherwise. Empty for removed
+    /// nodes.
+    pub final_cover: Vec<Vec<u32>>,
+    /// `Prof_pr` of each retained node over its final coverage.
+    pub node_profit: Vec<f64>,
+    /// Total projected profit of the cut recommender.
+    pub total_profit: f64,
+}
+
+impl CutResult {
+    /// Number of retained rules.
+    pub fn n_retained(&self) -> usize {
+        self.retained.iter().filter(|&&r| r).count()
+    }
+}
+
+/// Find the optimal cut of `tree`, where `eval(node, tids)` returns the
+/// projected profit `Prof_pr` of node `node`'s rule over the coverage
+/// `tids`.
+pub fn optimal_cut<F>(tree: &CutTree, mut eval: F) -> CutResult
+where
+    F: FnMut(usize, &[u32]) -> f64,
+{
+    let n = tree.parent.len();
+    let children = tree.children();
+    let root = tree.root();
+
+    // Iterative post-order.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        stack.extend_from_slice(&children[v]);
+    }
+    // Reverse pre-order visits children before parents.
+    order.reverse();
+
+    let mut retained = vec![true; n];
+    let mut tree_prof = vec![0.0f64; n];
+    // Merged coverage propagating upward (moved out as we ascend).
+    let mut merged: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut final_cover: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut node_profit = vec![0.0f64; n];
+
+    for &v in &order {
+        let own = eval(v, &tree.cover[v]);
+        let mut m = tree.cover[v].clone();
+        let mut subtree = own;
+        for &c in &children[v] {
+            subtree += tree_prof[c];
+            m.append(&mut merged[c]);
+        }
+        if children[v].is_empty() {
+            tree_prof[v] = own;
+            node_profit[v] = own;
+            final_cover[v] = m.clone();
+            merged[v] = m;
+            continue;
+        }
+        let leaf = eval(v, &m);
+        if leaf >= subtree - 1e-9 {
+            // Prune the subtree at v: v becomes a leaf covering all of it.
+            prune_descendants(v, &children, &mut retained, &mut final_cover, &mut node_profit);
+            tree_prof[v] = leaf;
+            node_profit[v] = leaf;
+            final_cover[v] = m.clone();
+        } else {
+            tree_prof[v] = subtree;
+            node_profit[v] = own;
+            final_cover[v] = tree.cover[v].clone();
+        }
+        merged[v] = m;
+    }
+
+    CutResult {
+        retained,
+        final_cover,
+        node_profit,
+        total_profit: tree_prof[root],
+    }
+}
+
+fn prune_descendants(
+    v: usize,
+    children: &[Vec<usize>],
+    retained: &mut [bool],
+    final_cover: &mut [Vec<u32>],
+    node_profit: &mut [f64],
+) {
+    let mut stack: Vec<usize> = children[v].to_vec();
+    while let Some(c) = stack.pop() {
+        retained[c] = false;
+        final_cover[c].clear();
+        node_profit[c] = 0.0;
+        stack.extend_from_slice(&children[c]);
+    }
+}
+
+/// Exhaustive reference implementation, for tests only: enumerates every
+/// cut and returns the maximum projected profit together with the size of
+/// the smallest maximizing cut and its retained set.
+pub mod reference {
+    use super::CutTree;
+
+    /// `(best profit, retained-node count of the smallest best cut,
+    /// retained set)`.
+    pub fn best_cut<F>(tree: &CutTree, eval: &mut F) -> (f64, usize, Vec<bool>)
+    where
+        F: FnMut(usize, &[u32]) -> f64,
+    {
+        let children = tree.children();
+        let root = tree.root();
+        let mut best: Option<(f64, usize, Vec<bool>)> = None;
+        let cuts = enumerate(root, &children);
+        for cut_leaves in cuts {
+            // Retained set: all ancestors-or-self of cut nodes.
+            let mut retained = vec![false; tree.parent.len()];
+            for &c in &cut_leaves {
+                let mut v = Some(c);
+                while let Some(x) = v {
+                    retained[x] = true;
+                    v = tree.parent[x];
+                }
+            }
+            let mut profit = 0.0;
+            for v in 0..tree.parent.len() {
+                if !retained[v] {
+                    continue;
+                }
+                if cut_leaves.contains(&v) {
+                    let mut m = Vec::new();
+                    collect(v, &children, &tree.cover, &mut m);
+                    profit += eval(v, &m);
+                } else {
+                    profit += eval(v, &tree.cover[v]);
+                }
+            }
+            let size = retained.iter().filter(|&&r| r).count();
+            let better = match &best {
+                None => true,
+                Some((bp, bs, _)) => {
+                    profit > bp + 1e-9 || ((profit - bp).abs() <= 1e-9 && size < *bs)
+                }
+            };
+            if better {
+                best = Some((profit, size, retained));
+            }
+        }
+        best.expect("at least the root cut exists")
+    }
+
+    /// All cuts of the subtree at `v`, each as the set of cut nodes.
+    fn enumerate(v: usize, children: &[Vec<usize>]) -> Vec<Vec<usize>> {
+        let mut out = vec![vec![v]]; // cut at v itself
+        if children[v].is_empty() {
+            return out;
+        }
+        // Cartesian product of the children's cuts.
+        let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+        for &c in &children[v] {
+            let child_cuts = enumerate(c, children);
+            let mut next = Vec::new();
+            for combo in &combos {
+                for cc in &child_cuts {
+                    let mut merged = combo.clone();
+                    merged.extend_from_slice(cc);
+                    next.push(merged);
+                }
+            }
+            combos = next;
+        }
+        out.append(&mut combos);
+        out
+    }
+
+    fn collect(v: usize, children: &[Vec<usize>], cover: &[Vec<u32>], out: &mut Vec<u32>) {
+        out.extend_from_slice(&cover[v]);
+        for &c in &children[v] {
+            collect(c, children, cover, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Evaluator with a fixed per-(node, tid) profit table: the profit of
+    /// a node over a coverage is the sum of its per-tid values. This has
+    /// the same structure as `Prof_pr` (additive per covered transaction
+    /// only when hit rates are uniform) yet exercises arbitrary shapes.
+    fn table_eval(table: Vec<Vec<f64>>) -> impl FnMut(usize, &[u32]) -> f64 {
+        move |node, tids| tids.iter().map(|&t| table[node][t as usize]).sum()
+    }
+
+    /// A three-level tree mirroring the paper's Figure 2:
+    /// a(root) → {b, c}; b → {d, e}; plus c a leaf.
+    fn figure2_tree() -> CutTree {
+        CutTree {
+            //            a     b        c        d        e
+            parent: vec![None, Some(0), Some(0), Some(1), Some(1)],
+            cover: vec![vec![0], vec![1], vec![2], vec![3], vec![4]],
+        }
+    }
+
+    #[test]
+    fn keeps_subtree_when_children_win() {
+        // Children d,e are worth more than b covering everything.
+        let table = vec![
+            vec![1.0, 0.0, 0.0, 0.0, 0.0], // a
+            vec![0.0, 1.0, 0.0, 0.1, 0.1], // b: poor on d/e's txns
+            vec![0.0, 0.0, 1.0, 0.0, 0.0], // c
+            vec![0.0, 0.0, 0.0, 5.0, 0.0], // d
+            vec![0.0, 0.0, 0.0, 0.0, 5.0], // e
+        ];
+        let r = optimal_cut(&figure2_tree(), table_eval(table));
+        assert_eq!(r.retained, vec![true; 5]);
+        assert!((r.total_profit - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prunes_overfit_leaves() {
+        // b over the merged cover beats d + e + b's own.
+        let table = vec![
+            vec![1.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 2.0, 2.0], // b strong everywhere below it
+            vec![0.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.5, 0.0], // d weak
+            vec![0.0, 0.0, 0.0, 0.0, 0.5], // e weak
+        ];
+        let r = optimal_cut(&figure2_tree(), table_eval(table));
+        assert_eq!(r.retained, vec![true, true, true, false, false]);
+        // b's final coverage merges d and e.
+        let mut cov = r.final_cover[1].clone();
+        cov.sort_unstable();
+        assert_eq!(cov, vec![1, 3, 4]);
+        assert!((r.total_profit - (1.0 + 5.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn can_prune_to_root_only() {
+        let table = vec![
+            vec![9.0; 5], // the default rule is the best everywhere
+            vec![0.1; 5],
+            vec![0.1; 5],
+            vec![0.1; 5],
+            vec![0.1; 5],
+        ];
+        let r = optimal_cut(&figure2_tree(), table_eval(table));
+        assert_eq!(r.retained, vec![true, false, false, false, false]);
+        assert!((r.total_profit - 45.0).abs() < 1e-9);
+        assert_eq!(r.final_cover[0].len(), 5);
+    }
+
+    #[test]
+    fn ties_prune_for_minimality() {
+        // Leaf profit exactly equals subtree profit at b ⇒ prune there.
+        let table = vec![
+            vec![1.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 1.0, 1.0],
+            vec![0.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 1.0],
+        ];
+        let r = optimal_cut(&figure2_tree(), table_eval(table));
+        assert!(!r.retained[3] && !r.retained[4], "tie must prune");
+    }
+
+    fn random_tree(rng: &mut StdRng, n_nodes: usize, n_txns: usize) -> (CutTree, Vec<Vec<f64>>) {
+        let mut parent = vec![None];
+        for i in 1..n_nodes {
+            parent.push(Some(rng.gen_range(0..i)));
+        }
+        // Partition txns over nodes (some may be empty).
+        let mut cover: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+        for t in 0..n_txns {
+            cover[rng.gen_range(0..n_nodes)].push(t as u32);
+        }
+        let table: Vec<Vec<f64>> = (0..n_nodes)
+            .map(|_| (0..n_txns).map(|_| rng.gen_range(0.0..3.0)).collect())
+            .collect();
+        (CutTree { parent, cover }, table)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(20260705);
+        for trial in 0..60 {
+            let n_nodes = rng.gen_range(2..9);
+            let (tree, table) = random_tree(&mut rng, n_nodes, 12);
+            let fast = optimal_cut(&tree, table_eval(table.clone()));
+            let (best_profit, best_size, best_retained) =
+                reference::best_cut(&tree, &mut table_eval(table));
+            assert!(
+                (fast.total_profit - best_profit).abs() < 1e-6,
+                "trial {trial}: {} vs {}",
+                fast.total_profit,
+                best_profit
+            );
+            assert_eq!(fast.n_retained(), best_size, "trial {trial}: cut size");
+            assert_eq!(fast.retained, best_retained, "trial {trial}: retained set");
+        }
+    }
+
+    #[test]
+    fn total_equals_sum_of_retained_node_profits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (tree, table) = random_tree(&mut rng, 10, 30);
+        let r = optimal_cut(&tree, table_eval(table));
+        let sum: f64 = (0..10).filter(|&i| r.retained[i]).map(|i| r.node_profit[i]).sum();
+        assert!((sum - r.total_profit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn final_covers_partition_transactions() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (tree, table) = random_tree(&mut rng, 12, 40);
+        let r = optimal_cut(&tree, table_eval(table));
+        let mut seen = vec![false; 40];
+        for (i, cov) in r.final_cover.iter().enumerate() {
+            if !r.retained[i] {
+                assert!(cov.is_empty());
+            }
+            for &t in cov {
+                assert!(!seen[t as usize], "transaction covered twice");
+                seen[t as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all transactions stay covered");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let tree = CutTree {
+            parent: vec![None],
+            cover: vec![vec![0, 1, 2]],
+        };
+        let r = optimal_cut(&tree, |_, tids| tids.len() as f64);
+        assert_eq!(r.retained, vec![true]);
+        assert!((r.total_profit - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! Profit mining core: from mined rules to the **cut-optimal
+//! recommender** (§3.2 and §4 of the EDBT 2002 paper).
+//!
+//! The pipeline implemented here:
+//!
+//! 1. **MPF ranking** ([`rank`]) — the total order of Definition 6:
+//!    recommendation profit, then support, then body size, then generation
+//!    order;
+//! 2. **Dominance removal** (§4.1) — a rule that is more special and
+//!    ranked lower than another can never be a recommendation rule and is
+//!    dropped; in particular everything ranked below the default rule
+//!    `∅ → g` vanishes;
+//! 3. **Covering tree** ([`tree`]) — each rule's parent is the
+//!    highest-ranked strictly-more-general rule; each training transaction
+//!    is covered by its highest-ranked matching rule;
+//! 4. **Projected profit** ([`pessimistic`]) — `Prof_pr(r) = X·Y` with the
+//!    Clopper–Pearson/C4.5 pessimistic hit estimate `X = N·(1 − U_CF(N,E))`
+//!    and the observed per-hit profit `Y`;
+//! 5. **Optimal cut** ([`cut`]) — the unique maximum-projected-profit,
+//!    minimum-size cut (Theorems 1–2), found in one bottom-up pass;
+//! 6. the resulting **[`RuleModel`]** ([`model`]) — a self-contained
+//!    recommender with MPF selection and human-readable explanations —
+//!    and the one-call **[`ProfitMiner`]** pipeline ([`pipeline`]).
+//!
+//! > Note on §4.2: the paper's text says "if `Leaf_Prof(r) ≤ Tree_Prof(r)`
+//! > we prune", which would *decrease* projected profit. We implement the
+//! > evidently intended `Leaf_Prof(r) ≥ Tree_Prof(r)` (see DESIGN.md §1
+//! > and `cut.rs`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cut;
+pub mod model;
+pub mod pessimistic;
+pub mod pipeline;
+pub mod rank;
+pub mod tree;
+
+pub use cut::CutResult;
+pub use model::{Matcher, ModelRule, Recommendation, Recommender, RuleModel, SavedModel};
+pub use pessimistic::ProjectedProfit;
+pub use pipeline::{BuildStats, CutConfig, ProfitMiner};
+pub use rank::mpf_cmp;

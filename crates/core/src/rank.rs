@@ -1,0 +1,123 @@
+//! The most-profitable-first (MPF) rank order (Definition 6).
+//!
+//! `r` is ranked higher than `r'` by, in order:
+//!
+//! 1. larger recommendation profit `Prof_re`;
+//! 2. larger support (generality);
+//! 3. smaller body (simplicity);
+//! 4. earlier generation (totality of order).
+//!
+//! Confidence is not a criterion — it is already factored into `Prof_re`
+//! (and under [`ProfitMode::Confidence`] `Prof_re` *is* confidence).
+
+use pm_rules::{ProfitMode, Rule};
+use std::cmp::Ordering;
+
+/// Compare two rules by MPF rank under `mode`.
+/// `Ordering::Greater` means `a` is ranked **higher** than `b`.
+pub fn mpf_cmp(a: &Rule, b: &Rule, mode: ProfitMode) -> Ordering {
+    a.recommendation_profit(mode)
+        .total_cmp(&b.recommendation_profit(mode))
+        // Generality: larger support ranks higher.
+        .then_with(|| a.support_count().cmp(&b.support_count()))
+        // Simplicity: smaller body ranks higher.
+        .then_with(|| b.body_len().cmp(&a.body_len()))
+        // Totality: earlier generation ranks higher.
+        .then_with(|| b.gen_index.cmp(&a.gen_index))
+}
+
+/// Sort rule indices into descending MPF rank (highest rank first).
+pub fn sort_by_rank_desc(rules: &mut [Rule], mode: ProfitMode) {
+    rules.sort_by(|a, b| mpf_cmp(b, a, mode));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_rules::{GsId, HeadId};
+
+    fn rule(body_len: usize, body_count: u32, hits: u32, profit: f64, gen: u32) -> Rule {
+        Rule {
+            body: (0..body_len as u32).map(GsId).collect(),
+            head: HeadId(0),
+            body_count,
+            hits,
+            profit,
+            gen_index: gen,
+        }
+    }
+
+    #[test]
+    fn profit_per_recommendation_first() {
+        // a: Prof_re = 10/10 = 1.0; b: Prof_re = 5/2 = 2.5.
+        let a = rule(1, 10, 5, 10.0, 0);
+        let b = rule(3, 2, 1, 5.0, 1);
+        assert_eq!(mpf_cmp(&b, &a, ProfitMode::Profit), Ordering::Greater);
+    }
+
+    #[test]
+    fn generality_breaks_profit_ties() {
+        // Same Prof_re = 1.0, different support (hits).
+        let a = rule(1, 10, 8, 10.0, 0);
+        let b = rule(1, 20, 12, 20.0, 1);
+        assert_eq!(mpf_cmp(&b, &a, ProfitMode::Profit), Ordering::Greater);
+    }
+
+    #[test]
+    fn simplicity_breaks_support_ties() {
+        let a = rule(3, 10, 5, 10.0, 0);
+        let b = rule(1, 10, 5, 10.0, 1);
+        assert_eq!(mpf_cmp(&b, &a, ProfitMode::Profit), Ordering::Greater);
+    }
+
+    #[test]
+    fn generation_order_is_final_tiebreak() {
+        let a = rule(2, 10, 5, 10.0, 3);
+        let b = rule(2, 10, 5, 10.0, 7);
+        assert_eq!(mpf_cmp(&a, &b, ProfitMode::Profit), Ordering::Greater);
+        // A rule never outranks itself.
+        assert_eq!(mpf_cmp(&a, &a, ProfitMode::Profit), Ordering::Equal);
+    }
+
+    #[test]
+    fn confidence_mode_ranks_by_confidence() {
+        // a: conf 0.9 but low profit; b: conf 0.5, high profit.
+        let a = rule(1, 10, 9, 0.1, 0);
+        let b = rule(1, 10, 5, 99.0, 1);
+        assert_eq!(mpf_cmp(&a, &b, ProfitMode::Confidence), Ordering::Greater);
+        assert_eq!(mpf_cmp(&b, &a, ProfitMode::Profit), Ordering::Greater);
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        let rules: Vec<Rule> = vec![
+            rule(1, 10, 5, 10.0, 0),
+            rule(2, 10, 5, 10.0, 1),
+            rule(1, 20, 5, 20.0, 2),
+            rule(1, 10, 5, 10.0, 3),
+            rule(0, 30, 9, 3.0, 4),
+        ];
+        for a in &rules {
+            for b in &rules {
+                let ab = mpf_cmp(a, b, ProfitMode::Profit);
+                let ba = mpf_cmp(b, a, ProfitMode::Profit);
+                assert_eq!(ab, ba.reverse());
+                if ab == Ordering::Equal {
+                    assert_eq!(a.gen_index, b.gen_index, "only identical rules tie");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_is_descending() {
+        let mut rules = vec![
+            rule(1, 10, 5, 10.0, 0),  // Prof_re 1.0
+            rule(1, 2, 2, 10.0, 1),   // Prof_re 5.0
+            rule(1, 10, 10, 25.0, 2), // Prof_re 2.5
+        ];
+        sort_by_rank_desc(&mut rules, ProfitMode::Profit);
+        let res: Vec<u32> = rules.iter().map(|r| r.gen_index).collect();
+        assert_eq!(res, vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,422 @@
+//! The covering relationship (§4.1): dominance removal, the covering
+//! tree, and coverage assignment.
+//!
+//! * A rule that is *more special and ranked lower* than another rule can
+//!   never be a recommendation rule (the more general, higher-ranked rule
+//!   matches whenever it does) — such rules are **dominated** and removed.
+//!   The default rule's empty body generalizes every body, so *everything
+//!   ranked below the default rule is dominated*.
+//! * The **parent** of a rule `r'` is the strictly-more-general rule with
+//!   the highest rank; after dominance removal every more-general rule
+//!   ranks lower, so parents point down the rank order and the default
+//!   rule is the root.
+//! * Each training transaction is **covered** by its highest-ranked
+//!   matching rule; the default rule covers the rest.
+//!
+//! Body-generalization tests use the interner's ancestor closures: body
+//! `B` generalizes body `B'` **iff** `B ⊆ closure(B')`, where
+//! `closure(B') = ∪_{g ∈ B'} ({g} ∪ ancestors(g))` — every element of a
+//! generalizing body must be an ancestor-or-self of some element of the
+//! specialized body, and vice versa any such subset generalizes.
+
+use crate::rank::mpf_cmp;
+use pm_rules::{BitSet, GsId, MinedRules, ProfitMode, Rule, Support};
+
+/// The covering tree over the surviving (non-dominated) rules.
+#[derive(Debug, Clone)]
+pub struct CoveringTree {
+    /// Surviving rules in descending MPF rank; the last one is the
+    /// default rule (the root).
+    pub rules: Vec<Rule>,
+    /// Parent index per rule (`None` only for the default rule).
+    pub parent: Vec<Option<usize>>,
+    /// Transactions covered by each rule (it is their highest-ranked
+    /// match).
+    pub cover: Vec<Vec<u32>>,
+    /// How many mined rules the dominance step removed.
+    pub n_dominated: usize,
+    /// The profit mode the ranking used.
+    pub mode: ProfitMode,
+}
+
+/// Incremental subset index: survivors keyed by their body elements, with
+/// stamped counting for "is some survivor's body ⊆ this closure?" queries.
+struct SubsetIndex {
+    postings: std::collections::HashMap<GsId, Vec<u32>>,
+    body_len: Vec<u32>,
+    count: Vec<u32>,
+    stamp_val: Vec<u32>,
+    stamp: u32,
+}
+
+impl SubsetIndex {
+    fn new() -> Self {
+        Self {
+            postings: std::collections::HashMap::new(),
+            body_len: Vec::new(),
+            count: Vec::new(),
+            stamp_val: Vec::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Register a survivor with the given body; returns its local id.
+    fn push(&mut self, body: &[GsId]) -> u32 {
+        let id = self.body_len.len() as u32;
+        self.body_len.push(body.len() as u32);
+        self.count.push(0);
+        self.stamp_val.push(0);
+        for &g in body {
+            self.postings.entry(g).or_default().push(id);
+        }
+        id
+    }
+
+    /// Local ids of registered survivors whose body is a subset of
+    /// `closure` (i.e. whose rule generalizes the closure's rule). Does
+    /// not report empty-body survivors (they match trivially; callers
+    /// handle the default rule separately).
+    fn generalizers(&mut self, closure: &[GsId], out: &mut Vec<u32>) {
+        self.stamp += 1;
+        out.clear();
+        for g in closure {
+            if let Some(list) = self.postings.get(g) {
+                for &id in list {
+                    let i = id as usize;
+                    if self.stamp_val[i] != self.stamp {
+                        self.stamp_val[i] = self.stamp;
+                        self.count[i] = 0;
+                    }
+                    self.count[i] += 1;
+                    if self.count[i] == self.body_len[i] {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Closure of a body: every element plus all its strict ancestors,
+/// deduplicated and sorted.
+fn closure(mined: &MinedRules, body: &[GsId]) -> Vec<GsId> {
+    let interner = mined.interner();
+    let mut out: Vec<GsId> = Vec::with_capacity(body.len() * 4);
+    for &g in body {
+        out.push(g);
+        out.extend_from_slice(interner.ancestors(g));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl CoveringTree {
+    /// Build the covering tree from mined rules under `mode`, optionally
+    /// filtering to a higher minimum support first.
+    pub fn build(mined: &MinedRules, mode: ProfitMode, min_support: Option<Support>) -> Self {
+        // 1. Collect rules + the default rule, sort by rank descending.
+        let mut rules: Vec<Rule> = match min_support {
+            Some(s) => mined
+                .rule_indices_at(s)
+                .into_iter()
+                .map(|i| mined.rules()[i].clone())
+                .collect(),
+            None => mined.rules().to_vec(),
+        };
+        rules.push(mined.default_rule(mode));
+        rules.sort_by(|a, b| mpf_cmp(b, a, mode));
+
+        // 2. Everything ranked below the default rule is dominated by it.
+        let default_pos = rules
+            .iter()
+            .position(|r| r.body.is_empty())
+            .expect("default rule present");
+        let below_default = rules.len() - default_pos - 1;
+        rules.truncate(default_pos + 1);
+
+        // 3. Dominance scan in rank-descending order.
+        let mut index = SubsetIndex::new();
+        let mut survivors: Vec<Rule> = Vec::with_capacity(rules.len());
+        let mut hits: Vec<u32> = Vec::new();
+        let mut dominated_above = 0usize;
+        for rule in rules {
+            if rule.body.is_empty() {
+                // The default rule: nothing ranked higher can have an
+                // empty body (there is exactly one default), and only an
+                // empty body generalizes an empty body.
+                survivors.push(rule);
+                continue;
+            }
+            let cl = closure(mined, &rule.body);
+            index.generalizers(&cl, &mut hits);
+            if hits.is_empty() {
+                index.push(&rule.body);
+                survivors.push(rule);
+            } else {
+                dominated_above += 1;
+            }
+        }
+        let n_dominated = below_default + dominated_above;
+
+        // 4. Parents: scan in rank-ascending order so that the candidates
+        //    (more-general ⇒ lower-ranked) are already registered; pick
+        //    the highest-ranked (smallest survivor index distance… i.e.
+        //    the maximum-rank = minimum-index one).
+        let m = survivors.len();
+        let default_idx = m - 1;
+        let mut parent: Vec<Option<usize>> = vec![None; m];
+        let mut index = SubsetIndex::new();
+        // Local id ↦ survivor index, in ascending processing order.
+        let mut registered: Vec<usize> = Vec::with_capacity(m);
+        for i in (0..m).rev() {
+            if i != default_idx {
+                let cl = closure(mined, &survivors[i].body);
+                index.generalizers(&cl, &mut hits);
+                let best = hits
+                    .iter()
+                    .map(|&id| registered[id as usize])
+                    .min()
+                    .unwrap_or(default_idx)
+                    .min(default_idx);
+                parent[i] = Some(best);
+            }
+            if !survivors[i].body.is_empty() {
+                let id = index.push(&survivors[i].body);
+                debug_assert_eq!(id as usize, registered.len());
+                registered.push(i);
+            }
+        }
+
+        // 5. Coverage: highest-ranked matching rule per transaction.
+        let n = mined.n_transactions();
+        let mut uncovered = BitSet::full(n);
+        let mut cover: Vec<Vec<u32>> = Vec::with_capacity(m);
+        for rule in &survivors {
+            if uncovered.is_empty() {
+                cover.push(Vec::new());
+                continue;
+            }
+            if rule.body.is_empty() {
+                cover.push(uncovered.iter().map(|t| t as u32).collect());
+                uncovered = BitSet::new(n);
+            } else {
+                let ts = mined.body_tidset(&rule.body);
+                let mine = ts.intersection(&uncovered);
+                uncovered.subtract(&mine);
+                cover.push(mine.iter().map(|t| t as u32).collect());
+            }
+        }
+
+        CoveringTree {
+            rules: survivors,
+            parent,
+            cover,
+            n_dominated,
+            mode,
+        }
+    }
+
+    /// Number of rules in the tree.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Always false — the default rule is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the root (the default rule).
+    pub fn root(&self) -> usize {
+        self.rules.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_rules::{MinerConfig, MoaMode, RuleMiner};
+    use pm_txn::{
+        Catalog, CodeId, Hierarchy, ItemDef, ItemId, Money, PromotionCode, Sale, Transaction,
+        TransactionSet,
+    };
+
+    fn dataset() -> TransactionSet {
+        let mut cat = Catalog::new();
+        for name in ["a", "b"] {
+            cat.push(ItemDef {
+                name: name.into(),
+                codes: vec![
+                    PromotionCode::unit(Money::from_cents(100), Money::from_cents(50)),
+                    PromotionCode::unit(Money::from_cents(120), Money::from_cents(50)),
+                ],
+                is_target: false,
+            });
+        }
+        cat.push(ItemDef {
+            name: "t".into(),
+            codes: vec![
+                PromotionCode::unit(Money::from_cents(500), Money::from_cents(300)),
+                PromotionCode::unit(Money::from_cents(600), Money::from_cents(300)),
+            ],
+            is_target: true,
+        });
+        let h = Hierarchy::flat(3);
+        let a = ItemId(0);
+        let b = ItemId(1);
+        let t = ItemId(2);
+        let mk = |nts: Vec<Sale>, tc: u16| Transaction::new(nts, Sale::new(t, CodeId(tc), 1));
+        let txns = vec![
+            mk(vec![Sale::new(a, CodeId(0), 1)], 0),
+            mk(vec![Sale::new(a, CodeId(0), 1)], 0),
+            mk(vec![Sale::new(a, CodeId(1), 1)], 1),
+            mk(vec![Sale::new(a, CodeId(0), 1), Sale::new(b, CodeId(0), 1)], 1),
+            mk(vec![Sale::new(a, CodeId(1), 1), Sale::new(b, CodeId(0), 1)], 1),
+            mk(vec![Sale::new(b, CodeId(1), 1)], 0),
+            mk(vec![Sale::new(b, CodeId(0), 1)], 1),
+            mk(vec![Sale::new(b, CodeId(1), 1)], 0),
+        ];
+        TransactionSet::new(cat, h, txns).unwrap()
+    }
+
+    fn tree(minsup: u32, mode: ProfitMode) -> (MinedRules, CoveringTree) {
+        let mined = RuleMiner::new(MinerConfig {
+            min_support: Support::Count(minsup),
+            moa: MoaMode::Enabled,
+            ..MinerConfig::default()
+        })
+        .mine(&dataset());
+        let tree = CoveringTree::build(&mined, mode, None);
+        (mined, tree)
+    }
+
+    /// Slow reference for "is r more general than r'".
+    fn more_general(mined: &MinedRules, r: &Rule, rp: &Rule) -> bool {
+        mined.interner().body_generalizes(&r.body, &rp.body)
+    }
+
+    #[test]
+    fn default_rule_is_root_and_last() {
+        let (_, tree) = tree(1, ProfitMode::Profit);
+        let root = tree.root();
+        assert!(tree.rules[root].body.is_empty());
+        assert_eq!(tree.parent[root], None);
+        for i in 0..root {
+            assert!(tree.parent[i].is_some());
+            assert!(!tree.rules[i].body.is_empty());
+        }
+    }
+
+    #[test]
+    fn rank_strictly_descends() {
+        let (_, tree) = tree(1, ProfitMode::Profit);
+        for w in 0..tree.len() - 1 {
+            assert_eq!(
+                mpf_cmp(&tree.rules[w], &tree.rules[w + 1], ProfitMode::Profit),
+                std::cmp::Ordering::Greater
+            );
+        }
+    }
+
+    #[test]
+    fn no_survivor_is_dominated() {
+        let (mined, tree) = tree(1, ProfitMode::Profit);
+        for i in 0..tree.len() {
+            for j in 0..i {
+                // j ranks higher; it must not generalize i's body… unless
+                // that would make i dominated.
+                assert!(
+                    !more_general(&mined, &tree.rules[j], &tree.rules[i]),
+                    "rule {j} dominates rule {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_matches_brute_force() {
+        let (mined, tree) = tree(1, ProfitMode::Profit);
+        // Recompute survivors by brute force over the full ranked list.
+        let mut all: Vec<Rule> = mined.rules().to_vec();
+        all.push(mined.default_rule(ProfitMode::Profit));
+        all.sort_by(|a, b| mpf_cmp(b, a, ProfitMode::Profit));
+        let mut survivors: Vec<Rule> = Vec::new();
+        for r in &all {
+            if !survivors.iter().any(|s| more_general(&mined, s, r)) {
+                survivors.push(r.clone());
+            }
+        }
+        assert_eq!(survivors.len(), tree.len());
+        for (a, b) in survivors.iter().zip(&tree.rules) {
+            assert_eq!(a.body, b.body);
+            assert_eq!(a.head, b.head);
+        }
+    }
+
+    #[test]
+    fn parent_is_highest_ranked_generalizer() {
+        let (mined, tree) = tree(1, ProfitMode::Profit);
+        for i in 0..tree.len() {
+            let Some(p) = tree.parent[i] else { continue };
+            assert!(p > i, "parents rank lower (higher index)");
+            assert!(
+                more_general(&mined, &tree.rules[p], &tree.rules[i]),
+                "parent must generalize"
+            );
+            // No generalizer strictly between i and p.
+            for j in (i + 1)..p {
+                assert!(
+                    !more_general(&mined, &tree.rules[j], &tree.rules[i]),
+                    "rule {j} outranks parent {p} of {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_highest_ranked_match() {
+        let (mined, tree) = tree(1, ProfitMode::Profit);
+        let ext = mined.extended();
+        // Each transaction appears in exactly one cover — that of its
+        // first matching rule in rank order.
+        let mut owner = vec![usize::MAX; ext.n_transactions()];
+        for (i, cov) in tree.cover.iter().enumerate() {
+            for &t in cov {
+                assert_eq!(owner[t as usize], usize::MAX, "covered twice");
+                owner[t as usize] = i;
+            }
+        }
+        for (tid, &own) in owner.iter().enumerate() {
+            assert_ne!(own, usize::MAX, "transaction {tid} uncovered");
+            let first_match = (0..tree.len())
+                .find(|&i| tree.rules[i].body.iter().all(|g| ext.txn_gs[tid].contains(g)))
+                .expect("default matches");
+            assert_eq!(own, first_match, "transaction {tid}");
+        }
+    }
+
+    #[test]
+    fn confidence_mode_changes_ranking() {
+        let (_, tp) = tree(1, ProfitMode::Profit);
+        let (mined, tc) = tree(1, ProfitMode::Confidence);
+        assert!(tp.len() > 1);
+        // Under confidence mode with MOA, the default rule's cheapest
+        // head hits *every* transaction here (confidence 1.0 at maximal
+        // support), so it dominates all other rules — the tree collapses
+        // to the default alone. That is faithful Definition-6 behavior.
+        assert_eq!(tc.len(), 1);
+        let d = &tc.rules[0];
+        assert!(d.body.is_empty());
+        assert_eq!(d.hits as usize, mined.n_transactions());
+    }
+
+    #[test]
+    fn min_support_filter_shrinks_tree() {
+        let (mined, _) = tree(1, ProfitMode::Profit);
+        let t1 = CoveringTree::build(&mined, ProfitMode::Profit, None);
+        let t3 = CoveringTree::build(&mined, ProfitMode::Profit, Some(Support::Count(3)));
+        assert!(t3.len() <= t1.len());
+        assert!(t3.rules[t3.root()].body.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic concept hierarchies over the non-target items.
+//!
+//! The paper's synthetic figures run on flat data, but the framework (and
+//! our ablation benches) search rule bodies at concept level; this module
+//! builds balanced hierarchies: items are grouped into first-level
+//! concepts of `branching` children, those into second-level concepts,
+//! and so on for `levels` levels. Target items stay directly below the
+//! implicit root `ANY`, as Definition 2 requires.
+
+use pm_txn::{Hierarchy, ItemId};
+use serde::{Deserialize, Serialize};
+
+/// Shape of a generated hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Children per concept.
+    pub branching: usize,
+    /// Number of concept levels above the items (0 = flat).
+    pub levels: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            branching: 5,
+            levels: 2,
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// Build a hierarchy for a catalog with `n_items` total items of which
+    /// the first `n_non_target` are non-target (only those are grouped).
+    pub fn build(&self, n_items: usize, n_non_target: usize) -> Hierarchy {
+        assert!(n_non_target <= n_items);
+        assert!(self.branching >= 2 || self.levels == 0, "branching must be ≥ 2");
+        let mut h = Hierarchy::flat(n_items);
+        if self.levels == 0 || n_non_target == 0 {
+            return h;
+        }
+        // Level 1: group items.
+        let mut current: Vec<_> = Vec::new();
+        for (g, chunk) in (0..n_non_target).collect::<Vec<_>>().chunks(self.branching).enumerate() {
+            let c = h.add_concept(format!("L1-{g}"));
+            for &i in chunk {
+                h.link_item(ItemId(i as u32), c).expect("in range");
+            }
+            current.push(c);
+        }
+        // Higher levels: group concepts.
+        for level in 2..=self.levels {
+            if current.len() <= 1 {
+                break;
+            }
+            let mut next = Vec::new();
+            for (g, chunk) in current.chunks(self.branching).enumerate() {
+                let c = h.add_concept(format!("L{level}-{g}"));
+                for &child in chunk {
+                    h.link_concept(child, c).expect("in range");
+                }
+                next.push(c);
+            }
+            current = next;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_when_zero_levels() {
+        let h = HierarchyConfig {
+            branching: 5,
+            levels: 0,
+        }
+        .build(10, 8);
+        assert_eq!(h.n_concepts(), 0);
+    }
+
+    #[test]
+    fn two_level_shape() {
+        let h = HierarchyConfig {
+            branching: 3,
+            levels: 2,
+        }
+        .build(12, 9);
+        // 9 items / 3 = 3 level-1 concepts, then 1 level-2 concept.
+        assert_eq!(h.n_concepts(), 4);
+        assert!(h.validate().is_ok());
+        // Every non-target item has 2 ancestors; targets none.
+        for i in 0..9 {
+            assert_eq!(h.item_ancestors(ItemId(i)).len(), 2, "item {i}");
+        }
+        for i in 9..12 {
+            assert!(h.item_ancestors(ItemId(i)).is_empty());
+        }
+    }
+
+    #[test]
+    fn deep_hierarchy_terminates() {
+        let h = HierarchyConfig {
+            branching: 2,
+            levels: 10,
+        }
+        .build(8, 8);
+        assert!(h.validate().is_ok());
+        // 4 + 2 + 1 concepts.
+        assert_eq!(h.n_concepts(), 7);
+        assert_eq!(h.item_ancestors(ItemId(0)).len(), 3);
+    }
+
+    #[test]
+    fn ragged_groups() {
+        let h = HierarchyConfig {
+            branching: 4,
+            levels: 1,
+        }
+        .build(10, 10);
+        // ceil(10/4) = 3 concepts.
+        assert_eq!(h.n_concepts(), 3);
+        assert!(h.validate().is_ok());
+    }
+}

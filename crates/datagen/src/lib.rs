@@ -1,0 +1,38 @@
+//! Synthetic data generation for profit mining (§5.2 of the paper).
+//!
+//! The paper's evaluation data comes from the **IBM Almaden Quest**
+//! synthetic transaction generator, "modified to have price and cost for
+//! each item in a transaction". The original binary is long gone, so this
+//! crate re-implements it from its published specification (Agrawal &
+//! Srikant, *Fast Algorithms for Mining Association Rules*, VLDB 1994):
+//! potential maximal itemsets with exponentially distributed weights,
+//! correlation between consecutive patterns, per-pattern corruption
+//! levels, and Poisson-distributed sizes ([`quest`]).
+//!
+//! On top of that sit the paper's augmentations:
+//!
+//! * [`pricing`] — `Cost(i) = c / i` and `m` prices
+//!   `P_j = (1 + j·δ)·Cost(i)` per item (defaults `m = 4`, `δ = 10%`);
+//! * [`targets`] — the target-sale distributions of **Dataset I** (two
+//!   target items, costs \$2 and \$10, Zipf 5:1) and **Dataset II** (ten
+//!   target items, `Cost(i) = 10·i`, normal frequency around the mean);
+//! * [`config`] — one-stop [`DatasetConfig`] presets that produce a
+//!   validated [`pm_txn::TransactionSet`];
+//! * [`hierarchy_gen`] — optional synthetic concept hierarchies for
+//!   multi-level mining experiments (the paper's figures use flat data;
+//!   hierarchies are exercised by the ablation benches).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod hierarchy_gen;
+pub mod pricing;
+pub mod quest;
+pub mod targets;
+
+pub use config::DatasetConfig;
+pub use hierarchy_gen::HierarchyConfig;
+pub use pricing::PricingConfig;
+pub use quest::QuestConfig;
+pub use targets::TargetSpec;

@@ -1,0 +1,122 @@
+//! The paper's price/cost augmentation of Quest transactions (§5.2).
+//!
+//! "For item *i*, we generate the cost `Cost(i) = c/i`, where `c` is the
+//! maximum cost of a single item, and `m` prices
+//! `P_j = (1 + j·δ)·Cost(i)`, `j = 1..m`. We use `m = 4` and `δ = 10%`."
+//! All promotion codes of an item share a single cost and unit packing, so
+//! the profit of item `i` at price `P_j` is exactly `j·δ·Cost(i)`.
+
+use pm_txn::{Money, PromotionCode};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the price grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingConfig {
+    /// `c` — the maximum cost of a single (non-target) item, in dollars.
+    /// Unstated in the paper; `$100` is our documented default (see
+    /// DESIGN.md §5).
+    pub max_cost: f64,
+    /// `m` — number of prices per item.
+    pub n_prices: usize,
+    /// `δ` — markup step.
+    pub delta: f64,
+}
+
+impl Default for PricingConfig {
+    fn default() -> Self {
+        Self {
+            max_cost: 100.0,
+            n_prices: 4,
+            delta: 0.10,
+        }
+    }
+}
+
+impl PricingConfig {
+    /// The cost of non-target item `i` (1-based, as in the paper).
+    pub fn cost_of(&self, i_one_based: usize) -> Money {
+        assert!(i_one_based >= 1, "items are numbered from 1");
+        Money::from_dollars_f64(self.max_cost / i_one_based as f64)
+    }
+
+    /// The `m` promotion codes for an item of the given cost: prices
+    /// `P_j = (1 + j·δ)·cost`, `j = 1..=m`, all with unit packing and the
+    /// shared cost. Code `CodeId(j-1)` carries price `P_j`, so *lower code
+    /// ids are cheaper and more favorable*.
+    pub fn codes_for_cost(&self, cost: Money) -> Vec<PromotionCode> {
+        (1..=self.n_prices)
+            .map(|j| {
+                let price =
+                    Money::from_dollars_f64(cost.as_dollars() * (1.0 + j as f64 * self.delta));
+                PromotionCode::unit(price, cost)
+            })
+            .collect()
+    }
+
+    /// Convenience: the codes of non-target item `i` (1-based).
+    pub fn codes_of(&self, i_one_based: usize) -> Vec<PromotionCode> {
+        self.codes_for_cost(self.cost_of(i_one_based))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_c_over_i() {
+        let p = PricingConfig::default();
+        assert_eq!(p.cost_of(1), Money::from_dollars(100));
+        assert_eq!(p.cost_of(4), Money::from_dollars(25));
+        assert_eq!(p.cost_of(1000), Money::from_cents(10));
+    }
+
+    #[test]
+    fn price_grid_matches_formula() {
+        let p = PricingConfig::default();
+        let codes = p.codes_for_cost(Money::from_dollars(10));
+        assert_eq!(codes.len(), 4);
+        let prices: Vec<i64> = codes.iter().map(|c| c.price.cents()).collect();
+        assert_eq!(prices, vec![1100, 1200, 1300, 1400]);
+        assert!(codes.iter().all(|c| c.cost == Money::from_dollars(10)));
+        assert!(codes.iter().all(|c| c.pack_qty == 1));
+    }
+
+    #[test]
+    fn profit_at_price_j_is_j_delta_cost() {
+        let p = PricingConfig::default();
+        let codes = p.codes_for_cost(Money::from_dollars(2));
+        for (j0, code) in codes.iter().enumerate() {
+            let expect = Money::from_dollars_f64(2.0 * 0.10 * (j0 + 1) as f64);
+            assert_eq!(code.margin(), expect);
+        }
+    }
+
+    #[test]
+    fn lower_code_ids_are_more_favorable() {
+        let p = PricingConfig::default();
+        let codes = p.codes_of(3);
+        for a in 0..codes.len() {
+            for b in (a + 1)..codes.len() {
+                assert!(codes[a].more_favorable_than(&codes[b]));
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_stays_on_cents() {
+        // Cost(3) = $33.333… rounds to $33.33; prices derive from the
+        // rounded cost so margins stay exact cents.
+        let p = PricingConfig::default();
+        let cost = p.cost_of(3);
+        assert_eq!(cost, Money::from_cents(3333));
+        let codes = p.codes_for_cost(cost);
+        assert_eq!(codes[0].price, Money::from_cents(3666));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_based_index_rejected() {
+        let _ = PricingConfig::default().cost_of(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The `(x, y)` quantity-boost shopping-behavior model (§5.3, Figure 3(b)).
+//!
+//! "To model that a customer buys and spends more at a more favorable
+//! price": when the recommended price is `step = q − p` grid steps below
+//! the recorded price, the customer multiplies the purchase quantity by
+//! `x` with probability `y`. The paper uses two settings —
+//! `(x = 2, y = 30%)` for steps 1–2 and `(x = 3, y = 40%)` for steps 3–4
+//! — and plots each as its own curve (`PROF(x=3,y=40%)`), so both the
+//! single-setting and the combined-table readings are provided.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One boost rule: for step differences in `min_step..=max_step`,
+/// multiply the quantity by `multiplier` with probability `probability`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoostRule {
+    /// Smallest step difference this rule covers (≥ 1).
+    pub min_step: u32,
+    /// Largest step difference this rule covers.
+    pub max_step: u32,
+    /// The quantity multiplier `x`.
+    pub multiplier: u32,
+    /// The probability `y`.
+    pub probability: f64,
+}
+
+/// A table of boost rules; the first rule covering a step applies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QuantityBoost {
+    rules: Vec<BoostRule>,
+    /// Display label, e.g. `(x=2,y=30%)`.
+    label: String,
+}
+
+impl QuantityBoost {
+    /// A single setting `(x, y)` applied to every positive step — the
+    /// per-curve reading of Figure 3(b).
+    pub fn setting(x: u32, y: f64) -> Self {
+        assert!(x >= 1 && (0.0..=1.0).contains(&y));
+        Self {
+            rules: vec![BoostRule {
+                min_step: 1,
+                max_step: u32::MAX,
+                multiplier: x,
+                probability: y,
+            }],
+            label: format!("(x={x},y={}%)", (y * 100.0).round()),
+        }
+    }
+
+    /// The paper's combined table: steps 1–2 double with 30%, steps 3–4
+    /// triple with 40%.
+    pub fn paper_combined() -> Self {
+        Self {
+            rules: vec![
+                BoostRule {
+                    min_step: 1,
+                    max_step: 2,
+                    multiplier: 2,
+                    probability: 0.30,
+                },
+                BoostRule {
+                    min_step: 3,
+                    max_step: 4,
+                    multiplier: 3,
+                    probability: 0.40,
+                },
+            ],
+            label: "(x=2,y=30%)+(x=3,y=40%)".to_string(),
+        }
+    }
+
+    /// A custom table.
+    pub fn custom(rules: Vec<BoostRule>, label: impl Into<String>) -> Self {
+        Self {
+            rules,
+            label: label.into(),
+        }
+    }
+
+    /// The display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Sample the quantity multiplier for a recommendation `step` grid
+    /// steps below the recorded price (`step = 0` ⇒ always 1).
+    pub fn multiplier<R: Rng + ?Sized>(&self, step: u32, rng: &mut R) -> u32 {
+        if step == 0 {
+            return 1;
+        }
+        for r in &self.rules {
+            if step >= r.min_step && step <= r.max_step {
+                return if rng.gen_bool(r.probability) {
+                    r.multiplier
+                } else {
+                    1
+                };
+            }
+        }
+        1
+    }
+
+    /// The expected multiplier at a step (for analytical checks):
+    /// `1 + y·(x − 1)` within a covered range, else 1.
+    pub fn expected_multiplier(&self, step: u32) -> f64 {
+        if step == 0 {
+            return 1.0;
+        }
+        for r in &self.rules {
+            if step >= r.min_step && step <= r.max_step {
+                return 1.0 + r.probability * (r.multiplier as f64 - 1.0);
+            }
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_step_never_boosts() {
+        let b = QuantityBoost::setting(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(b.multiplier(0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn certain_boost_always_applies() {
+        let b = QuantityBoost::setting(2, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for step in 1..5 {
+            assert_eq!(b.multiplier(step, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_probability() {
+        let b = QuantityBoost::setting(2, 0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let boosted = (0..50_000)
+            .filter(|_| b.multiplier(1, &mut rng) == 2)
+            .count();
+        let rate = boosted as f64 / 50_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn combined_table_ranges() {
+        let b = QuantityBoost::paper_combined();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let m1 = b.multiplier(1, &mut rng);
+            assert!(m1 == 1 || m1 == 2);
+            let m3 = b.multiplier(3, &mut rng);
+            assert!(m3 == 1 || m3 == 3);
+            // Step 5 is uncovered by the combined table.
+            assert_eq!(b.multiplier(5, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn expected_multipliers() {
+        let b = QuantityBoost::paper_combined();
+        assert!((b.expected_multiplier(1) - 1.3).abs() < 1e-12);
+        assert!((b.expected_multiplier(2) - 1.3).abs() < 1e-12);
+        assert!((b.expected_multiplier(3) - 1.8).abs() < 1e-12);
+        assert!((b.expected_multiplier(4) - 1.8).abs() < 1e-12);
+        assert_eq!(b.expected_multiplier(0), 1.0);
+        assert_eq!(b.expected_multiplier(9), 1.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(QuantityBoost::setting(3, 0.4).label(), "(x=3,y=40%)");
+        assert_eq!(QuantityBoost::setting(2, 0.3).label(), "(x=2,y=30%)");
+    }
+}

@@ -1,0 +1,142 @@
+//! Plain-text and CSV table rendering for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// A titled table: one header row plus data rows, all strings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers; the first column is the x axis (e.g. minsup).
+    pub columns: Vec<String>,
+    /// Data rows (each the same length as `columns`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width disagrees with the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 4 significant decimals, trimming noise.
+pub fn fmt(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "gain",
+            vec!["minsup".into(), "PROF+MOA".into(), "kNN".into()],
+        );
+        t.push_row(vec!["0.1%".into(), "0.76".into(), "0.31".into()]);
+        t.push_row(vec!["0.2%".into(), "0.70".into(), "0.31".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned() {
+        let text = table().render();
+        assert!(text.contains("== gain =="));
+        assert!(text.contains("PROF+MOA"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, separator, 2 rows (+ title).
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_output() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "minsup,PROF+MOA,kNN");
+        assert_eq!(lines[1], "0.1%,0.76,0.31");
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("x", vec!["a".into()]);
+        t.push_row(vec!["v,w".into()]);
+        assert!(t.to_csv().contains("\"v,w\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = table();
+        t.push_row(vec!["only-one".into()]);
+    }
+}

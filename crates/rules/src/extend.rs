@@ -1,0 +1,268 @@
+//! Transaction extension over `MOA(H)`.
+//!
+//! Each transaction is processed exactly once into:
+//!
+//! * the sorted set of [`GsId`]s generalizing its non-target sales — the
+//!   universe its rule bodies are drawn from;
+//! * the list of `(head, profit)` pairs for the heads `⟨I, P⟩` that
+//!   generalize its target sale, with `profit = p(r, t)` under the chosen
+//!   [`QuantityModel`]. Because `p(r, t)` depends only on the head and the
+//!   target sale, this list serves every rule that covers the transaction.
+
+use crate::bitset::BitSet;
+use crate::interner::{GsId, GsInterner};
+use pm_txn::{CodeId, ItemId, Moa, QuantityModel, TransactionSet};
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a rule head — an index into
+/// [`ExtendedData::heads`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HeadId(pub u32);
+
+impl HeadId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The extended form of a transaction set, ready for vertical mining.
+#[derive(Debug, Clone)]
+pub struct ExtendedData {
+    /// Interner over every generalized sale that occurs, finalized (with
+    /// ancestor lists).
+    pub interner: GsInterner,
+    /// Per-transaction sorted generalized-sale id sets (non-target side).
+    pub txn_gs: Vec<Vec<GsId>>,
+    /// The head universe: every `(target item, code)` pair of the catalog.
+    pub heads: Vec<(ItemId, CodeId)>,
+    /// Per-transaction `(head, p(r,t))` for heads generalizing the target
+    /// sale. Sorted by head id.
+    pub txn_heads: Vec<Vec<(HeadId, f64)>>,
+    /// Per-transaction recorded target profit (dollars) — the gain
+    /// denominator.
+    pub recorded_profit: Vec<f64>,
+}
+
+impl ExtendedData {
+    /// Extend all transactions of `data` under `moa` and the quantity
+    /// model `qm`.
+    pub fn build(data: &TransactionSet, moa: &Moa, qm: QuantityModel) -> Self {
+        let catalog = data.catalog();
+        // Head universe: all (target item, code) pairs, in catalog order.
+        let mut heads = Vec::new();
+        let mut head_index =
+            std::collections::HashMap::<(ItemId, CodeId), HeadId>::new();
+        for item in catalog.target_items() {
+            for k in 0..catalog.item(item).codes.len() {
+                let pair = (item, CodeId(k as u16));
+                head_index.insert(pair, HeadId(heads.len() as u32));
+                heads.push(pair);
+            }
+        }
+
+        let mut interner = GsInterner::new();
+        let mut txn_gs = Vec::with_capacity(data.len());
+        let mut txn_heads = Vec::with_capacity(data.len());
+        let mut recorded_profit = Vec::with_capacity(data.len());
+        for t in data.transactions() {
+            let mut gs: Vec<GsId> = Vec::new();
+            for s in t.non_target_sales() {
+                for g in moa.generalizations_of_sale(s) {
+                    gs.push(interner.intern(g));
+                }
+            }
+            gs.sort_unstable();
+            gs.dedup();
+            txn_gs.push(gs);
+
+            let target = t.target_sale();
+            let mut hs: Vec<(HeadId, f64)> = moa
+                .head_candidates(target)
+                .into_iter()
+                .map(|(item, code)| {
+                    let profit = moa
+                        .head_profit(item, code, target, qm)
+                        .expect("head candidates generalize the target sale");
+                    (head_index[&(item, code)], profit)
+                })
+                .collect();
+            hs.sort_by_key(|(h, _)| *h);
+            txn_heads.push(hs);
+            recorded_profit.push(target.profit(catalog).as_dollars());
+        }
+        interner.finalize(moa);
+        Self {
+            interner,
+            txn_gs,
+            heads,
+            txn_heads,
+            recorded_profit,
+        }
+    }
+
+    /// Number of transactions.
+    pub fn n_transactions(&self) -> usize {
+        self.txn_gs.len()
+    }
+
+    /// Number of distinct generalized sales.
+    pub fn n_gs(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Number of heads.
+    pub fn n_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// The profit `p(head, t)` on transaction `tid`, or `None` when the
+    /// head does not generalize its target sale (a non-hit).
+    pub fn head_profit_on(&self, tid: usize, head: HeadId) -> Option<f64> {
+        self.txn_heads[tid]
+            .binary_search_by_key(&head, |(h, _)| *h)
+            .ok()
+            .map(|i| self.txn_heads[tid][i].1)
+    }
+
+    /// Build the per-generalized-sale tid bitsets (vertical layout).
+    pub fn tidsets(&self) -> Vec<BitSet> {
+        let n = self.n_transactions();
+        let mut sets = vec![BitSet::new(n); self.n_gs()];
+        for (tid, gs) in self.txn_gs.iter().enumerate() {
+            for g in gs {
+                sets[g.index()].insert(tid);
+            }
+        }
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_txn::{
+        Catalog, Hierarchy, ItemDef, Money, PromotionCode, Sale, Transaction,
+    };
+
+    /// Two non-target items (a: 2 prices, b: 1 price) and one target with
+    /// 2 prices.
+    fn dataset() -> TransactionSet {
+        let mut cat = Catalog::new();
+        cat.push(ItemDef {
+            name: "a".into(),
+            codes: vec![
+                PromotionCode::unit(Money::from_cents(100), Money::from_cents(50)),
+                PromotionCode::unit(Money::from_cents(120), Money::from_cents(50)),
+            ],
+            is_target: false,
+        });
+        cat.push(ItemDef {
+            name: "b".into(),
+            codes: vec![PromotionCode::unit(Money::from_cents(200), Money::from_cents(90))],
+            is_target: false,
+        });
+        cat.push(ItemDef {
+            name: "t".into(),
+            codes: vec![
+                PromotionCode::unit(Money::from_cents(500), Money::from_cents(300)),
+                PromotionCode::unit(Money::from_cents(600), Money::from_cents(300)),
+            ],
+            is_target: true,
+        });
+        let h = Hierarchy::flat(3);
+        let txns = vec![
+            // a@expensive, target@expensive
+            Transaction::new(
+                vec![Sale::new(ItemId(0), CodeId(1), 1)],
+                Sale::new(ItemId(2), CodeId(1), 2),
+            ),
+            // a@cheap + b, target@cheap
+            Transaction::new(
+                vec![
+                    Sale::new(ItemId(0), CodeId(0), 1),
+                    Sale::new(ItemId(1), CodeId(0), 1),
+                ],
+                Sale::new(ItemId(2), CodeId(0), 1),
+            ),
+        ];
+        TransactionSet::new(cat, h, txns).unwrap()
+    }
+
+    #[test]
+    fn extension_with_moa() {
+        let ds = dataset();
+        let moa = Moa::new(ds.catalog_arc(), ds.hierarchy_arc(), true);
+        let ext = ExtendedData::build(&ds, &moa, QuantityModel::Saving);
+        assert_eq!(ext.n_transactions(), 2);
+        assert_eq!(ext.n_heads(), 2);
+        // Txn 0: a@code1 extends to {⟨a,0⟩, ⟨a,1⟩, a} = 3 nodes.
+        assert_eq!(ext.txn_gs[0].len(), 3);
+        // Txn 1: a@code0 → {⟨a,0⟩, a}; b@0 → {⟨b,0⟩, b} = 4 nodes.
+        assert_eq!(ext.txn_gs[1].len(), 4);
+        // Txn 0 target @ code1 (qty 2): both heads generalize.
+        assert_eq!(ext.txn_heads[0].len(), 2);
+        // Head 0 = (t, code0): margin $2 × qty 2 = $4 (saving).
+        let h0 = HeadId(0);
+        assert_eq!(ext.head_profit_on(0, h0), Some(4.0));
+        // Head 1 = (t, code1): margin $3 × 2 = $6.
+        assert_eq!(ext.head_profit_on(0, HeadId(1)), Some(6.0));
+        // Txn 1 target @ code0: only head 0 generalizes.
+        assert_eq!(ext.txn_heads[1].len(), 1);
+        assert_eq!(ext.head_profit_on(1, HeadId(1)), None);
+        assert_eq!(ext.head_profit_on(1, h0), Some(2.0));
+        // Recorded profits: $3×2 = 6 and $2×1 = 2.
+        assert_eq!(ext.recorded_profit, vec![6.0, 2.0]);
+    }
+
+    #[test]
+    fn extension_without_moa() {
+        let ds = dataset();
+        let moa = Moa::new(ds.catalog_arc(), ds.hierarchy_arc(), false);
+        let ext = ExtendedData::build(&ds, &moa, QuantityModel::Saving);
+        // Txn 0: a@code1 → {⟨a,1⟩, a} only.
+        assert_eq!(ext.txn_gs[0].len(), 2);
+        // Exact-code head matching: txn 0 recorded at code1 ⇒ only head 1.
+        assert_eq!(ext.txn_heads[0].len(), 1);
+        assert_eq!(ext.txn_heads[0][0].0, HeadId(1));
+    }
+
+    #[test]
+    fn buying_quantity_model() {
+        let ds = dataset();
+        let moa = Moa::new(ds.catalog_arc(), ds.hierarchy_arc(), true);
+        let ext = ExtendedData::build(&ds, &moa, QuantityModel::Buying);
+        // Txn 0: spent $6×2=$12; head 0 at $5 ⇒ Q = 2.4, profit 2×2.4=4.8.
+        let p = ext.head_profit_on(0, HeadId(0)).unwrap();
+        assert!((p - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tidsets_match_membership() {
+        let ds = dataset();
+        let moa = Moa::new(ds.catalog_arc(), ds.hierarchy_arc(), true);
+        let ext = ExtendedData::build(&ds, &moa, QuantityModel::Saving);
+        let sets = ext.tidsets();
+        for (tid, gs) in ext.txn_gs.iter().enumerate() {
+            for g in 0..ext.n_gs() {
+                let id = GsId(g as u32);
+                assert_eq!(sets[g].contains(tid), gs.contains(&id));
+            }
+        }
+        // ⟨a, code0⟩ occurs in both transactions (MOA generalizes the
+        // expensive sale down to the cheap code).
+        let a0 = ext
+            .interner
+            .get(pm_txn::GenSale::ItemCode(ItemId(0), CodeId(0)))
+            .unwrap();
+        assert_eq!(sets[a0.index()].count(), 2);
+        // ⟨b, code0⟩ only in txn 1.
+        let b0 = ext
+            .interner
+            .get(pm_txn::GenSale::ItemCode(ItemId(1), CodeId(0)))
+            .unwrap();
+        assert_eq!(sets[b0.index()].iter().collect::<Vec<_>>(), vec![1]);
+    }
+}

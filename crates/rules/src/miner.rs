@@ -1,0 +1,882 @@
+//! The vertical generalized-rule miner (§3.1).
+//!
+//! See the crate docs for the strategy. The enumeration is exhaustive: a
+//! rule `{g₁…g_k} → h` with `k ≤ max_body_len` is emitted **iff** its
+//! support count (= hit count) reaches the minimum support and its body
+//! violates no generalization constraint — exactly the rule set the
+//! paper's multi-level miner produces, modulo the optional confidence and
+//! rule-profit thresholds.
+
+use crate::bitset::BitSet;
+use crate::extend::{ExtendedData, HeadId};
+use crate::interner::{GsId, GsInterner};
+use crate::rule::{ProfitMode, Rule};
+use pm_txn::{CodeId, ItemId, Moa, QuantityModel, TransactionSet};
+use serde::{Deserialize, Serialize};
+
+/// A minimum-support threshold, as a fraction of the transactions or an
+/// absolute count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Support {
+    /// Fraction in `(0, 1]` of the transaction count.
+    Fraction(f64),
+    /// Absolute transaction count.
+    Count(u32),
+}
+
+impl Support {
+    /// Fraction constructor with validation.
+    pub fn fraction(f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "support fraction must be in (0,1]");
+        Support::Fraction(f)
+    }
+
+    /// Count constructor.
+    pub fn count(c: u32) -> Self {
+        assert!(c >= 1, "support count must be ≥ 1");
+        Support::Count(c)
+    }
+
+    /// Resolve to an absolute count for `n` transactions (at least 1).
+    pub fn to_count(&self, n: usize) -> u32 {
+        match *self {
+            Support::Fraction(f) => ((f * n as f64).ceil() as u32).max(1),
+            Support::Count(c) => c.max(1),
+        }
+    }
+}
+
+/// Whether `MOA(H)` generalization is applied (the paper's `±MOA` axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MoaMode {
+    /// Generalize promotion codes along favorability (`+MOA`).
+    #[default]
+    Enabled,
+    /// Exact-code matching only (`−MOA`).
+    Disabled,
+}
+
+/// Miner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinerConfig {
+    /// Minimum rule support (mandatory — it drives the Apriori pruning).
+    pub min_support: Support,
+    /// Maximum body length. The paper leaves bodies unbounded; 4 keeps the
+    /// 100K-transaction sweeps tractable (see DESIGN.md §4).
+    pub max_body_len: usize,
+    /// `±MOA`.
+    pub moa: MoaMode,
+    /// Quantity estimation for `p(r, t)` (saving / buying MOA).
+    pub quantity: QuantityModel,
+    /// Optional minimum confidence.
+    pub min_confidence: Option<f64>,
+    /// Optional minimum rule profit (dollars).
+    pub min_rule_profit: Option<f64>,
+    /// Skip rules whose recommendation profit cannot exceed the default
+    /// rule's under either profit mode — they are dominated before the
+    /// covering tree is ever built (§4.1), so the final recommender is
+    /// unchanged while MOA rule sets stay orders of magnitude smaller.
+    /// Disable only to inspect the raw mined universe.
+    pub prune_default_dominated: bool,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            min_support: Support::Fraction(0.001),
+            max_body_len: 4,
+            moa: MoaMode::Enabled,
+            quantity: QuantityModel::Saving,
+            min_confidence: None,
+            min_rule_profit: None,
+            prune_default_dominated: true,
+        }
+    }
+}
+
+/// The rule miner.
+#[derive(Debug, Clone, Default)]
+pub struct RuleMiner {
+    config: MinerConfig,
+}
+
+impl RuleMiner {
+    /// A miner with the given configuration.
+    pub fn new(config: MinerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Mine `data`, producing rules plus the supporting structures the
+    /// recommender builder needs.
+    pub fn mine(&self, data: &TransactionSet) -> MinedRules {
+        let moa = Moa::new(
+            data.catalog_arc(),
+            data.hierarchy_arc(),
+            self.config.moa == MoaMode::Enabled,
+        );
+        let extended = ExtendedData::build(data, &moa, self.config.quantity);
+        self.mine_extended(extended, moa)
+    }
+
+    /// Mine pre-extended data (lets callers reuse an extension). `moa`
+    /// must be the view the extension was built with.
+    pub fn mine_extended(&self, extended: ExtendedData, moa: Moa) -> MinedRules {
+        let n = extended.n_transactions();
+        let minsup = self.config.min_support.to_count(n);
+        let tidsets = extended.tidsets();
+        // Dominance pre-filter: a rule whose recommendation profit does
+        // not exceed the default rule's — under BOTH profit modes — is
+        // dominated by the default rule (empty body, ranked higher) and
+        // can never be a recommendation rule, at this or any higher
+        // minimum support. Skipping it at emission time is exactly
+        // equivalent to removing it during §4.1 dominance removal, and it
+        // keeps MOA rule sets from ballooning with useless variants.
+        let default_floor = if !self.config.prune_default_dominated {
+            (f64::NEG_INFINITY, f64::NEG_INFINITY)
+        } else {
+            let h = extended.n_heads();
+            let mut hits = vec![0u64; h];
+            let mut profit = vec![0.0f64; h];
+            for heads in &extended.txn_heads {
+                for &(hd, p) in heads {
+                    hits[hd.index()] += 1;
+                    profit[hd.index()] += p;
+                }
+            }
+            let nf = n as f64;
+            let best_prof = profit.iter().cloned().fold(0.0f64, f64::max) / nf;
+            let best_conf = hits.iter().cloned().max().unwrap_or(0) as f64 / nf;
+            (best_prof, best_conf)
+        };
+        let mut emitter = RuleEmitter::new(&extended, &self.config, minsup, default_floor);
+
+        // Frequent singletons, ascending GsId.
+        let freq: Vec<GsId> = (0..extended.n_gs() as u32)
+            .map(GsId)
+            .filter(|g| tidsets[g.index()].count() >= minsup as usize)
+            .collect();
+
+        // Level 1.
+        for &a in &freq {
+            let ts = &tidsets[a.index()];
+            emitter.emit(&[a], ts, ts.count() as u32);
+        }
+
+        if self.config.max_body_len >= 2 && freq.len() >= 2 {
+            let pairs = PairCounts::count(&extended, &freq);
+            let interner = &extended.interner;
+            // Per-anchor candidate lists, filtered by pair frequency and
+            // the no-generalization constraint.
+            for ai in 0..freq.len() {
+                let a = freq[ai];
+                let cands: Vec<usize> = (ai + 1..freq.len())
+                    .filter(|&bi| {
+                        pairs.get(ai, bi) >= minsup && !interner.related(a, freq[bi])
+                    })
+                    .collect();
+                for (pos, &bi) in cands.iter().enumerate() {
+                    let b = freq[bi];
+                    let ts = tidsets[a.index()].intersection(&tidsets[b.index()]);
+                    let count = pairs.get(ai, bi);
+                    debug_assert_eq!(count as usize, ts.count());
+                    emitter.emit(&[a, b], &ts, count);
+                    if self.config.max_body_len >= 3 {
+                        let deeper: Vec<usize> = cands[pos + 1..]
+                            .iter()
+                            .copied()
+                            .filter(|&ci| {
+                                pairs.get(bi, ci) >= minsup
+                                    && !interner.related(b, freq[ci])
+                            })
+                            .collect();
+                        self.dfs(
+                            &mut emitter,
+                            &freq,
+                            &tidsets,
+                            &pairs,
+                            minsup,
+                            &mut vec![a, b],
+                            &ts,
+                            &deeper,
+                        );
+                    }
+                }
+            }
+        }
+
+        let rules = emitter.finish();
+        MinedRules {
+            config: self.config,
+            min_support_count: minsup,
+            rules,
+            extended,
+            tidsets,
+            moa,
+        }
+    }
+
+    /// Depth-first extension of `body` with the (pre-filtered) dense
+    /// candidate indices `cands`.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        emitter: &mut RuleEmitter<'_>,
+        freq: &[GsId],
+        tidsets: &[BitSet],
+        pairs: &PairCounts,
+        minsup: u32,
+        body: &mut Vec<GsId>,
+        tidset: &BitSet,
+        cands: &[usize],
+    ) {
+        for (pos, &ci) in cands.iter().enumerate() {
+            let c = freq[ci];
+            let ts = tidset.intersection(&tidsets[c.index()]);
+            let count = ts.count() as u32;
+            if count < minsup {
+                continue;
+            }
+            body.push(c);
+            emitter.emit(body, &ts, count);
+            if body.len() < self.config.max_body_len {
+                let interner = &emitter.extended.interner;
+                let deeper: Vec<usize> = cands[pos + 1..]
+                    .iter()
+                    .copied()
+                    .filter(|&di| {
+                        pairs.get(ci, di) >= minsup && !interner.related(c, freq[di])
+                    })
+                    .collect();
+                self.dfs(emitter, freq, tidsets, pairs, minsup, body, &ts, &deeper);
+            }
+            body.pop();
+        }
+    }
+}
+
+/// Head accumulation + rule emission with a generation-stamp trick so the
+/// dense per-head arrays are never cleared.
+struct RuleEmitter<'a> {
+    extended: &'a ExtendedData,
+    config: &'a MinerConfig,
+    minsup: u32,
+    /// `(Prof_re, confidence)` of the best default rule; rules at or
+    /// below both floors are dominated and skipped.
+    default_floor: (f64, f64),
+    stamp: u32,
+    head_stamp: Vec<u32>,
+    head_hits: Vec<u32>,
+    head_profit: Vec<f64>,
+    touched: Vec<HeadId>,
+    rules: Vec<Rule>,
+}
+
+impl<'a> RuleEmitter<'a> {
+    fn new(
+        extended: &'a ExtendedData,
+        config: &'a MinerConfig,
+        minsup: u32,
+        default_floor: (f64, f64),
+    ) -> Self {
+        let h = extended.n_heads();
+        Self {
+            extended,
+            config,
+            minsup,
+            default_floor,
+            stamp: 0,
+            head_stamp: vec![0; h],
+            head_hits: vec![0; h],
+            head_profit: vec![0.0; h],
+            touched: Vec::with_capacity(h),
+            rules: Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, body: &[GsId], tidset: &BitSet, body_count: u32) {
+        self.stamp += 1;
+        self.touched.clear();
+        for tid in tidset.iter() {
+            for &(h, p) in &self.extended.txn_heads[tid] {
+                let hi = h.index();
+                if self.head_stamp[hi] != self.stamp {
+                    self.head_stamp[hi] = self.stamp;
+                    self.head_hits[hi] = 0;
+                    self.head_profit[hi] = 0.0;
+                    self.touched.push(h);
+                }
+                self.head_hits[hi] += 1;
+                self.head_profit[hi] += p;
+            }
+        }
+        self.touched.sort_unstable();
+        for ti in 0..self.touched.len() {
+            let h = self.touched[ti];
+            let hits = self.head_hits[h.index()];
+            if hits < self.minsup {
+                continue;
+            }
+            let profit = self.head_profit[h.index()];
+            // Dominance pre-filter (see `mine_extended`). A hair of slack
+            // keeps exact ties, which the rank order resolves properly.
+            let bc = body_count as f64;
+            if profit / bc < self.default_floor.0 + 1e-12
+                && (hits as f64) / bc < self.default_floor.1 + 1e-12
+            {
+                continue;
+            }
+            if let Some(mc) = self.config.min_confidence {
+                if (hits as f64 / body_count as f64) < mc {
+                    continue;
+                }
+            }
+            if let Some(mp) = self.config.min_rule_profit {
+                if profit < mp {
+                    continue;
+                }
+            }
+            let gen_index = self.rules.len() as u32;
+            self.rules.push(Rule {
+                body: body.to_vec(),
+                head: h,
+                body_count,
+                hits,
+                profit,
+                gen_index,
+            });
+        }
+    }
+
+    fn finish(self) -> Vec<Rule> {
+        self.rules
+    }
+}
+
+/// Pair-frequency table over the dense indices of the frequent
+/// singletons: a triangular array when it fits, a hash map otherwise.
+enum PairCounts {
+    Tri(Vec<u32>),
+    Map(std::collections::HashMap<(u32, u32), u32>),
+}
+
+/// Above this many frequent singletons the triangle would exceed ~500 MB;
+/// fall back to hashing.
+const TRI_LIMIT: usize = 16_384;
+
+impl PairCounts {
+    fn count(extended: &ExtendedData, freq: &[GsId]) -> Self {
+        let f = freq.len();
+        // GsId → dense index (or None).
+        let mut dense: Vec<Option<u32>> = vec![None; extended.n_gs()];
+        for (di, g) in freq.iter().enumerate() {
+            dense[g.index()] = Some(di as u32);
+        }
+        let mut counts = if f <= TRI_LIMIT {
+            PairCounts::Tri(vec![0u32; f * (f.saturating_sub(1)) / 2])
+        } else {
+            PairCounts::Map(std::collections::HashMap::new())
+        };
+        let mut present: Vec<u32> = Vec::new();
+        for gs in &extended.txn_gs {
+            present.clear();
+            present.extend(gs.iter().filter_map(|g| dense[g.index()]));
+            // `gs` is sorted by GsId and `freq` is GsId-ascending, so
+            // `present` is ascending too.
+            for i in 0..present.len() {
+                for j in i + 1..present.len() {
+                    counts.bump(present[i] as usize, present[j] as usize);
+                }
+            }
+        }
+        counts
+    }
+
+    #[inline]
+    fn tri_index(lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        hi * (hi - 1) / 2 + lo
+    }
+
+    #[inline]
+    fn bump(&mut self, lo: usize, hi: usize) {
+        match self {
+            PairCounts::Tri(v) => v[Self::tri_index(lo, hi)] += 1,
+            PairCounts::Map(m) => *m.entry((lo as u32, hi as u32)).or_insert(0) += 1,
+        }
+    }
+
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> u32 {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        match self {
+            PairCounts::Tri(v) => v[Self::tri_index(lo, hi)],
+            PairCounts::Map(m) => m.get(&(lo as u32, hi as u32)).copied().unwrap_or(0),
+        }
+    }
+}
+
+/// The output of a mining run: rules plus everything the recommender
+/// builder needs (interner, per-transaction head lists, singleton
+/// tidsets).
+#[derive(Debug, Clone)]
+pub struct MinedRules {
+    config: MinerConfig,
+    min_support_count: u32,
+    rules: Vec<Rule>,
+    extended: ExtendedData,
+    tidsets: Vec<BitSet>,
+    moa: Moa,
+}
+
+impl MinedRules {
+    /// The mined rules, in generation order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The miner configuration used.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// The absolute minimum-support count this run used.
+    pub fn min_support_count(&self) -> u32 {
+        self.min_support_count
+    }
+
+    /// Number of transactions mined.
+    pub fn n_transactions(&self) -> usize {
+        self.extended.n_transactions()
+    }
+
+    /// The extended data (interner, head lists, …).
+    pub fn extended(&self) -> &ExtendedData {
+        &self.extended
+    }
+
+    /// The `MOA(H)` view the rules were mined under.
+    pub fn moa(&self) -> &Moa {
+        &self.moa
+    }
+
+    /// The interner.
+    pub fn interner(&self) -> &GsInterner {
+        &self.extended.interner
+    }
+
+    /// The head universe.
+    pub fn heads(&self) -> &[(ItemId, CodeId)] {
+        &self.extended.heads
+    }
+
+    /// The `(item, code)` pair of a head.
+    pub fn head(&self, h: HeadId) -> (ItemId, CodeId) {
+        self.extended.heads[h.index()]
+    }
+
+    /// Singleton tidset of a generalized sale.
+    pub fn gs_tidset(&self, g: GsId) -> &BitSet {
+        &self.tidsets[g.index()]
+    }
+
+    /// Tidset of a body (AND of singleton tidsets; the empty body matches
+    /// every transaction).
+    pub fn body_tidset(&self, body: &[GsId]) -> BitSet {
+        match body.split_first() {
+            None => BitSet::full(self.n_transactions()),
+            Some((&first, rest)) => {
+                let mut ts = self.tidsets[first.index()].clone();
+                for g in rest {
+                    ts.intersect_with(&self.tidsets[g.index()]);
+                }
+                ts
+            }
+        }
+    }
+
+    /// Indices of the rules that survive a (higher) minimum support. By
+    /// Apriori monotonicity this equals re-mining at that support.
+    pub fn rule_indices_at(&self, sup: Support) -> Vec<usize> {
+        let count = sup.to_count(self.n_transactions());
+        assert!(
+            count >= self.min_support_count,
+            "cannot lower support below the mined threshold ({} < {})",
+            count,
+            self.min_support_count
+        );
+        (0..self.rules.len())
+            .filter(|&i| self.rules[i].hits >= count)
+            .collect()
+    }
+
+    /// The default rule `∅ → g` (§3.1): over all transactions, the head
+    /// maximizing `Prof_re(∅ → g)` under `mode`. Its `gen_index` is
+    /// `u32::MAX` — conceptually generated after every mined rule, so it
+    /// loses all tie-breaks.
+    pub fn default_rule(&self, mode: ProfitMode) -> Rule {
+        let n = self.n_transactions();
+        let h = self.extended.n_heads();
+        let mut hits = vec![0u32; h];
+        let mut profit = vec![0.0f64; h];
+        for heads in &self.extended.txn_heads {
+            for &(hd, p) in heads {
+                hits[hd.index()] += 1;
+                profit[hd.index()] += p;
+            }
+        }
+        let score = |i: usize| match mode {
+            ProfitMode::Profit => profit[i],
+            ProfitMode::Confidence => hits[i] as f64,
+        };
+        let best = (0..h)
+            .max_by(|&a, &b| {
+                score(a)
+                    .partial_cmp(&score(b))
+                    .expect("profits are finite")
+            })
+            .expect("at least one head exists");
+        Rule {
+            body: Vec::new(),
+            head: HeadId(best as u32),
+            body_count: n as u32,
+            hits: hits[best],
+            profit: profit[best],
+            gen_index: u32::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_txn::{
+        Catalog, Hierarchy, ItemDef, Money, PromotionCode, Sale, Transaction,
+    };
+
+    /// 8 transactions over 2 non-target items (2 codes each) and 1 target
+    /// (2 codes). Constructed so that specific bodies predict specific
+    /// heads.
+    fn dataset() -> TransactionSet {
+        let mut cat = Catalog::new();
+        for name in ["a", "b"] {
+            cat.push(ItemDef {
+                name: name.into(),
+                codes: vec![
+                    PromotionCode::unit(Money::from_cents(100), Money::from_cents(50)),
+                    PromotionCode::unit(Money::from_cents(120), Money::from_cents(50)),
+                ],
+                is_target: false,
+            });
+        }
+        cat.push(ItemDef {
+            name: "t".into(),
+            codes: vec![
+                PromotionCode::unit(Money::from_cents(500), Money::from_cents(300)),
+                PromotionCode::unit(Money::from_cents(600), Money::from_cents(300)),
+            ],
+            is_target: true,
+        });
+        let h = Hierarchy::flat(3);
+        let a = ItemId(0);
+        let b = ItemId(1);
+        let t = ItemId(2);
+        let mk = |nts: Vec<Sale>, tc: u16| {
+            Transaction::new(nts, Sale::new(t, CodeId(tc), 1))
+        };
+        let txns = vec![
+            mk(vec![Sale::new(a, CodeId(0), 1)], 0),
+            mk(vec![Sale::new(a, CodeId(0), 1)], 0),
+            mk(vec![Sale::new(a, CodeId(1), 1)], 1),
+            mk(vec![Sale::new(a, CodeId(0), 1), Sale::new(b, CodeId(0), 1)], 1),
+            mk(vec![Sale::new(a, CodeId(1), 1), Sale::new(b, CodeId(0), 1)], 1),
+            mk(vec![Sale::new(b, CodeId(1), 1)], 0),
+            mk(vec![Sale::new(b, CodeId(0), 1)], 1),
+            mk(vec![Sale::new(b, CodeId(1), 1)], 0),
+        ];
+        TransactionSet::new(cat, h, txns).unwrap()
+    }
+
+    fn mine(min_count: u32, moa: MoaMode, max_len: usize) -> MinedRules {
+        RuleMiner::new(MinerConfig {
+            min_support: Support::Count(min_count),
+            max_body_len: max_len,
+            moa,
+            prune_default_dominated: false,
+            ..MinerConfig::default()
+        })
+        .mine(&dataset())
+    }
+
+    fn mine_filtered(min_count: u32, moa: MoaMode, max_len: usize) -> MinedRules {
+        RuleMiner::new(MinerConfig {
+            min_support: Support::Count(min_count),
+            max_body_len: max_len,
+            moa,
+            prune_default_dominated: true,
+            ..MinerConfig::default()
+        })
+        .mine(&dataset())
+    }
+
+    /// The default-dominance pre-filter must drop exactly the rules whose
+    /// Prof_re and confidence both fail to beat the default rule's.
+    #[test]
+    fn default_dominance_prefilter_is_exact() {
+        for moa in [MoaMode::Enabled, MoaMode::Disabled] {
+            let full = mine(1, moa, 3);
+            let filtered = mine_filtered(1, moa, 3);
+            let n = full.n_transactions() as f64;
+            let dp = full.default_rule(ProfitMode::Profit).profit / n;
+            let dc = full.default_rule(ProfitMode::Confidence).hits as f64 / n;
+            let expect: Vec<_> = full
+                .rules()
+                .iter()
+                .filter(|r| {
+                    let bc = r.body_count as f64;
+                    r.profit / bc >= dp + 1e-12 || (r.hits as f64) / bc >= dc + 1e-12
+                })
+                .cloned()
+                .collect();
+            assert_eq!(canon(filtered.rules()), canon(&expect), "{moa:?}");
+            assert!(filtered.rules().len() <= full.rules().len());
+        }
+    }
+
+    /// Brute-force re-computation of every rule's statistics from the
+    /// extension sets. A body matches a transaction iff it is a subset of
+    /// the transaction's extended gs set.
+    fn brute_force_rules(mined: &MinedRules, minsup: u32, max_len: usize) -> Vec<Rule> {
+        let ext = mined.extended();
+        let interner = mined.interner();
+        let all: Vec<GsId> = (0..ext.n_gs() as u32).map(GsId).collect();
+        // Enumerate all ≤ max_len sorted combinations without related
+        // pairs (fine for the tiny universe here).
+        let mut bodies: Vec<Vec<GsId>> = vec![];
+        fn rec(
+            all: &[GsId],
+            interner: &GsInterner,
+            start: usize,
+            cur: &mut Vec<GsId>,
+            max_len: usize,
+            out: &mut Vec<Vec<GsId>>,
+        ) {
+            if !cur.is_empty() {
+                out.push(cur.clone());
+            }
+            if cur.len() == max_len {
+                return;
+            }
+            for i in start..all.len() {
+                if cur.iter().any(|&g| interner.related(g, all[i])) {
+                    continue;
+                }
+                cur.push(all[i]);
+                rec(all, interner, i + 1, cur, max_len, out);
+                cur.pop();
+            }
+        }
+        rec(&all, interner, 0, &mut vec![], max_len, &mut bodies);
+
+        let mut rules = vec![];
+        for body in bodies {
+            let matched: Vec<usize> = (0..ext.n_transactions())
+                .filter(|&tid| body.iter().all(|g| ext.txn_gs[tid].contains(g)))
+                .collect();
+            for h in 0..ext.n_heads() {
+                let h = HeadId(h as u32);
+                let mut hits = 0u32;
+                let mut profit = 0.0;
+                for &tid in &matched {
+                    if let Some(p) = ext.head_profit_on(tid, h) {
+                        hits += 1;
+                        profit += p;
+                    }
+                }
+                if hits >= minsup {
+                    rules.push(Rule {
+                        body: body.clone(),
+                        head: h,
+                        body_count: matched.len() as u32,
+                        hits,
+                        profit,
+                        gen_index: 0,
+                    });
+                }
+            }
+        }
+        rules
+    }
+
+    fn canon(rules: &[Rule]) -> Vec<(Vec<GsId>, HeadId, u32, u32, i64)> {
+        let mut v: Vec<_> = rules
+            .iter()
+            .map(|r| {
+                (
+                    r.body.clone(),
+                    r.head,
+                    r.body_count,
+                    r.hits,
+                    (r.profit * 1000.0).round() as i64,
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_with_moa() {
+        for minsup in [1u32, 2, 3] {
+            let mined = mine(minsup, MoaMode::Enabled, 3);
+            let brute = brute_force_rules(&mined, minsup, 3);
+            assert_eq!(
+                canon(mined.rules()),
+                canon(&brute),
+                "minsup {minsup} (got {} vs {})",
+                mined.rules().len(),
+                brute.len()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_without_moa() {
+        for minsup in [1u32, 2] {
+            let mined = mine(minsup, MoaMode::Disabled, 3);
+            let brute = brute_force_rules(&mined, minsup, 3);
+            assert_eq!(canon(mined.rules()), canon(&brute), "minsup {minsup}");
+        }
+    }
+
+    #[test]
+    fn no_related_body_elements() {
+        let mined = mine(1, MoaMode::Enabled, 3);
+        let interner = mined.interner();
+        for r in mined.rules() {
+            for (i, &a) in r.body.iter().enumerate() {
+                for &b in &r.body[i + 1..] {
+                    assert!(!interner.related(a, b), "related pair in body");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bodies_are_sorted_and_within_length() {
+        let mined = mine(1, MoaMode::Enabled, 2);
+        assert!(!mined.rules().is_empty());
+        for r in mined.rules() {
+            assert!(r.body.len() <= 2);
+            assert!(r.body.windows(2).all(|w| w[0] < w[1]));
+            assert!(r.hits >= 1);
+            assert!(r.hits <= r.body_count);
+        }
+    }
+
+    #[test]
+    fn moa_yields_more_rules() {
+        let with = mine(2, MoaMode::Enabled, 3);
+        let without = mine(2, MoaMode::Disabled, 3);
+        assert!(
+            with.rules().len() > without.rules().len(),
+            "{} vs {}",
+            with.rules().len(),
+            without.rules().len()
+        );
+    }
+
+    #[test]
+    fn support_filtering_is_monotone() {
+        let low = mine(1, MoaMode::Enabled, 3);
+        let high = mine(3, MoaMode::Enabled, 3);
+        let filtered: Vec<_> = low
+            .rule_indices_at(Support::Count(3))
+            .into_iter()
+            .map(|i| low.rules()[i].clone())
+            .collect();
+        assert_eq!(canon(&filtered), canon(high.rules()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_lower_support_after_mining() {
+        let mined = mine(3, MoaMode::Enabled, 2);
+        let _ = mined.rule_indices_at(Support::Count(1));
+    }
+
+    #[test]
+    fn default_rule_maximizes_prof_re() {
+        let mined = mine(2, MoaMode::Enabled, 2);
+        let d = mined.default_rule(ProfitMode::Profit);
+        assert!(d.body.is_empty());
+        assert_eq!(d.body_count as usize, 8);
+        assert_eq!(d.gen_index, u32::MAX);
+        // Verify optimality against all heads.
+        let ext = mined.extended();
+        for h in 0..ext.n_heads() {
+            let h = HeadId(h as u32);
+            let profit: f64 = (0..8)
+                .filter_map(|tid| ext.head_profit_on(tid, h))
+                .sum();
+            assert!(d.profit >= profit - 1e-12, "head {h:?} beats default");
+        }
+        // Confidence-mode default maximizes hits instead.
+        let dc = mined.default_rule(ProfitMode::Confidence);
+        for h in 0..ext.n_heads() {
+            let h = HeadId(h as u32);
+            let hits = (0..8).filter(|&t| ext.head_profit_on(t, h).is_some()).count();
+            assert!(dc.hits as usize >= hits);
+        }
+    }
+
+    #[test]
+    fn body_tidset_of_empty_is_full() {
+        let mined = mine(2, MoaMode::Enabled, 2);
+        assert_eq!(mined.body_tidset(&[]).count(), 8);
+        // Consistency: each rule's body tidset has body_count elements.
+        for r in mined.rules() {
+            assert_eq!(mined.body_tidset(&r.body).count() as u32, r.body_count);
+        }
+    }
+
+    #[test]
+    fn support_resolution() {
+        assert_eq!(Support::Fraction(0.001).to_count(100_000), 100);
+        assert_eq!(Support::Fraction(0.001).to_count(50), 1);
+        assert_eq!(Support::Count(5).to_count(10), 5);
+        assert_eq!(Support::Fraction(0.0001).to_count(100), 1, "min 1");
+    }
+
+    #[test]
+    fn max_body_len_one_gives_only_singletons() {
+        let mined = mine(1, MoaMode::Enabled, 1);
+        assert!(mined.rules().iter().all(|r| r.body.len() == 1));
+    }
+
+    #[test]
+    fn pair_counts_tri_and_map_agree() {
+        let mined = mine(1, MoaMode::Enabled, 2);
+        let ext = mined.extended();
+        let freq: Vec<GsId> = (0..ext.n_gs() as u32).map(GsId).collect();
+        let tri = PairCounts::count(ext, &freq);
+        // Force the map path.
+        let mut map = PairCounts::Map(std::collections::HashMap::new());
+        for gs in &ext.txn_gs {
+            for i in 0..gs.len() {
+                for j in i + 1..gs.len() {
+                    map.bump(gs[i].index(), gs[j].index());
+                }
+            }
+        }
+        for i in 0..freq.len() {
+            for j in i + 1..freq.len() {
+                assert_eq!(tri.get(i, j), map.get(i, j), "pair ({i},{j})");
+            }
+        }
+    }
+}

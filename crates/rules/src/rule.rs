@@ -1,0 +1,120 @@
+//! Mined rules and their worth measures (§3.1, Definition 5).
+
+use crate::extend::HeadId;
+use crate::interner::GsId;
+use serde::{Deserialize, Serialize};
+
+/// Which profit notion drives ranking and pruning.
+///
+/// The paper's `PROF` recommenders use the real generated profit
+/// `p(r, t)`; the `CONF` baselines use the *binary* profit (`1` per hit),
+/// which turns recommendation profit into plain confidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ProfitMode {
+    /// Real dollars — `PROF±MOA`.
+    #[default]
+    Profit,
+    /// Binary hit indicator — `CONF±MOA`.
+    Confidence,
+}
+
+/// One mined rule `{g₁…g_k} → ⟨I, P⟩` with its observed statistics.
+///
+/// `hits` doubles as the rule's support count: a transaction supports the
+/// rule exactly when its body matches the non-target sales *and* the head
+/// generalizes the target sale — which is also the definition of a hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Body: sorted generalized-sale ids, none generalizing another.
+    pub body: Vec<GsId>,
+    /// Head: a `(target item, code)` pair id.
+    pub head: HeadId,
+    /// `N` — number of training transactions matched by the body.
+    pub body_count: u32,
+    /// Number of matched transactions whose target sale the head
+    /// generalizes (= the rule's support count).
+    pub hits: u32,
+    /// `Prof_ru` — total generated profit `Σ_t p(r, t)` in dollars, under
+    /// the miner's quantity model.
+    pub profit: f64,
+    /// Generation sequence number — the paper's final tie-breaker
+    /// ("generated before").
+    pub gen_index: u32,
+}
+
+impl Rule {
+    /// Support count `|matched(G ∪ {g})|`.
+    pub fn support_count(&self) -> u32 {
+        self.hits
+    }
+
+    /// `Conf(G → g)` — hits over body matches.
+    pub fn confidence(&self) -> f64 {
+        if self.body_count == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.body_count as f64
+        }
+    }
+
+    /// `Prof_ru` under the given mode (real dollars, or hit count).
+    pub fn rule_profit(&self, mode: ProfitMode) -> f64 {
+        match mode {
+            ProfitMode::Profit => self.profit,
+            ProfitMode::Confidence => self.hits as f64,
+        }
+    }
+
+    /// `Prof_re = Prof_ru / N` — profit per recommendation.
+    pub fn recommendation_profit(&self, mode: ProfitMode) -> f64 {
+        if self.body_count == 0 {
+            0.0
+        } else {
+            self.rule_profit(mode) / self.body_count as f64
+        }
+    }
+
+    /// Body length `|body(r)|`.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule() -> Rule {
+        Rule {
+            body: vec![GsId(1), GsId(4)],
+            head: HeadId(0),
+            body_count: 40,
+            hits: 30,
+            profit: 120.0,
+            gen_index: 7,
+        }
+    }
+
+    #[test]
+    fn measures() {
+        let r = rule();
+        assert_eq!(r.support_count(), 30);
+        assert!((r.confidence() - 0.75).abs() < 1e-12);
+        assert_eq!(r.rule_profit(ProfitMode::Profit), 120.0);
+        assert_eq!(r.rule_profit(ProfitMode::Confidence), 30.0);
+        assert!((r.recommendation_profit(ProfitMode::Profit) - 3.0).abs() < 1e-12);
+        // Binary recommendation profit is exactly confidence.
+        assert!(
+            (r.recommendation_profit(ProfitMode::Confidence) - r.confidence()).abs() < 1e-12
+        );
+        assert_eq!(r.body_len(), 2);
+    }
+
+    #[test]
+    fn zero_body_count_is_safe() {
+        let mut r = rule();
+        r.body_count = 0;
+        assert_eq!(r.confidence(), 0.0);
+        assert_eq!(r.recommendation_profit(ProfitMode::Profit), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Numerics substrate for the profit-mining workspace.
+//!
+//! This crate provides everything statistical that the EDBT 2002 paper
+//! *Profit Mining: From Patterns to Actions* depends on:
+//!
+//! * the **pessimistic binomial upper limit** `U_CF(N, E)` of Clopper &
+//!   Pearson (1934) as used by C4.5 \[Q93\] to estimate projected error —
+//!   here projected *non-hit* rates ([`binomial::pessimistic_upper`]);
+//! * the special functions it needs (log-gamma, regularized incomplete
+//!   beta) implemented from scratch ([`gamma`], [`beta`]);
+//! * the **samplers** used by the synthetic data generators: Zipf (the
+//!   Dataset I target distribution), normal (Dataset II), Poisson and
+//!   exponential (the IBM Quest generator), and a generic discrete
+//!   cumulative-weight sampler ([`sample`]);
+//! * small **descriptive statistics** and **histogram** helpers used by the
+//!   evaluation harness ([`descriptive`], [`histogram`]).
+//!
+//! Everything is deterministic given a seeded [`rand::Rng`]; no global
+//! RNG state is used anywhere in the workspace.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod beta;
+pub mod binomial;
+pub mod descriptive;
+pub mod gamma;
+pub mod histogram;
+pub mod sample;
+
+pub use binomial::{binomial_cdf, pessimistic_upper, PessimisticEstimator};
+pub use descriptive::Summary;
+pub use histogram::Histogram;
+pub use sample::{Binomial, Discrete, Exponential, Normal, Poisson, Zipf};

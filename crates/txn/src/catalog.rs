@@ -1,0 +1,229 @@
+//! The item catalog: item definitions, their promotion codes, and the
+//! target / non-target split.
+
+use crate::code::PromotionCode;
+use crate::error::TxnError;
+use crate::ids::{CodeId, ItemId};
+use serde::{Deserialize, Serialize};
+
+/// One item: a name, its promotion codes, and whether it is a *target*
+/// item (eligible for recommendation) or a non-target item (a trigger).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItemDef {
+    /// Human-readable name (unique within a catalog built through
+    /// [`CatalogBuilder`](crate::CatalogBuilder)).
+    pub name: String,
+    /// The item's promotion codes; a sale refers to one by [`CodeId`].
+    pub codes: Vec<PromotionCode>,
+    /// Target items are recommended; non-target items trigger rules.
+    pub is_target: bool,
+}
+
+/// The set of all items, indexed by [`ItemId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    items: Vec<ItemDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an item definition, returning its id.
+    pub fn push(&mut self, item: ItemDef) -> ItemId {
+        let id = ItemId(self.items.len() as u32);
+        self.items.push(item);
+        id
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are defined.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The definition of `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id (ids are produced by this catalog, so
+    /// that is a logic error).
+    pub fn item(&self, item: ItemId) -> &ItemDef {
+        &self.items[item.index()]
+    }
+
+    /// The definition of `item`, or `None` when out of range.
+    pub fn get(&self, item: ItemId) -> Option<&ItemDef> {
+        self.items.get(item.index())
+    }
+
+    /// The promotion code `code` of `item`.
+    pub fn code(&self, item: ItemId, code: CodeId) -> &PromotionCode {
+        &self.items[item.index()].codes[code.index()]
+    }
+
+    /// Checked code lookup.
+    pub fn try_code(&self, item: ItemId, code: CodeId) -> Result<&PromotionCode, TxnError> {
+        let def = self.get(item).ok_or(TxnError::UnknownItem(item))?;
+        def.codes
+            .get(code.index())
+            .ok_or(TxnError::UnknownCode(item, code))
+    }
+
+    /// Iterate `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &ItemDef)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ItemId(i as u32), d))
+    }
+
+    /// Ids of all target items.
+    pub fn target_items(&self) -> Vec<ItemId> {
+        self.iter()
+            .filter(|(_, d)| d.is_target)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ids of all non-target items.
+    pub fn non_target_items(&self) -> Vec<ItemId> {
+        self.iter()
+            .filter(|(_, d)| !d.is_target)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// For a target item's recorded code, the codes that are *reflexively
+    /// favorable* (`P ⪯ recorded`): exactly the heads `(I, P)` that
+    /// generalize the recorded target sale under MOA. The recorded code
+    /// itself is always included.
+    pub fn favorable_codes(&self, item: ItemId, recorded: CodeId) -> Vec<CodeId> {
+        let def = self.item(item);
+        let rec = &def.codes[recorded.index()];
+        def.codes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.favorable_or_equal(rec))
+            .map(|(i, _)| CodeId(i as u16))
+            .collect()
+    }
+
+    /// Validate internal consistency: every item has at least one code and
+    /// at least one target item exists.
+    pub fn validate(&self) -> Result<(), TxnError> {
+        for (id, def) in self.iter() {
+            if def.codes.is_empty() {
+                return Err(TxnError::NoCodes(id));
+            }
+        }
+        if !self.items.iter().any(|d| d.is_target) {
+            return Err(TxnError::NoTargetItems);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Money;
+
+    fn milk_codes() -> Vec<PromotionCode> {
+        // Paper Example 1: 2%-Milk.
+        vec![
+            PromotionCode::packed(Money::from_cents(320), Money::from_cents(200), 4),
+            PromotionCode::packed(Money::from_cents(300), Money::from_cents(180), 4),
+            PromotionCode::unit(Money::from_cents(120), Money::from_cents(50)),
+            PromotionCode::unit(Money::from_cents(100), Money::from_cents(50)),
+        ]
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.push(ItemDef {
+            name: "2%-Milk".into(),
+            codes: milk_codes(),
+            is_target: true,
+        });
+        c.push(ItemDef {
+            name: "Bread".into(),
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(250),
+                Money::from_cents(100),
+            )],
+            is_target: false,
+        });
+        c
+    }
+
+    #[test]
+    fn lookups() {
+        let c = catalog();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.item(ItemId(0)).name, "2%-Milk");
+        assert_eq!(c.code(ItemId(0), CodeId(1)).price, Money::from_cents(300));
+        assert!(c.try_code(ItemId(0), CodeId(4)).is_err());
+        assert!(c.try_code(ItemId(9), CodeId(0)).is_err());
+    }
+
+    #[test]
+    fn target_split() {
+        let c = catalog();
+        assert_eq!(c.target_items(), vec![ItemId(0)]);
+        assert_eq!(c.non_target_items(), vec![ItemId(1)]);
+    }
+
+    #[test]
+    fn example1_profit() {
+        // Paper Example 1: sale <Milk, ($3.2/4-pack,$2), 5> generates
+        // 5 × (3.2 − 2) = $6 profit.
+        let c = catalog();
+        let code = c.code(ItemId(0), CodeId(0));
+        assert_eq!(code.margin().times(5), Money::from_dollars(6));
+    }
+
+    #[test]
+    fn favorable_codes_for_milk() {
+        let c = catalog();
+        // Recorded $3.2/4-pack: $3.0/4-pack is cheaper at same value; the
+        // single packs have less value at a lower price ⇒ incomparable.
+        let fav = c.favorable_codes(ItemId(0), CodeId(0));
+        assert_eq!(fav, vec![CodeId(0), CodeId(1)]);
+        // Recorded $1.2/pack: $1/pack is favorable; 4-packs cost more in
+        // absolute price ⇒ not ⪯ under the package-price axis.
+        let fav = c.favorable_codes(ItemId(0), CodeId(2));
+        assert_eq!(fav, vec![CodeId(2), CodeId(3)]);
+        // The cheapest code is only matched by itself.
+        let fav = c.favorable_codes(ItemId(0), CodeId(3));
+        assert_eq!(fav, vec![CodeId(3)]);
+    }
+
+    #[test]
+    fn validation() {
+        let c = catalog();
+        assert!(c.validate().is_ok());
+
+        let mut no_codes = Catalog::new();
+        no_codes.push(ItemDef {
+            name: "x".into(),
+            codes: vec![],
+            is_target: true,
+        });
+        assert_eq!(no_codes.validate(), Err(TxnError::NoCodes(ItemId(0))));
+
+        let mut no_targets = Catalog::new();
+        no_targets.push(ItemDef {
+            name: "x".into(),
+            codes: vec![PromotionCode::unit(Money::from_cents(1), Money::ZERO)],
+            is_target: false,
+        });
+        assert_eq!(no_targets.validate(), Err(TxnError::NoTargetItems));
+    }
+}

@@ -1,0 +1,173 @@
+//! Promotion codes and the favorability order `≺` (§2).
+//!
+//! A promotion code carries the *package* price, the seller's cost for the
+//! package, and the packing quantity (how many base units the package
+//! contains — `4` for a 4-pack). The paper's Example 1: 2%-Milk with codes
+//! `($3.2/4-pack, $2)`, `($3.0/4-pack, $1.8)`, `($1.2/pack, $0.5)`,
+//! `($1/pack, $0.5)`.
+//!
+//! **Favorability** (`P ≺ P'`): `P` offers more value for the same or
+//! lower price, or a lower price for the same or more value. Equivalently
+//! `P` is weakly better on both axes (price ≤, value ≥) and strictly
+//! better on at least one. Note `$3.80/2-pack ⊀ $3.50/1-pack`: paying more
+//! for unwanted quantity is not favorable — the order is partial.
+//! The seller-side `cost` plays no role in favorability.
+
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A promotion code: package price, package cost, and packing quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PromotionCode {
+    /// Price of one package.
+    pub price: Money,
+    /// Seller's cost of one package.
+    pub cost: Money,
+    /// Base units per package (≥ 1); the "value" axis of favorability.
+    pub pack_qty: u32,
+}
+
+impl PromotionCode {
+    /// A code for a single-unit packing (`pack_qty = 1`).
+    pub fn unit(price: Money, cost: Money) -> Self {
+        Self {
+            price,
+            cost,
+            pack_qty: 1,
+        }
+    }
+
+    /// A code with an explicit packing quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pack_qty == 0`.
+    pub fn packed(price: Money, cost: Money, pack_qty: u32) -> Self {
+        assert!(pack_qty >= 1, "packing quantity must be at least 1");
+        Self {
+            price,
+            cost,
+            pack_qty,
+        }
+    }
+
+    /// Per-package margin `Price(P) − Cost(P)`.
+    pub fn margin(&self) -> Money {
+        self.price - self.cost
+    }
+
+    /// Strict favorability `self ≺ other`: weakly better on both axes
+    /// (price ≤, packing value ≥) and strictly better on at least one.
+    pub fn more_favorable_than(&self, other: &PromotionCode) -> bool {
+        let weakly = self.price <= other.price && self.pack_qty >= other.pack_qty;
+        let strictly = self.price < other.price || self.pack_qty > other.pack_qty;
+        weakly && strictly
+    }
+
+    /// Reflexive favorability `self ⪯ other` on the `(price, value)` axes:
+    /// true when `self` would be accepted by anyone who accepted `other`
+    /// (MOA assumption). Equal `(price, pack_qty)` counts, regardless of
+    /// the seller-side cost.
+    pub fn favorable_or_equal(&self, other: &PromotionCode) -> bool {
+        self.price <= other.price && self.pack_qty >= other.pack_qty
+    }
+}
+
+impl fmt::Display for PromotionCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pack_qty == 1 {
+            write!(f, "{} (cost {})", self.price, self.cost)
+        } else {
+            write!(f, "{}/{}-pack (cost {})", self.price, self.pack_qty, self.cost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(price_cents: i64, cost_cents: i64, qty: u32) -> PromotionCode {
+        PromotionCode::packed(
+            Money::from_cents(price_cents),
+            Money::from_cents(cost_cents),
+            qty,
+        )
+    }
+
+    #[test]
+    fn paper_section2_examples() {
+        // "$3.50/2-pack offers a lower price than $3.80/2-pack for the
+        // same value" ⇒ more favorable.
+        assert!(code(350, 0, 2).more_favorable_than(&code(380, 0, 2)));
+        // "$3.50/2-pack offers more value than $3.50/1-pack for the same
+        // price" ⇒ more favorable.
+        assert!(code(350, 0, 2).more_favorable_than(&code(350, 0, 1)));
+        // "$3.80/2-pack is not (always) more favorable than $3.50/pack":
+        // more value but *higher* price ⇒ incomparable.
+        assert!(!code(380, 0, 2).more_favorable_than(&code(350, 0, 1)));
+        assert!(!code(350, 0, 1).more_favorable_than(&code(380, 0, 2)));
+    }
+
+    #[test]
+    fn strictness() {
+        let p = code(100, 50, 1);
+        assert!(!p.more_favorable_than(&p));
+        assert!(p.favorable_or_equal(&p));
+    }
+
+    #[test]
+    fn cost_is_irrelevant_to_favorability() {
+        // Same price/value, different cost: neither strictly favorable,
+        // both reflexively acceptable.
+        let a = code(100, 50, 1);
+        let b = code(100, 80, 1);
+        assert!(!a.more_favorable_than(&b));
+        assert!(!b.more_favorable_than(&a));
+        assert!(a.favorable_or_equal(&b) && b.favorable_or_equal(&a));
+    }
+
+    #[test]
+    fn partial_order_properties() {
+        // Irreflexive + asymmetric + transitive over a small universe.
+        let universe = [
+            code(100, 10, 1),
+            code(120, 10, 1),
+            code(300, 30, 4),
+            code(320, 30, 4),
+            code(90, 10, 2),
+        ];
+        for a in &universe {
+            assert!(!a.more_favorable_than(a), "irreflexive");
+            for b in &universe {
+                if a.more_favorable_than(b) {
+                    assert!(!b.more_favorable_than(a), "asymmetric");
+                }
+                for c in &universe {
+                    if a.more_favorable_than(b) && b.more_favorable_than(c) {
+                        assert!(a.more_favorable_than(c), "transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margin() {
+        assert_eq!(code(320, 200, 4).margin(), Money::from_cents(120));
+        assert_eq!(code(100, 150, 1).margin(), Money::from_cents(-50));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(code(320, 200, 4).to_string(), "$3.20/4-pack (cost $2.00)");
+        assert_eq!(code(100, 50, 1).to_string(), "$1.00 (cost $0.50)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_packing_rejected() {
+        let _ = code(100, 50, 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! CSV import/export for transaction data — the ingestion surface for
+//! real point-of-sale exports.
+//!
+//! Two flat files describe a dataset:
+//!
+//! **Catalog CSV** (`item,role,price,cost,pack`), one row per promotion
+//! code; consecutive rows of the same item accumulate its codes in order:
+//!
+//! ```csv
+//! item,role,price,cost,pack
+//! 2%-Milk,target,3.20,2.00,4
+//! 2%-Milk,target,1.00,0.50,1
+//! Bread,nontarget,2.50,1.00,1
+//! ```
+//!
+//! **Sales CSV** (`txn,item,code,qty`), one row per sale; the target sale
+//! of a transaction is recognized by its item's role:
+//!
+//! ```csv
+//! txn,item,code,qty
+//! 1,Bread,0,2
+//! 1,2%-Milk,1,1
+//! ```
+//!
+//! The parser is a strict RFC-4180 subset (no embedded quotes/commas —
+//! item names here are identifiers, not prose) chosen over a dependency
+//! because the workspace's allowed crate set has no CSV reader.
+
+use crate::catalog::{Catalog, ItemDef};
+use crate::code::PromotionCode;
+use crate::hierarchy::Hierarchy;
+use crate::ids::{CodeId, ItemId};
+use crate::money::Money;
+use crate::sale::{Sale, Transaction};
+use crate::TransactionSet;
+use std::collections::HashMap;
+
+/// Errors from CSV ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(line: usize, message: impl Into<String>) -> CsvError {
+    CsvError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn fields(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+/// Parse a catalog CSV (header required).
+pub fn parse_catalog(text: &str) -> Result<(Catalog, HashMap<String, ItemId>), CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty file"))?;
+    if fields(header) != vec!["item", "role", "price", "cost", "pack"] {
+        return Err(err(1, "header must be item,role,price,cost,pack"));
+    }
+    let mut catalog = Catalog::new();
+    let mut by_name: HashMap<String, ItemId> = HashMap::new();
+    let mut defs: Vec<ItemDef> = Vec::new();
+    for (i, line) in lines {
+        let ln = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = fields(line);
+        if f.len() != 5 {
+            return Err(err(ln, format!("expected 5 fields, got {}", f.len())));
+        }
+        let is_target = match f[1] {
+            "target" => true,
+            "nontarget" | "non-target" => false,
+            other => return Err(err(ln, format!("role must be target|nontarget, got {other:?}"))),
+        };
+        let price: f64 = f[2].parse().map_err(|_| err(ln, "bad price"))?;
+        let cost: f64 = f[3].parse().map_err(|_| err(ln, "bad cost"))?;
+        let pack: u32 = f[4].parse().map_err(|_| err(ln, "bad pack"))?;
+        if pack == 0 {
+            return Err(err(ln, "pack must be ≥ 1"));
+        }
+        let code = PromotionCode::packed(
+            Money::from_dollars_f64(price),
+            Money::from_dollars_f64(cost),
+            pack,
+        );
+        match by_name.get(f[0]) {
+            Some(&id) => {
+                if defs[id.index()].is_target != is_target {
+                    return Err(err(ln, format!("item {:?} changes role", f[0])));
+                }
+                defs[id.index()].codes.push(code);
+            }
+            None => {
+                let id = ItemId(defs.len() as u32);
+                by_name.insert(f[0].to_string(), id);
+                defs.push(ItemDef {
+                    name: f[0].to_string(),
+                    codes: vec![code],
+                    is_target,
+                });
+            }
+        }
+    }
+    for def in defs {
+        catalog.push(def);
+    }
+    Ok((catalog, by_name))
+}
+
+/// Parse a sales CSV against a parsed catalog and assemble the validated
+/// dataset (flat hierarchy). Transactions appear in first-seen order of
+/// their `txn` key.
+pub fn parse_sales(
+    text: &str,
+    catalog: Catalog,
+    by_name: &HashMap<String, ItemId>,
+) -> Result<TransactionSet, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty file"))?;
+    if fields(header) != vec!["txn", "item", "code", "qty"] {
+        return Err(err(1, "header must be txn,item,code,qty"));
+    }
+    // txn key → (non-target sales, target sale)
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, (Vec<Sale>, Option<(Sale, usize)>)> = HashMap::new();
+    for (i, line) in lines {
+        let ln = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = fields(line);
+        if f.len() != 4 {
+            return Err(err(ln, format!("expected 4 fields, got {}", f.len())));
+        }
+        let item = *by_name
+            .get(f[1])
+            .ok_or_else(|| err(ln, format!("unknown item {:?}", f[1])))?;
+        let code: u16 = f[2].parse().map_err(|_| err(ln, "bad code"))?;
+        let qty: u32 = f[3].parse().map_err(|_| err(ln, "bad qty"))?;
+        let sale = Sale::new(item, CodeId(code), qty);
+        let entry = groups.entry(f[0].to_string()).or_insert_with(|| {
+            order.push(f[0].to_string());
+            (Vec::new(), None)
+        });
+        if catalog.item(item).is_target {
+            if let Some((_, first_ln)) = entry.1 {
+                return Err(err(
+                    ln,
+                    format!(
+                        "transaction {:?} has a second target sale (first at line {first_ln})",
+                        f[0]
+                    ),
+                ));
+            }
+            entry.1 = Some((sale, ln));
+        } else {
+            entry.0.push(sale);
+        }
+    }
+    let mut txns = Vec::with_capacity(order.len());
+    for key in order {
+        let (nts, target) = groups.remove(&key).expect("grouped above");
+        let (target, _) =
+            target.ok_or_else(|| err(0, format!("transaction {key:?} has no target sale")))?;
+        txns.push(Transaction::new(nts, target));
+    }
+    let n = catalog.len();
+    TransactionSet::new(catalog, Hierarchy::flat(n), txns)
+        .map_err(|e| err(0, format!("validation: {e}")))
+}
+
+/// Render a dataset back to the two CSVs: `(catalog_csv, sales_csv)`.
+pub fn to_csv(data: &TransactionSet) -> (String, String) {
+    let catalog = data.catalog();
+    let mut cat = String::from("item,role,price,cost,pack\n");
+    for (_, def) in catalog.iter() {
+        for code in &def.codes {
+            cat.push_str(&format!(
+                "{},{},{:.2},{:.2},{}\n",
+                def.name,
+                if def.is_target { "target" } else { "nontarget" },
+                code.price.as_dollars(),
+                code.cost.as_dollars(),
+                code.pack_qty
+            ));
+        }
+    }
+    let mut sales = String::from("txn,item,code,qty\n");
+    for (i, t) in data.transactions().iter().enumerate() {
+        for s in t
+            .non_target_sales()
+            .iter()
+            .chain(std::iter::once(t.target_sale()))
+        {
+            sales.push_str(&format!(
+                "{},{},{},{}\n",
+                i + 1,
+                catalog.item(s.item).name,
+                s.code.0,
+                s.qty
+            ));
+        }
+    }
+    (cat, sales)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CATALOG: &str = "\
+item,role,price,cost,pack
+2%-Milk,target,3.20,2.00,4
+2%-Milk,target,1.00,0.50,1
+Bread,nontarget,2.50,1.00,1
+Jam,nontarget,4.00,1.50,1
+";
+
+    const SALES: &str = "\
+txn,item,code,qty
+1,Bread,0,2
+1,2%-Milk,1,1
+2,Jam,0,1
+2,Bread,0,1
+2,2%-Milk,0,1
+";
+
+    #[test]
+    fn round_trip() {
+        let (catalog, names) = parse_catalog(CATALOG).unwrap();
+        assert_eq!(catalog.len(), 3);
+        let milk = names["2%-Milk"];
+        assert!(catalog.item(milk).is_target);
+        assert_eq!(catalog.item(milk).codes.len(), 2);
+        assert_eq!(catalog.item(milk).codes[0].pack_qty, 4);
+
+        let data = parse_sales(SALES, catalog, &names).unwrap();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.transactions()[0].basket_size(), 1);
+        assert_eq!(data.transactions()[1].basket_size(), 2);
+        assert_eq!(data.transactions()[0].target_sale().item, milk);
+
+        // Export and re-import reproduces the dataset.
+        let (cat_csv, sales_csv) = to_csv(&data);
+        let (catalog2, names2) = parse_catalog(&cat_csv).unwrap();
+        let data2 = parse_sales(&sales_csv, catalog2, &names2).unwrap();
+        assert_eq!(data2.len(), data.len());
+        assert_eq!(
+            data2.total_recorded_profit(),
+            data.total_recorded_profit()
+        );
+        assert_eq!(data2.transactions(), data.transactions());
+    }
+
+    #[test]
+    fn catalog_errors() {
+        assert!(parse_catalog("").is_err());
+        assert!(parse_catalog("wrong,header\n").is_err());
+        let bad_role = "item,role,price,cost,pack\nX,boss,1,1,1\n";
+        assert_eq!(parse_catalog(bad_role).unwrap_err().line, 2);
+        let bad_pack = "item,role,price,cost,pack\nX,target,1,1,0\n";
+        assert!(parse_catalog(bad_pack).is_err());
+        let role_flip = "item,role,price,cost,pack\nX,target,1,1,1\nX,nontarget,2,1,1\n";
+        assert!(parse_catalog(role_flip).is_err());
+    }
+
+    #[test]
+    fn sales_errors() {
+        let (catalog, names) = parse_catalog(CATALOG).unwrap();
+        // Unknown item.
+        let r = parse_sales("txn,item,code,qty\n1,Ghost,0,1\n", catalog.clone(), &names);
+        assert!(r.is_err());
+        // Two target sales in one transaction.
+        let two = "txn,item,code,qty\n1,2%-Milk,0,1\n1,2%-Milk,1,1\n";
+        let r = parse_sales(two, catalog.clone(), &names);
+        assert!(r.unwrap_err().message.contains("second target"));
+        // No target sale.
+        let none = "txn,item,code,qty\n1,Bread,0,1\n";
+        assert!(parse_sales(none, catalog.clone(), &names)
+            .unwrap_err()
+            .message
+            .contains("no target"));
+        // Out-of-range code caught by validation.
+        let bad_code = "txn,item,code,qty\n1,Bread,7,1\n1,2%-Milk,0,1\n";
+        assert!(parse_sales(bad_code, catalog, &names)
+            .unwrap_err()
+            .message
+            .contains("validation"));
+    }
+
+    #[test]
+    fn whitespace_and_blank_lines_tolerated() {
+        let csv = "item,role,price,cost,pack\n\n  Bread , nontarget , 2.50 , 1.00 , 1 \nT,target,1,0.5,1\n";
+        let (catalog, names) = parse_catalog(csv).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert!(names.contains_key("Bread"));
+    }
+}

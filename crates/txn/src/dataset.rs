@@ -1,0 +1,257 @@
+//! The dataset container: a catalog, a hierarchy, and transactions —
+//! everything a mining run consumes, with validation and (de)serialization.
+
+use crate::catalog::Catalog;
+use crate::error::TxnError;
+use crate::hierarchy::Hierarchy;
+use crate::money::Money;
+use crate::sale::Transaction;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A validated collection of past transactions over a catalog and a
+/// concept hierarchy (the input of Definition 1).
+///
+/// The catalog and hierarchy are held through [`Arc`]s so that folds,
+/// subsets and trained recommenders share them without copying.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransactionSet {
+    catalog: Arc<Catalog>,
+    hierarchy: Arc<Hierarchy>,
+    transactions: Vec<Transaction>,
+}
+
+impl TransactionSet {
+    /// Assemble and validate a dataset.
+    ///
+    /// Validation enforces:
+    /// * catalog consistency (every item has codes; ≥ 1 target item);
+    /// * hierarchy consistency (item counts agree; acyclic);
+    /// * every sale references a known item/code with positive quantity;
+    /// * target sales use target items, non-target sales non-target items.
+    pub fn new(
+        catalog: Catalog,
+        hierarchy: Hierarchy,
+        transactions: Vec<Transaction>,
+    ) -> Result<Self, TxnError> {
+        catalog.validate()?;
+        hierarchy.validate()?;
+        if hierarchy.n_items() != catalog.len() {
+            return Err(TxnError::ItemCountMismatch {
+                catalog: catalog.len(),
+                hierarchy: hierarchy.n_items(),
+            });
+        }
+        for t in &transactions {
+            let target = t.target_sale();
+            let def = catalog
+                .get(target.item)
+                .ok_or(TxnError::UnknownItem(target.item))?;
+            if !def.is_target {
+                return Err(TxnError::TargetSaleOnNonTarget(target.item));
+            }
+            catalog.try_code(target.item, target.code)?;
+            if target.qty == 0 {
+                return Err(TxnError::ZeroQuantity(target.item));
+            }
+            for s in t.non_target_sales() {
+                let def = catalog.get(s.item).ok_or(TxnError::UnknownItem(s.item))?;
+                if def.is_target {
+                    return Err(TxnError::NonTargetSaleOnTarget(s.item));
+                }
+                catalog.try_code(s.item, s.code)?;
+                if s.qty == 0 {
+                    return Err(TxnError::ZeroQuantity(s.item));
+                }
+            }
+        }
+        Ok(Self {
+            catalog: Arc::new(catalog),
+            hierarchy: Arc::new(hierarchy),
+            transactions,
+        })
+    }
+
+    /// Shared handle to the catalog.
+    pub fn catalog_arc(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// Shared handle to the hierarchy.
+    pub fn hierarchy_arc(&self) -> Arc<Hierarchy> {
+        Arc::clone(&self.hierarchy)
+    }
+
+    /// The item catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The concept hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// All transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Total recorded profit of all target sales — the gain denominator
+    /// over the whole set.
+    pub fn total_recorded_profit(&self) -> Money {
+        self.transactions
+            .iter()
+            .map(|t| t.recorded_target_profit(&self.catalog))
+            .sum()
+    }
+
+    /// A new set sharing this catalog/hierarchy but containing only the
+    /// transactions at `indices` (used by cross-validation folds).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> TransactionSet {
+        TransactionSet {
+            catalog: Arc::clone(&self.catalog),
+            hierarchy: Arc::clone(&self.hierarchy),
+            transactions: indices
+                .iter()
+                .map(|&i| self.transactions[i].clone())
+                .collect(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serializes")
+    }
+
+    /// Deserialize from JSON produced by [`Self::to_json`], re-validating.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let raw: TransactionSet = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        TransactionSet::new(
+            Arc::try_unwrap(raw.catalog).unwrap_or_else(|a| (*a).clone()),
+            Arc::try_unwrap(raw.hierarchy).unwrap_or_else(|a| (*a).clone()),
+            raw.transactions,
+        )
+        .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ItemDef;
+    use crate::code::PromotionCode;
+    use crate::ids::{CodeId, ItemId};
+    use crate::sale::Sale;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.push(ItemDef {
+            name: "target".into(),
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(100),
+                Money::from_cents(40),
+            )],
+            is_target: true,
+        });
+        c.push(ItemDef {
+            name: "trigger".into(),
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(50),
+                Money::from_cents(20),
+            )],
+            is_target: false,
+        });
+        c
+    }
+
+    fn txn(qty: u32) -> Transaction {
+        Transaction::new(
+            vec![Sale::new(ItemId(1), CodeId(0), 1)],
+            Sale::new(ItemId(0), CodeId(0), qty),
+        )
+    }
+
+    #[test]
+    fn valid_roundtrip() {
+        let ds = TransactionSet::new(catalog(), Hierarchy::flat(2), vec![txn(1), txn(2)]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.total_recorded_profit(), Money::from_cents(180));
+        let json = ds.to_json();
+        let back = TransactionSet::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.total_recorded_profit(), Money::from_cents(180));
+    }
+
+    #[test]
+    fn subset_selects() {
+        let ds = TransactionSet::new(
+            catalog(),
+            Hierarchy::flat(2),
+            vec![txn(1), txn(2), txn(3)],
+        )
+        .unwrap();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.transactions()[0].target_sale().qty, 3);
+    }
+
+    #[test]
+    fn rejects_target_mixups() {
+        // Target sale on a non-target item.
+        let bad = Transaction::new(vec![], Sale::new(ItemId(1), CodeId(0), 1));
+        assert_eq!(
+            TransactionSet::new(catalog(), Hierarchy::flat(2), vec![bad]).unwrap_err(),
+            TxnError::TargetSaleOnNonTarget(ItemId(1))
+        );
+        // Non-target sale on a target item.
+        let bad = Transaction::new(
+            vec![Sale::new(ItemId(0), CodeId(0), 1)],
+            Sale::new(ItemId(0), CodeId(0), 1),
+        );
+        assert_eq!(
+            TransactionSet::new(catalog(), Hierarchy::flat(2), vec![bad]).unwrap_err(),
+            TxnError::NonTargetSaleOnTarget(ItemId(0))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_references() {
+        let bad = Transaction::new(vec![], Sale::new(ItemId(9), CodeId(0), 1));
+        assert_eq!(
+            TransactionSet::new(catalog(), Hierarchy::flat(2), vec![bad]).unwrap_err(),
+            TxnError::UnknownItem(ItemId(9))
+        );
+        let bad = Transaction::new(vec![], Sale::new(ItemId(0), CodeId(3), 1));
+        assert_eq!(
+            TransactionSet::new(catalog(), Hierarchy::flat(2), vec![bad]).unwrap_err(),
+            TxnError::UnknownCode(ItemId(0), CodeId(3))
+        );
+        assert_eq!(
+            TransactionSet::new(catalog(), Hierarchy::flat(2), vec![txn(0)]).unwrap_err(),
+            TxnError::ZeroQuantity(ItemId(0))
+        );
+    }
+
+    #[test]
+    fn rejects_item_count_mismatch() {
+        assert!(matches!(
+            TransactionSet::new(catalog(), Hierarchy::flat(5), vec![]),
+            Err(TxnError::ItemCountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,87 @@
+//! Generalized sales (§2, Definition 3).
+//!
+//! A generalized sale is one of three node kinds of `MOA(H)`:
+//!
+//! * a **concept** `C` — matches any sale of an item below `C`;
+//! * an **item** `I` — matches any sale of `I`, at any code;
+//! * an **item/code pair** `⟨I, P⟩` — matches a sale of `I` under `P` or,
+//!   with MOA, under any code `P'` with `P ⪯ P'` (the customer who paid
+//!   `P'` would have taken the more favorable `P`).
+//!
+//! Rule bodies are sets of generalized non-target sales; rule heads are
+//! item/code pairs of target items.
+
+use crate::ids::{CodeId, ConceptId, ItemId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One generalized sale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GenSale {
+    /// A concept node of the hierarchy.
+    Concept(ConceptId),
+    /// An item node (any promotion code).
+    Item(ItemId),
+    /// An `⟨item, code⟩` node — the only admissible head form.
+    ItemCode(ItemId, CodeId),
+}
+
+impl GenSale {
+    /// The item this node refers to, when it is item-level or finer.
+    pub fn item(&self) -> Option<ItemId> {
+        match self {
+            GenSale::Concept(_) => None,
+            GenSale::Item(i) | GenSale::ItemCode(i, _) => Some(*i),
+        }
+    }
+
+    /// True for `ItemCode` nodes.
+    pub fn is_item_code(&self) -> bool {
+        matches!(self, GenSale::ItemCode(..))
+    }
+}
+
+impl fmt::Display for GenSale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenSale::Concept(c) => write!(f, "{c}"),
+            GenSale::Item(i) => write!(f, "{i}"),
+            GenSale::ItemCode(i, p) => write!(f, "⟨{i},{p}⟩"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_projection() {
+        assert_eq!(GenSale::Concept(ConceptId(1)).item(), None);
+        assert_eq!(GenSale::Item(ItemId(2)).item(), Some(ItemId(2)));
+        assert_eq!(
+            GenSale::ItemCode(ItemId(2), CodeId(0)).item(),
+            Some(ItemId(2))
+        );
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        // The derived order groups kinds; only used for canonical sorting.
+        let mut v = vec![
+            GenSale::ItemCode(ItemId(0), CodeId(1)),
+            GenSale::Concept(ConceptId(0)),
+            GenSale::Item(ItemId(5)),
+        ];
+        v.sort();
+        assert_eq!(v[0], GenSale::Concept(ConceptId(0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            GenSale::ItemCode(ItemId(1), CodeId(2)).to_string(),
+            "⟨item#1,code#2⟩"
+        );
+    }
+}

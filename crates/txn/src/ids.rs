@@ -1,0 +1,112 @@
+//! Strongly-typed identifiers.
+//!
+//! Items, concepts and promotion codes live in separate id spaces; the
+//! newtypes below keep them from being mixed up at compile time. All ids
+//! are dense indices into their owning [`Catalog`](crate::Catalog) or
+//! [`Hierarchy`](crate::Hierarchy).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an item (leaf of the concept hierarchy). Dense index into
+/// the catalog's item table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ItemId(pub u32);
+
+/// Identifier of a concept (internal node of the hierarchy). Dense index
+/// into the hierarchy's concept table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ConceptId(pub u32);
+
+/// Identifier of a promotion code, scoped to its item: the `k`-th code of
+/// an item has `CodeId(k)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CodeId(pub u16);
+
+impl ItemId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ConceptId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "concept#{}", self.0)
+    }
+}
+
+impl fmt::Display for CodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "code#{}", self.0)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl From<u32> for ConceptId {
+    fn from(v: u32) -> Self {
+        ConceptId(v)
+    }
+}
+
+impl From<u16> for CodeId {
+    fn from(v: u16) -> Self {
+        CodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(ItemId(1) < ItemId(2));
+        assert!(ConceptId(0) < ConceptId(5));
+        assert!(CodeId(3) > CodeId(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ItemId(7).to_string(), "item#7");
+        assert_eq!(ConceptId(2).to_string(), "concept#2");
+        assert_eq!(CodeId(0).to_string(), "code#0");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(ItemId::from(9u32).index(), 9);
+        assert_eq!(CodeId::from(3u16).index(), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Sales and transactions (§2, Definition 1).
+
+use crate::catalog::Catalog;
+use crate::ids::{CodeId, ItemId};
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+
+/// A sale `<I, P, Q>`: quantity `Q` (in *packages*) of item `I` under
+/// promotion code `P`. The price, cost and quantity of a sale all refer to
+/// the same packing (paper Example 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sale {
+    /// The item sold.
+    pub item: ItemId,
+    /// The promotion code it was sold under.
+    pub code: CodeId,
+    /// Number of packages sold (≥ 1 in valid data).
+    pub qty: u32,
+}
+
+impl Sale {
+    /// Construct a sale.
+    pub fn new(item: ItemId, code: CodeId, qty: u32) -> Self {
+        Self { item, code, qty }
+    }
+
+    /// The recorded profit of this sale: `(Price(P) − Cost(P)) × Q`.
+    pub fn profit(&self, catalog: &Catalog) -> Money {
+        catalog.code(self.item, self.code).margin().times(self.qty)
+    }
+
+    /// The recorded spending of this sale: `Price(P) × Q`.
+    pub fn spending(&self, catalog: &Catalog) -> Money {
+        catalog.code(self.item, self.code).price.times(self.qty)
+    }
+}
+
+/// The target sale of a transaction — structurally identical to [`Sale`],
+/// kept as an alias for readability at call sites.
+pub type TargetSale = Sale;
+
+/// A transaction `{s₁, …, s_k, s}`: several non-target sales plus exactly
+/// one target sale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    non_target: Vec<Sale>,
+    target: TargetSale,
+}
+
+impl Transaction {
+    /// Build a transaction. Non-target sales are sorted by item id so that
+    /// structurally equal transactions compare equal.
+    pub fn new(mut non_target: Vec<Sale>, target: TargetSale) -> Self {
+        non_target.sort_by_key(|s| (s.item, s.code));
+        Self { non_target, target }
+    }
+
+    /// The non-target sales (sorted by item id).
+    pub fn non_target_sales(&self) -> &[Sale] {
+        &self.non_target
+    }
+
+    /// The target sale.
+    pub fn target_sale(&self) -> &TargetSale {
+        &self.target
+    }
+
+    /// The recorded profit of the *target* sale — the denominator of the
+    /// paper's gain measure (§5.1).
+    pub fn recorded_target_profit(&self, catalog: &Catalog) -> Money {
+        self.target.profit(catalog)
+    }
+
+    /// Number of non-target sales.
+    pub fn basket_size(&self) -> usize {
+        self.non_target.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ItemDef;
+    use crate::code::PromotionCode;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, price, cost, target) in [
+            ("egg", 100i64, 50i64, true),
+            ("bread", 250, 100, false),
+            ("jam", 400, 150, false),
+        ] {
+            c.push(ItemDef {
+                name: name.into(),
+                codes: vec![PromotionCode::unit(
+                    Money::from_cents(price),
+                    Money::from_cents(cost),
+                )],
+                is_target: target,
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn sale_profit_and_spending() {
+        let c = catalog();
+        let s = Sale::new(ItemId(0), CodeId(0), 3);
+        assert_eq!(s.profit(&c), Money::from_cents(150));
+        assert_eq!(s.spending(&c), Money::from_cents(300));
+    }
+
+    #[test]
+    fn transaction_accessors() {
+        let c = catalog();
+        let t = Transaction::new(
+            vec![
+                Sale::new(ItemId(2), CodeId(0), 1),
+                Sale::new(ItemId(1), CodeId(0), 2),
+            ],
+            Sale::new(ItemId(0), CodeId(0), 4),
+        );
+        // Sorted by item id.
+        assert_eq!(t.non_target_sales()[0].item, ItemId(1));
+        assert_eq!(t.basket_size(), 2);
+        assert_eq!(t.recorded_target_profit(&c), Money::from_cents(200));
+    }
+
+    #[test]
+    fn structural_equality_ignores_input_order() {
+        let a = Transaction::new(
+            vec![
+                Sale::new(ItemId(1), CodeId(0), 1),
+                Sale::new(ItemId(2), CodeId(0), 1),
+            ],
+            Sale::new(ItemId(0), CodeId(0), 1),
+        );
+        let b = Transaction::new(
+            vec![
+                Sale::new(ItemId(2), CodeId(0), 1),
+                Sale::new(ItemId(1), CodeId(0), 1),
+            ],
+            Sale::new(ItemId(0), CodeId(0), 1),
+        );
+        assert_eq!(a, b);
+    }
+}

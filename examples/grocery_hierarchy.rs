@@ -1,0 +1,101 @@
+//! Multi-level rules and MOA — the paper's Figure 1 / Example 2 world.
+//!
+//! Flake_Chicken sits below Chicken → Meat → Food; the target Sunchip has
+//! three prices. Customers buy *different* chicken products, so no single
+//! item predicts the Sunchip purchase at minimum support — but the
+//! *Chicken* concept does, and MOA lets a rule learned at \$4.50 also
+//! credit customers recorded at \$5.00.
+//!
+//! Run with `cargo run --example grocery_hierarchy`.
+
+use profit_mining::prelude::*;
+
+fn main() {
+    let mut b = CatalogBuilder::new();
+    b.non_target("Flake_Chicken").unit_code(3.80, 2.00);
+    b.non_target("Roast_Chicken").unit_code(7.50, 4.00);
+    b.non_target("Chicken_Wings").unit_code(5.20, 2.50);
+    b.non_target("Tofu").unit_code(2.00, 0.80);
+    b.target("Sunchip")
+        .unit_code(3.80, 1.50) // code 0, most favorable
+        .unit_code(4.50, 1.50) // code 1
+        .unit_code(5.00, 1.50); // code 2
+    let fc = b.id("Flake_Chicken").unwrap();
+    let rc = b.id("Roast_Chicken").unwrap();
+    let cw = b.id("Chicken_Wings").unwrap();
+    let tofu = b.id("Tofu").unwrap();
+    let sunchip = b.id("Sunchip").unwrap();
+    let catalog = b.build().unwrap();
+
+    // Figure 1's hierarchy: chicken products below Chicken → Meat → Food.
+    let mut h = Hierarchy::flat(5);
+    let food = h.add_concept("Food");
+    let meat = h.add_concept("Meat");
+    let chicken = h.add_concept("Chicken");
+    h.link_concept(meat, food).unwrap();
+    h.link_concept(chicken, meat).unwrap();
+    for item in [fc, rc, cw] {
+        h.link_item(item, chicken).unwrap();
+    }
+
+    // 30 chicken buyers (10 per product) take Sunchip at $4.50 or $5.00;
+    // 30 tofu buyers take it only at the promo price $3.80.
+    let mut txns = Vec::new();
+    for i in 0..30u32 {
+        let product = [fc, rc, cw][(i % 3) as usize];
+        let price = if i % 2 == 0 { CodeId(1) } else { CodeId(2) };
+        txns.push(Transaction::new(
+            vec![Sale::new(product, CodeId(0), 1)],
+            Sale::new(sunchip, price, 1),
+        ));
+    }
+    for _ in 0..30 {
+        txns.push(Transaction::new(
+            vec![Sale::new(tofu, CodeId(0), 1)],
+            Sale::new(sunchip, CodeId(0), 1),
+        ));
+    }
+    let data = TransactionSet::new(catalog, h, txns).unwrap();
+
+    // Minimum support 25%: no single chicken product reaches it (each has
+    // 1/6 of the data), but the Chicken concept (1/2) does.
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::fraction(0.25),
+        ..MinerConfig::default()
+    })
+    .fit(&data);
+
+    println!("learned rules:");
+    for i in 0..model.rules().len() {
+        println!("  {}", model.explain(i));
+    }
+
+    // A customer buying any chicken product — even one never seen with
+    // this exact price — triggers the concept-level rule.
+    let rec = model.recommend(&[Sale::new(rc, CodeId(0), 1)]);
+    println!(
+        "\nroast-chicken buyer: offer {} at {}",
+        model.moa().catalog().item(rec.item).name,
+        rec.promotion
+    );
+    assert_eq!(rec.item, sunchip);
+    // MOA at work: the $4.50 head also covers the $5.00 buyers (15 + 15
+    // hits), so it beats both exact-price alternatives.
+    assert_eq!(rec.code, CodeId(1), "MOA promotes the $4.50 price point");
+    let rule = &model.rules()[rec.rule_index.unwrap()];
+    assert!(
+        rule.body.iter().any(|g| matches!(g, GenSale::Concept(_))),
+        "the trigger is a concept, not an item: {:?}",
+        rule.body
+    );
+
+    // Tofu buyers get the promo price.
+    let rec = model.recommend(&[Sale::new(tofu, CodeId(0), 1)]);
+    assert_eq!(rec.code, CodeId(0));
+    println!(
+        "tofu buyer: offer {} at {}",
+        model.moa().catalog().item(rec.item).name,
+        rec.promotion
+    );
+    println!("\nhierarchy + MOA OK");
+}

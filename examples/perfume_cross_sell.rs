@@ -1,0 +1,66 @@
+//! The paper's §1 introduction example: a customer buys *Perfume* — do we
+//! recommend the likely-but-cheap *Lipstick* or the profitable-but-rare
+//! *Diamond*?
+//!
+//! Neither extreme maximizes profit. Profit mining ranks rules by profit
+//! *per recommendation* (`Prof_re = Prof_ru / matches`), which multiplies
+//! likelihood into the expected value, and picks whichever wins on the
+//! actual data. This example builds two such datasets and shows the
+//! decision flip.
+//!
+//! Run with `cargo run --example perfume_cross_sell`.
+
+use profit_mining::prelude::*;
+
+/// A store where `n_diamond` of 100 perfume buyers also bought a diamond
+/// and the rest a lipstick; returns the trained model and the item ids.
+fn scenario(n_diamond: u32) -> (RuleModel, ItemId, ItemId, ItemId) {
+    let mut b = CatalogBuilder::new();
+    b.non_target("Perfume").unit_code(45.0, 20.0);
+    b.target("Lipstick").unit_code(12.0, 5.0); //   $7 margin
+    b.target("Diamond").unit_code(990.0, 600.0); // $390 margin
+    let perfume = b.id("Perfume").unwrap();
+    let lipstick = b.id("Lipstick").unwrap();
+    let diamond = b.id("Diamond").unwrap();
+    let catalog = b.build().unwrap();
+
+    let mut txns = Vec::new();
+    for i in 0..100u32 {
+        let target = if i < n_diamond {
+            Sale::new(diamond, CodeId(0), 1)
+        } else {
+            Sale::new(lipstick, CodeId(0), 1)
+        };
+        txns.push(Transaction::new(vec![Sale::new(perfume, CodeId(0), 1)], target));
+    }
+    let data = TransactionSet::new(catalog, Hierarchy::flat(3), txns).unwrap();
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::count(2),
+        ..MinerConfig::default()
+    })
+    .fit(&data);
+    (model, perfume, lipstick, diamond)
+}
+
+fn main() {
+    // Scenario A: 2% of perfume buyers take the diamond.
+    // Prof_re(Diamond) = 2 × $390 / 100 = $7.80 > Prof_re(Lipstick) =
+    // 98 × $7 / 100 = $6.86 — the rare diamond still wins.
+    let (model, perfume, _lipstick, diamond) = scenario(2);
+    let rec = model.recommend(&[Sale::new(perfume, CodeId(0), 1)]);
+    println!("2% diamond buyers → recommend {}", model.moa().catalog().item(rec.item).name);
+    println!("  {}", model.explain(rec.rule_index.unwrap()));
+    assert_eq!(rec.item, diamond);
+
+    // Scenario B: only 1% take the diamond.
+    // Prof_re(Diamond) = $3.90 < Prof_re(Lipstick) = $6.93 — now the
+    // likely lipstick wins. Pure profit ranking would still say Diamond;
+    // pure confidence ranking would always say Lipstick.
+    let (model, perfume, lipstick, _diamond) = scenario(1);
+    let rec = model.recommend(&[Sale::new(perfume, CodeId(0), 1)]);
+    println!("1% diamond buyers → recommend {}", model.moa().catalog().item(rec.item).name);
+    println!("  {}", model.explain(rec.rule_index.unwrap()));
+    assert_eq!(rec.item, lipstick);
+
+    println!("\nneither 'most likely' nor 'most profitable' — the Prof_re balance decides");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build a catalog, record transactions, fit a profit-mining
+//! recommender, and ask it what to offer a new customer.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use profit_mining::prelude::*;
+
+fn main() {
+    // 1. Catalog: what the store sells. Non-target items trigger
+    //    recommendations; target items (with promotion codes) get
+    //    recommended.
+    let mut b = CatalogBuilder::new();
+    b.non_target("bread").unit_code(2.50, 1.00);
+    b.non_target("butter").unit_code(3.00, 1.40);
+    b.non_target("coffee").unit_code(8.00, 4.00);
+    // The target: jam at two price points (same cost).
+    b.target("jam").unit_code(3.50, 1.50).unit_code(4.50, 1.50);
+    let bread = b.id("bread").unwrap();
+    let butter = b.id("butter").unwrap();
+    let coffee = b.id("coffee").unwrap();
+    let jam = b.id("jam").unwrap();
+    let catalog = b.build().expect("valid catalog");
+
+    let cheap = CodeId(0);
+    let dear = CodeId(1);
+
+    // 2. Past transactions: bread+butter buyers take jam even at $4.50;
+    //    coffee buyers only at $3.50.
+    let mut txns = Vec::new();
+    for _ in 0..30 {
+        txns.push(Transaction::new(
+            vec![Sale::new(bread, cheap, 1), Sale::new(butter, cheap, 1)],
+            Sale::new(jam, dear, 1),
+        ));
+    }
+    for _ in 0..20 {
+        txns.push(Transaction::new(
+            vec![Sale::new(coffee, cheap, 1)],
+            Sale::new(jam, cheap, 2),
+        ));
+    }
+    let data = TransactionSet::new(catalog, Hierarchy::flat(4), txns).expect("valid data");
+
+    // 3. Fit: mine generalized rules, rank most-profitable-first, prune to
+    //    the cut-optimal recommender.
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::fraction(0.1),
+        ..MinerConfig::default()
+    })
+    .fit(&data);
+
+    println!("model: {} ({} rules)\n", model.name(), model.rules().len());
+    for i in 0..model.rules().len() {
+        println!("  {}", model.explain(i));
+    }
+
+    // 4. Recommend for new customers.
+    for (label, basket) in [
+        ("bread + butter", vec![Sale::new(bread, cheap, 1), Sale::new(butter, cheap, 1)]),
+        ("coffee", vec![Sale::new(coffee, cheap, 1)]),
+        ("empty basket", vec![]),
+    ] {
+        let rec = model.recommend(&basket);
+        println!(
+            "\ncustomer with {label}: offer {} at {} (expected profit {:.2}, confidence {:.0}%)",
+            model.moa().catalog().item(rec.item).name,
+            rec.promotion,
+            rec.expected_profit,
+            rec.confidence * 100.0
+        );
+    }
+
+    // The price discrimination the model learned:
+    let rec_bb = model.recommend(&[Sale::new(bread, cheap, 1), Sale::new(butter, cheap, 1)]);
+    let rec_c = model.recommend(&[Sale::new(coffee, cheap, 1)]);
+    assert_eq!(rec_bb.code, dear, "bread+butter buyers pay the high price");
+    assert_eq!(rec_c.code, cheap, "coffee buyers get the low price");
+    println!("\nquickstart OK");
+}

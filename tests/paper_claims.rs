@@ -1,0 +1,209 @@
+//! Tests that pin the paper's worked examples and claims to code.
+
+use profit_mining::prelude::*;
+
+/// §2 Example 1: 2%-Milk's four promotion codes and the profit formula.
+#[test]
+fn example1_milk_codes() {
+    let mut b = CatalogBuilder::new();
+    b.target("2%-Milk")
+        .packed_code(3.20, 2.00, 4)
+        .packed_code(3.00, 1.80, 4)
+        .unit_code(1.20, 0.50)
+        .unit_code(1.00, 0.50);
+    let milk = b.id("2%-Milk").unwrap();
+    let cat = b.build().unwrap();
+
+    // "A sale ⟨Egg, P, 5⟩ generates 5 × (3.2 − 2) = $6 profit."
+    let sale = Sale::new(milk, CodeId(0), 5);
+    assert_eq!(sale.profit(&cat), Money::from_dollars(6));
+
+    // Favorability within the milk codes: $3.0/4-pack ≺ $3.2/4-pack and
+    // $1.0/pack ≺ $1.2/pack; packs and 4-packs are incomparable (higher
+    // absolute price for more value).
+    let c = |i: u16| *cat.code(milk, CodeId(i));
+    assert!(c(1).more_favorable_than(&c(0)));
+    assert!(c(3).more_favorable_than(&c(2)));
+    assert!(!c(0).more_favorable_than(&c(2)));
+    assert!(!c(2).more_favorable_than(&c(0)));
+}
+
+/// §2 Example 2 / Figure 1: the MOA(H) generalization structure.
+#[test]
+fn example2_moa_structure() {
+    let mut b = CatalogBuilder::new();
+    b.non_target("FC")
+        .unit_code(3.00, 0.0)
+        .unit_code(3.50, 0.0)
+        .unit_code(3.80, 0.0);
+    b.target("Sunchip")
+        .unit_code(3.80, 0.0)
+        .unit_code(4.50, 0.0)
+        .unit_code(5.00, 0.0);
+    let fc = b.id("FC").unwrap();
+    let sunchip = b.id("Sunchip").unwrap();
+    let cat = b.build().unwrap();
+
+    let mut h = Hierarchy::flat(2);
+    let food = h.add_concept("Food");
+    let meat = h.add_concept("Meat");
+    let chicken = h.add_concept("Chicken");
+    h.link_concept(meat, food).unwrap();
+    h.link_concept(chicken, meat).unwrap();
+    h.link_item(fc, chicken).unwrap();
+
+    let moa = Moa::from_refs(&cat, &h, true);
+    // "⟨FC,$3⟩ and its ancestors are generalized sales of sales
+    // ⟨FC,$3,Q⟩, ⟨FC,$3.5,Q⟩, or ⟨FC,$3.8,Q⟩."
+    for rec in 0..3u16 {
+        assert!(moa.generalizes_sale(
+            GenSale::ItemCode(fc, CodeId(0)),
+            &Sale::new(fc, CodeId(rec), 1)
+        ));
+    }
+    // "⟨FC,$3.8⟩ … generalized sales of sales ⟨FC,$3.8,Q⟩" only.
+    assert!(!moa.generalizes_sale(
+        GenSale::ItemCode(fc, CodeId(2)),
+        &Sale::new(fc, CodeId(0), 1)
+    ));
+    // Target item sits directly below ANY: no concepts generalize it.
+    assert!(moa.item_ancestors(sunchip).is_empty());
+    // Target generalization mirrors the non-target one.
+    assert_eq!(
+        moa.head_candidates(&Sale::new(sunchip, CodeId(2), 1)).len(),
+        3
+    );
+}
+
+/// §1 egg example: profit mining recommends the package price to all.
+#[test]
+fn egg_example_gets_smarter_than_the_past() {
+    let mut b = CatalogBuilder::new();
+    b.non_target("basket").unit_code(1.0, 0.5);
+    b.target("egg").unit_code(1.00, 0.50).packed_code(3.20, 2.00, 4);
+    let basket = b.id("basket").unwrap();
+    let egg = b.id("egg").unwrap();
+    let cat = b.build().unwrap();
+
+    let mut txns = Vec::new();
+    for _ in 0..100 {
+        txns.push(Transaction::new(
+            vec![Sale::new(basket, CodeId(0), 1)],
+            Sale::new(egg, CodeId(0), 1),
+        ));
+        txns.push(Transaction::new(
+            vec![Sale::new(basket, CodeId(0), 1)],
+            Sale::new(egg, CodeId(1), 1),
+        ));
+    }
+    let data = TransactionSet::new(cat, Hierarchy::flat(2), txns).unwrap();
+    // Recorded profit $170 = 100 × $0.50 + 100 × $1.20.
+    assert_eq!(data.total_recorded_profit(), Money::from_dollars(170));
+
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::fraction(0.05),
+        ..MinerConfig::default()
+    })
+    .fit(&data);
+    let rec = model.recommend(&[Sale::new(basket, CodeId(0), 1)]);
+    assert_eq!(rec.item, egg);
+    assert_eq!(rec.code, CodeId(1), "package price recommended to all");
+    // Per-recommendation profit $0.60 beats the pack's $0.25.
+    assert!((rec.expected_profit - 0.60).abs() < 1e-9);
+}
+
+/// §3.1: the default rule maximizes Prof_re over heads, making every
+/// customer coverable.
+#[test]
+fn default_rule_always_matches() {
+    let mut b = CatalogBuilder::new();
+    b.non_target("x").unit_code(1.0, 0.5);
+    b.target("t").unit_code(2.0, 1.0);
+    let x = b.id("x").unwrap();
+    let t = b.id("t").unwrap();
+    let cat = b.build().unwrap();
+    let txns = vec![Transaction::new(
+        vec![Sale::new(x, CodeId(0), 1)],
+        Sale::new(t, CodeId(0), 1),
+    )];
+    let data = TransactionSet::new(cat, Hierarchy::flat(2), txns).unwrap();
+    let model = ProfitMiner::default().fit(&data);
+    // A customer with items never seen in training still gets served.
+    let rec = model.recommend(&[]);
+    assert_eq!(rec.item, t);
+}
+
+/// Definition 6 (MPF): the recommender maximizes profit per
+/// recommendation, not confidence and not raw profit — the
+/// Perfume/Lipstick/Diamond decision from the introduction.
+#[test]
+fn mpf_balances_likelihood_and_profit() {
+    let build = |diamond_buyers: u32| -> (RuleModel, ItemId, ItemId, ItemId) {
+        let mut b = CatalogBuilder::new();
+        b.non_target("Perfume").unit_code(45.0, 20.0);
+        b.target("Lipstick").unit_code(12.0, 5.0);
+        b.target("Diamond").unit_code(990.0, 600.0);
+        let perfume = b.id("Perfume").unwrap();
+        let lipstick = b.id("Lipstick").unwrap();
+        let diamond = b.id("Diamond").unwrap();
+        let cat = b.build().unwrap();
+        let mut txns = Vec::new();
+        for i in 0..100 {
+            let target = if i < diamond_buyers {
+                Sale::new(diamond, CodeId(0), 1)
+            } else {
+                Sale::new(lipstick, CodeId(0), 1)
+            };
+            txns.push(Transaction::new(
+                vec![Sale::new(perfume, CodeId(0), 1)],
+                target,
+            ));
+        }
+        let data = TransactionSet::new(cat, Hierarchy::flat(3), txns).unwrap();
+        let model = ProfitMiner::new(MinerConfig {
+            min_support: Support::count(1),
+            ..MinerConfig::default()
+        })
+        .fit(&data);
+        (model, perfume, lipstick, diamond)
+    };
+
+    // 2 diamond buyers: 2×390/100 = 7.8 > 98×7/100 = 6.86 ⇒ Diamond.
+    let (model, perfume, _, diamond) = build(2);
+    assert_eq!(model.recommend(&[Sale::new(perfume, CodeId(0), 1)]).item, diamond);
+    // 1 diamond buyer: 3.9 < 6.93 ⇒ Lipstick.
+    let (model, perfume, lipstick, _) = build(1);
+    assert_eq!(model.recommend(&[Sale::new(perfume, CodeId(0), 1)]).item, lipstick);
+}
+
+/// §5.1: under saving MOA the gain is at most 1 (spending never grows).
+#[test]
+fn saving_moa_gain_capped_at_one() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let data = DatasetConfig::dataset_i()
+        .with_transactions(2000)
+        .with_items(150)
+        .generate(&mut StdRng::seed_from_u64(77));
+    let folds = Folds::new(data.len(), 5, 1);
+    let (tr, va) = folds.split(0);
+    let train = data.subset(&tr);
+    let valid = data.subset(&va);
+    for moa in [MoaMode::Enabled, MoaMode::Disabled] {
+        for mode in [ProfitMode::Profit, ProfitMode::Confidence] {
+            let model = ProfitMiner::new(MinerConfig {
+                min_support: Support::fraction(0.02),
+                max_body_len: 3,
+                moa,
+                ..MinerConfig::default()
+            })
+            .with_cut(CutConfig {
+                profit_mode: mode,
+                ..CutConfig::default()
+            })
+            .fit(&train);
+            let gain = evaluate(&Matcher::new(&model), &valid, &EvalOptions::default()).gain();
+            assert!(gain <= 1.0 + 1e-12, "{}: {gain}", model.name());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Serialization round-trips and report rendering.
+
+use profit_mining::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> TransactionSet {
+    DatasetConfig::dataset_i()
+        .with_transactions(200)
+        .with_items(50)
+        .generate(&mut StdRng::seed_from_u64(3))
+}
+
+#[test]
+fn dataset_json_roundtrip() {
+    let ds = dataset();
+    let json = ds.to_json();
+    let back = TransactionSet::from_json(&json).unwrap();
+    assert_eq!(back.len(), ds.len());
+    assert_eq!(back.transactions(), ds.transactions());
+    assert_eq!(back.catalog().len(), ds.catalog().len());
+    assert_eq!(
+        back.total_recorded_profit(),
+        ds.total_recorded_profit()
+    );
+}
+
+#[test]
+fn corrupted_json_rejected() {
+    assert!(TransactionSet::from_json("{not json").is_err());
+    // Structurally valid JSON that violates the data model must be
+    // rejected by re-validation.
+    let ds = dataset();
+    let json = ds.to_json().replace("\"qty\": 1", "\"qty\": 0");
+    assert!(TransactionSet::from_json(&json).is_err());
+}
+
+#[test]
+fn config_serde_roundtrip() {
+    let cfg = DatasetConfig::dataset_ii();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: DatasetConfig = serde_json::from_str(&json).unwrap();
+    // Full-precision float weights can shift in the last ulp through the
+    // text form; a stable re-serialization is the meaningful fixpoint.
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    assert_eq!(back.quest, cfg.quest);
+    assert_eq!(back.pricing, cfg.pricing);
+
+    let miner = MinerConfig::default();
+    let json = serde_json::to_string(&miner).unwrap();
+    let back: MinerConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, miner);
+
+    let cut = CutConfig::default();
+    let json = serde_json::to_string(&cut).unwrap();
+    let back: CutConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cut);
+}
+
+#[test]
+fn model_rules_serialize() {
+    let ds = dataset();
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::fraction(0.05),
+        max_body_len: 2,
+        ..MinerConfig::default()
+    })
+    .fit(&ds);
+    let json = serde_json::to_string(model.rules()).unwrap();
+    let back: Vec<ModelRule> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), model.rules().len());
+    assert_eq!(&back[..], model.rules());
+}
+
+#[test]
+fn tables_render_and_csv() {
+    let scale = Scale::tiny();
+    let t = pm_eval::experiments::fig_e(Dataset::I, &scale, 1, 8);
+    let text = t.render();
+    assert!(text.contains("profit"));
+    let csv = t.to_csv();
+    assert_eq!(csv.lines().count(), 9); // header + 8 bins
+}
+
+#[test]
+fn recommendation_serializes() {
+    let ds = dataset();
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::fraction(0.05),
+        max_body_len: 2,
+        ..MinerConfig::default()
+    })
+    .fit(&ds);
+    let rec = model.recommend(ds.transactions()[0].non_target_sales());
+    let json = serde_json::to_string(&rec).unwrap();
+    let back: Recommendation = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, rec);
+}
