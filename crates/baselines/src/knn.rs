@@ -156,7 +156,11 @@ impl KnnIndex {
             code: pair.1,
             promotion: *self.catalog.code(pair.0, pair.1),
             expected_profit: score as f64,
-            confidence: if total > 0.0 { (score / total) as f64 } else { 0.0 },
+            confidence: if total > 0.0 {
+                (score / total) as f64
+            } else {
+                0.0
+            },
             rule_index: None,
         }
     }
@@ -265,18 +269,27 @@ mod tests {
         for i in 0..5 {
             cat.push(ItemDef {
                 name: format!("nt{i}"),
-                codes: vec![PromotionCode::unit(Money::from_cents(100), Money::from_cents(50))],
+                codes: vec![PromotionCode::unit(
+                    Money::from_cents(100),
+                    Money::from_cents(50),
+                )],
                 is_target: false,
             });
         }
         cat.push(ItemDef {
             name: "cheap".into(),
-            codes: vec![PromotionCode::unit(Money::from_cents(200), Money::from_cents(100))],
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(200),
+                Money::from_cents(100),
+            )],
             is_target: true,
         });
         cat.push(ItemDef {
             name: "dear".into(),
-            codes: vec![PromotionCode::unit(Money::from_cents(2000), Money::from_cents(1000))],
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(2000),
+                Money::from_cents(1000),
+            )],
             is_target: true,
         });
         let h = Hierarchy::flat(7);
@@ -296,7 +309,10 @@ mod tests {
     #[test]
     fn finds_similar_neighbors() {
         let knn = Knn::fit(&dataset(), KnnConfig { k: 3, idf: true });
-        let neighbors = knn.neighbors(&[Sale::new(ItemId(0), CodeId(0), 1), Sale::new(ItemId(1), CodeId(0), 1)]);
+        let neighbors = knn.neighbors(&[
+            Sale::new(ItemId(0), CodeId(0), 1),
+            Sale::new(ItemId(1), CodeId(0), 1),
+        ]);
         assert_eq!(neighbors.len(), 3);
         // All top neighbors are the {0,1} transactions (tids 0..8).
         for (tid, sim) in &neighbors {
@@ -308,9 +324,15 @@ mod tests {
     #[test]
     fn recommends_by_vote() {
         let knn = Knn::fit(&dataset(), KnnConfig::default());
-        let rec = knn.recommend(&[Sale::new(ItemId(0), CodeId(0), 1), Sale::new(ItemId(1), CodeId(0), 1)]);
+        let rec = knn.recommend(&[
+            Sale::new(ItemId(0), CodeId(0), 1),
+            Sale::new(ItemId(1), CodeId(0), 1),
+        ]);
         assert_eq!(rec.item, ItemId(5), "cheap target voted by {{0,1}} buyers");
-        let rec = knn.recommend(&[Sale::new(ItemId(2), CodeId(0), 1), Sale::new(ItemId(3), CodeId(0), 1)]);
+        let rec = knn.recommend(&[
+            Sale::new(ItemId(2), CodeId(0), 1),
+            Sale::new(ItemId(3), CodeId(0), 1),
+        ]);
         assert_eq!(rec.item, ItemId(6));
         assert!(rec.confidence > 0.5);
     }
@@ -323,7 +345,10 @@ mod tests {
         let cfg = KnnConfig { k: 5, idf: true };
         let vote = Knn::fit(&dataset(), cfg);
         let prof = KnnProfit::fit(&dataset(), cfg);
-        let q = [Sale::new(ItemId(0), CodeId(0), 1), Sale::new(ItemId(2), CodeId(0), 1)];
+        let q = [
+            Sale::new(ItemId(0), CodeId(0), 1),
+            Sale::new(ItemId(2), CodeId(0), 1),
+        ];
         let vn = vote.neighbors(&q);
         let has_dear = vn.iter().any(|&(tid, _)| tid >= 8);
         let rec = prof.recommend(&q);
@@ -360,7 +385,10 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(Knn::fit(&dataset(), KnnConfig::default()).name(), "kNN(k=5)");
+        assert_eq!(
+            Knn::fit(&dataset(), KnnConfig::default()).name(),
+            "kNN(k=5)"
+        );
         assert_eq!(
             KnnProfit::fit(&dataset(), KnnConfig::default()).name(),
             "kNN-profit(k=5)"

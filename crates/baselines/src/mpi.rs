@@ -89,17 +89,26 @@ mod tests {
         let mut cat = Catalog::new();
         cat.push(ItemDef {
             name: "trigger".into(),
-            codes: vec![PromotionCode::unit(Money::from_cents(100), Money::from_cents(50))],
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(100),
+                Money::from_cents(50),
+            )],
             is_target: false,
         });
         cat.push(ItemDef {
             name: "cheap".into(),
-            codes: vec![PromotionCode::unit(Money::from_cents(100), Money::from_cents(50))],
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(100),
+                Money::from_cents(50),
+            )],
             is_target: true,
         });
         cat.push(ItemDef {
             name: "dear".into(),
-            codes: vec![PromotionCode::unit(Money::from_cents(1000), Money::from_cents(400))],
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(1000),
+                Money::from_cents(400),
+            )],
             is_target: true,
         });
         let h = Hierarchy::flat(3);

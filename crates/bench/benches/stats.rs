@@ -1,7 +1,7 @@
 //! Numerics substrate: the pessimistic estimator and the samplers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pm_stats::{pessimistic_upper, PessimisticEstimator, Normal, Poisson, Zipf};
+use pm_stats::{pessimistic_upper, Normal, PessimisticEstimator, Poisson, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -12,7 +12,9 @@ fn bench_stats(c: &mut Criterion) {
     let est = PessimisticEstimator::default();
     // Warm the memo with the values the loop will hit.
     est.upper(100, 20);
-    c.bench_function("pessimistic_upper/memoized", |b| b.iter(|| est.upper(100, 20)));
+    c.bench_function("pessimistic_upper/memoized", |b| {
+        b.iter(|| est.upper(100, 20))
+    });
     let zipf = Zipf::new(1000, 1.0);
     let normal = Normal::new(0.0, 1.0);
     let poisson = Poisson::new(10.0);

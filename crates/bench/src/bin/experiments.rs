@@ -16,6 +16,7 @@
 //!   --txns N        override the transaction count
 //!   --items N       override the item count
 //!   --seed N        RNG seed (default 2002)
+//!   --threads N     worker threads (default 0 = all cores; 1 = sequential)
 //!   --out DIR       also write CSVs there (default reports/)
 //! ```
 //!
@@ -30,20 +31,36 @@ use std::process::ExitCode;
 struct Options {
     scale: Scale,
     seed: u64,
+    threads: usize,
     out: Option<std::path::PathBuf>,
     panels: BTreeSet<String>,
 }
 
 const ALL_PANELS: [&str; 18] = [
-    "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4a", "fig4b", "fig4c", "fig4d",
-    "fig4e", "fig4f", "post-knn", "ablate-cf", "ablate-prune", "ablate-coupling",
-    "ablate-eval", "ablate-quantity",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "fig3e",
+    "fig3f",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig4e",
+    "fig4f",
+    "post-knn",
+    "ablate-cf",
+    "ablate-prune",
+    "ablate-coupling",
+    "ablate-eval",
+    "ablate-quantity",
 ];
 
 fn usage() -> String {
     format!(
         "usage: experiments [--full|--quick|--tiny] [--txns N] [--items N] \
-         [--seed N] [--out DIR] <panel>...\npanels: {} all",
+         [--seed N] [--threads N] [--out DIR] <panel>...\npanels: {} all",
         ALL_PANELS.join(" ")
     )
 }
@@ -51,6 +68,7 @@ fn usage() -> String {
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut scale = Scale::quick();
     let mut seed = 2002u64;
+    let mut threads = 0usize;
     let mut out = Some(std::path::PathBuf::from("reports"));
     let mut panels = BTreeSet::new();
     let mut txns: Option<usize> = None;
@@ -84,6 +102,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs a number")?;
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a number")?;
+            }
             "--out" => {
                 i += 1;
                 out = Some(args.get(i).ok_or("--out needs a directory")?.into());
@@ -111,6 +136,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     Ok(Options {
         scale,
         seed,
+        threads,
         out,
         panels,
     })
@@ -135,19 +161,19 @@ fn run(opts: &Options) {
         let want = |p: char| opts.panels.contains(&format!("{fig}{p}"));
         if want('a') || want('c') || want('f') {
             eprintln!("[{fig}a/c/f] sweeping {dataset}…");
-            let tables = experiments::fig_sweep(dataset, &opts.scale, opts.seed);
+            let tables = experiments::fig_sweep(dataset, &opts.scale, opts.seed, opts.threads);
             for (t, p) in tables.iter().zip(['a', 'c', 'f']) {
                 emit(t, &format!("{fig}{p}"), &opts.out);
             }
         }
         if want('b') {
             eprintln!("[{fig}b] quantity-boost sweep on {dataset}…");
-            let t = experiments::fig_b(dataset, &opts.scale, opts.seed);
+            let t = experiments::fig_b(dataset, &opts.scale, opts.seed, opts.threads);
             emit(&t, &format!("{fig}b"), &opts.out);
         }
         if want('d') {
             eprintln!("[{fig}d] profit-range hit rates on {dataset}…");
-            let t = experiments::fig_d(dataset, &opts.scale, opts.seed);
+            let t = experiments::fig_d(dataset, &opts.scale, opts.seed, opts.threads);
             emit(&t, &format!("{fig}d"), &opts.out);
         }
         if want('e') {
@@ -157,11 +183,11 @@ fn run(opts: &Options) {
     }
     if opts.panels.contains("post-knn") {
         eprintln!("[post-knn] kNN profit post-processing…");
-        let t = experiments::post_knn(&opts.scale, opts.seed);
+        let t = experiments::post_knn(&opts.scale, opts.seed, opts.threads);
         emit(&t, "post-knn", &opts.out);
     }
     use pm_eval::ablations;
-    type Ablation = fn(Dataset, &Scale, u64) -> Table;
+    type Ablation = fn(Dataset, &Scale, u64, usize) -> Table;
     let ablations: [(&str, Ablation); 5] = [
         ("ablate-cf", ablations::cf_sweep as Ablation),
         ("ablate-prune", ablations::prune_value as Ablation),
@@ -172,7 +198,7 @@ fn run(opts: &Options) {
     for (id, f) in ablations {
         if opts.panels.contains(id) {
             eprintln!("[{id}]…");
-            let t = f(Dataset::I, &opts.scale, opts.seed);
+            let t = f(Dataset::I, &opts.scale, opts.seed, opts.threads);
             emit(&t, id, &opts.out);
         }
     }

@@ -20,8 +20,7 @@ fn write(path: &str, contents: &str) -> Result<(), CliError> {
 
 fn load_data(args: &ArgMap) -> Result<TransactionSet, CliError> {
     let path = args.require("--data")?;
-    TransactionSet::from_json(&read(path)?)
-        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))
+    TransactionSet::from_json(&read(path)?).map_err(|e| CliError::Runtime(format!("{path}: {e}")))
 }
 
 fn load_model(args: &ArgMap) -> Result<RuleModel, CliError> {
@@ -29,6 +28,12 @@ fn load_model(args: &ArgMap) -> Result<RuleModel, CliError> {
     let saved: SavedModel = serde_json::from_str(&read(path)?)
         .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
     Ok(RuleModel::load(saved))
+}
+
+/// `--threads N`: worker threads (0 = all cores, 1 = sequential). The
+/// result is bit-identical at every setting.
+fn threads(args: &ArgMap) -> Result<usize, CliError> {
+    args.get_or("--threads", 0usize)
 }
 
 fn miner_config(args: &ArgMap) -> Result<MinerConfig, CliError> {
@@ -107,12 +112,14 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
         prune: !args.switch("--no-prune"),
         ..CutConfig::default()
     };
-    let model = ProfitMiner::new(miner).with_cut(cut).fit(&data);
+    let model = ProfitMiner::new(miner)
+        .with_cut(cut)
+        .with_threads(threads(args)?)
+        .fit(&data);
     let stats = *model.stats();
     write(
         out,
-        &serde_json::to_string(&model.save())
-            .map_err(|e| CliError::Runtime(e.to_string()))?,
+        &serde_json::to_string(&model.save()).map_err(|e| CliError::Runtime(e.to_string()))?,
     )?;
     Ok(format!(
         "wrote {} — {} ({} rules; mined {}, after dominance {}, projected profit {:.2})",
@@ -179,6 +186,7 @@ pub fn eval(args: &ArgMap) -> Result<String, CliError> {
         } else {
             QuantityModel::Saving
         },
+        threads: threads(args)?,
         ..EvalConfig::default()
     };
     let report = run_sweep(&data, &cfg);

@@ -14,9 +14,7 @@ pub use args::{ArgMap, CliError};
 
 /// Dispatch a CLI invocation; returns the text to print on stdout.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
-    let (command, rest) = argv
-        .split_first()
-        .ok_or_else(|| CliError::Usage(usage()))?;
+    let (command, rest) = argv.split_first().ok_or_else(|| CliError::Usage(usage()))?;
     let args = ArgMap::parse(rest)?;
     match command.as_str() {
         "gen" => commands::gen(&args),
@@ -44,13 +42,19 @@ USAGE
   profit-mining gen        --out data.json [--dataset i|ii] [--txns N] [--items N] [--seed N]
   profit-mining fit        --data data.json --out model.json [--minsup F] [--max-body N]
                            [--no-moa] [--conf] [--no-prune] [--min-conf F] [--buying]
+                           [--threads N]
   profit-mining recommend  --data data.json --model model.json [--txn N] [--top K]
   profit-mining rules      --model model.json [--top N]
   profit-mining eval       --data data.json [--minsup F] [--folds N] [--buying] [--seed N]
+                           [--threads N]
   profit-mining stats      --data data.json
   profit-mining import     --catalog catalog.csv --sales sales.csv --out data.json
   profit-mining export     --data data.json --catalog catalog.csv --sales sales.csv
   profit-mining help
+
+  --threads N selects the worker-thread count for mining and evaluation
+  (0 = all cores, the default; 1 = sequential). Output is bit-identical
+  at every setting.
 "
     .to_string()
 }
@@ -78,8 +82,17 @@ mod tests {
         let model = dir.join("model.json").display().to_string();
 
         let out = run(&v(&[
-            "gen", "--out", &data, "--dataset", "i", "--txns", "400", "--items", "80",
-            "--seed", "5",
+            "gen",
+            "--out",
+            &data,
+            "--dataset",
+            "i",
+            "--txns",
+            "400",
+            "--items",
+            "80",
+            "--seed",
+            "5",
         ]))
         .unwrap();
         assert!(out.contains("400 transactions"), "{out}");
@@ -88,7 +101,15 @@ mod tests {
         assert!(out.contains("transactions: 400"), "{out}");
 
         let out = run(&v(&[
-            "fit", "--data", &data, "--out", &model, "--minsup", "0.03", "--max-body", "2",
+            "fit",
+            "--data",
+            &data,
+            "--out",
+            &model,
+            "--minsup",
+            "0.03",
+            "--max-body",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("rules"), "{out}");
@@ -97,17 +118,65 @@ mod tests {
         assert!(out.contains("→"), "{out}");
 
         let out = run(&v(&[
-            "recommend", "--data", &data, "--model", &model, "--txn", "0", "--top", "2",
+            "recommend",
+            "--data",
+            &data,
+            "--model",
+            &model,
+            "--txn",
+            "0",
+            "--top",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("recommend"), "{out}");
 
         let out = run(&v(&[
-            "eval", "--data", &data, "--minsup", "0.03", "--folds", "2", "--max-body", "2",
+            "eval",
+            "--data",
+            &data,
+            "--minsup",
+            "0.03",
+            "--folds",
+            "2",
+            "--max-body",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("gain"), "{out}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_is_output_invariant() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-thr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "300", "--items", "60", "--seed", "9",
+        ]))
+        .unwrap();
+        let fit_at = |threads: &str| {
+            let model = dir.join(format!("m{threads}.json")).display().to_string();
+            run(&v(&[
+                "fit",
+                "--data",
+                &data,
+                "--out",
+                &model,
+                "--minsup",
+                "0.03",
+                "--max-body",
+                "2",
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            std::fs::read(&model).unwrap()
+        };
+        let sequential = fit_at("1");
+        assert_eq!(sequential, fit_at("4"), "fitted model bytes differ");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -118,11 +187,31 @@ mod tests {
         let data = dir.join("d.json").display().to_string();
         let cat = dir.join("c.csv").display().to_string();
         let sal = dir.join("s.csv").display().to_string();
-        run(&v(&["gen", "--out", &data, "--txns", "50", "--items", "20"])).unwrap();
-        run(&v(&["export", "--data", &data, "--catalog", &cat, "--sales", &sal])).unwrap();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "50", "--items", "20",
+        ]))
+        .unwrap();
+        run(&v(&[
+            "export",
+            "--data",
+            &data,
+            "--catalog",
+            &cat,
+            "--sales",
+            &sal,
+        ]))
+        .unwrap();
         let data2 = dir.join("d2.json").display().to_string();
-        let out = run(&v(&["import", "--catalog", &cat, "--sales", &sal, "--out", &data2]))
-            .unwrap();
+        let out = run(&v(&[
+            "import",
+            "--catalog",
+            &cat,
+            "--sales",
+            &sal,
+            "--out",
+            &data2,
+        ]))
+        .unwrap();
         assert!(out.contains("50 transactions"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -130,7 +219,13 @@ mod tests {
     #[test]
     fn missing_files_are_runtime_errors() {
         assert!(matches!(
-            run(&v(&["fit", "--data", "/nonexistent.json", "--out", "/tmp/x.json"])),
+            run(&v(&[
+                "fit",
+                "--data",
+                "/nonexistent.json",
+                "--out",
+                "/tmp/x.json"
+            ])),
             Err(CliError::Runtime(_))
         ));
         assert!(matches!(

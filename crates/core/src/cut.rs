@@ -123,7 +123,13 @@ where
         let leaf = eval(v, &m);
         if leaf >= subtree - 1e-9 {
             // Prune the subtree at v: v becomes a leaf covering all of it.
-            prune_descendants(v, &children, &mut retained, &mut final_cover, &mut node_profit);
+            prune_descendants(
+                v,
+                &children,
+                &mut retained,
+                &mut final_cover,
+                &mut node_profit,
+            );
             tree_prof[v] = leaf;
             node_profit[v] = leaf;
             final_cover[v] = m.clone();
@@ -186,10 +192,7 @@ pub mod reference {
                 }
             }
             let mut profit = 0.0;
-            for v in 0..tree.parent.len() {
-                if !retained[v] {
-                    continue;
-                }
+            for (v, _) in retained.iter().enumerate().filter(|(_, r)| **r) {
                 if cut_leaves.contains(&v) {
                     let mut m = Vec::new();
                     collect(v, &children, &tree.cover, &mut m);
@@ -372,7 +375,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let (tree, table) = random_tree(&mut rng, 10, 30);
         let r = optimal_cut(&tree, table_eval(table));
-        let sum: f64 = (0..10).filter(|&i| r.retained[i]).map(|i| r.node_profit[i]).sum();
+        let sum: f64 = (0..10)
+            .filter(|&i| r.retained[i])
+            .map(|i| r.node_profit[i])
+            .sum();
         assert!((sum - r.total_profit).abs() < 1e-9);
     }
 
@@ -381,7 +387,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let (tree, table) = random_tree(&mut rng, 12, 40);
         let r = optimal_cut(&tree, table_eval(table));
-        let mut seen = vec![false; 40];
+        let mut seen = [false; 40];
         for (i, cov) in r.final_cover.iter().enumerate() {
             if !r.retained[i] {
                 assert!(cov.is_empty());

@@ -297,7 +297,11 @@ impl RuleModel {
                 GenSale::Concept(c) => self.moa.hierarchy().concept_name(*c).to_string(),
                 GenSale::Item(i) => catalog.item(*i).name.clone(),
                 GenSale::ItemCode(i, p) => {
-                    format!("⟨{} @ {}⟩", catalog.item(*i).name, catalog.code(*i, *p).price)
+                    format!(
+                        "⟨{} @ {}⟩",
+                        catalog.item(*i).name,
+                        catalog.code(*i, *p).price
+                    )
                 }
             }
         };
@@ -306,7 +310,7 @@ impl RuleModel {
         } else {
             format!(
                 "{{{}}}",
-                r.body.iter().map(|g| gs_name(g)).collect::<Vec<_>>().join(", ")
+                r.body.iter().map(gs_name).collect::<Vec<_>>().join(", ")
             )
         };
         format!(
@@ -383,7 +387,9 @@ impl<'a> Matcher<'a> {
         s.gs_set.clear();
         for sale in customer {
             s.gs_buf.clear();
-            self.model.moa.generalizations_of_sale_into(sale, &mut s.gs_buf);
+            self.model
+                .moa
+                .generalizations_of_sale_into(sale, &mut s.gs_buf);
             for g in &s.gs_buf {
                 if !s.gs_set.contains(g) {
                     s.gs_set.push(*g);
@@ -470,9 +476,7 @@ impl Recommender for RuleModel {
 mod tests {
     use super::*;
     use pm_rules::{MinerConfig, MoaMode, RuleMiner, Support};
-    use pm_txn::{
-        Catalog, Hierarchy, ItemDef, Money, PromotionCode, Transaction, TransactionSet,
-    };
+    use pm_txn::{Catalog, Hierarchy, ItemDef, Money, PromotionCode, Transaction, TransactionSet};
 
     /// 20 transactions with a strong signal: buyers of `a` take the target
     /// at the high price; buyers of `b` take three units at the low price
@@ -538,11 +542,21 @@ mod tests {
         // profit $6 dwarfs the cheap code's $2 and `a`-buyers accept it).
         let rec = m.recommend(&[Sale::new(ItemId(0), CodeId(0), 1)]);
         assert_eq!(rec.item, ItemId(2));
-        assert_eq!(rec.code, CodeId(1), "{}", m.explain(rec.rule_index.unwrap()));
+        assert_eq!(
+            rec.code,
+            CodeId(1),
+            "{}",
+            m.explain(rec.rule_index.unwrap())
+        );
         // Customer buying `b` gets the cheap code (Prof_re $6 from the
         // 3-unit purchases) — the expensive one never hits for them.
         let rec = m.recommend(&[Sale::new(ItemId(1), CodeId(0), 1)]);
-        assert_eq!(rec.code, CodeId(0), "{}", m.explain(rec.rule_index.unwrap()));
+        assert_eq!(
+            rec.code,
+            CodeId(0),
+            "{}",
+            m.explain(rec.rule_index.unwrap())
+        );
     }
 
     #[test]
@@ -568,10 +582,7 @@ mod tests {
             "exactly one default"
         );
         for w in rules.windows(2) {
-            assert!(
-                w[0].prof_re >= w[1].prof_re - 1e-12,
-                "Prof_re must descend"
-            );
+            assert!(w[0].prof_re >= w[1].prof_re - 1e-12, "Prof_re must descend");
         }
     }
 

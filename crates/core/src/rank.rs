@@ -109,6 +109,44 @@ mod tests {
         }
     }
 
+    /// Regression: `mpf_cmp` is built on `total_cmp`, so a NaN `Prof_re`
+    /// (degenerate profit upstream) must neither panic nor break the
+    /// total order — NaN sorts above every finite profit and ties among
+    /// NaNs fall through to the remaining criteria.
+    #[test]
+    fn nan_profit_keeps_order_total() {
+        let nan_a = rule(1, 10, 5, f64::NAN, 0);
+        let nan_b = rule(1, 10, 5, f64::NAN, 1);
+        let finite = rule(1, 10, 5, 1e300, 2);
+        for mode in [ProfitMode::Profit, ProfitMode::Confidence] {
+            for a in [&nan_a, &nan_b, &finite] {
+                for b in [&nan_a, &nan_b, &finite] {
+                    let ab = mpf_cmp(a, b, mode);
+                    let ba = mpf_cmp(b, a, mode);
+                    assert_eq!(ab, ba.reverse());
+                    if std::ptr::eq(a, b) {
+                        assert_eq!(ab, Ordering::Equal);
+                    }
+                }
+            }
+        }
+        // Positive NaN is +∞-adjacent under the total order.
+        assert_eq!(
+            mpf_cmp(&nan_a, &finite, ProfitMode::Profit),
+            Ordering::Greater
+        );
+        // Two NaN profits fall through to the generation tie-break.
+        assert_eq!(
+            mpf_cmp(&nan_a, &nan_b, ProfitMode::Profit),
+            Ordering::Greater
+        );
+        // Sorting a mixed set must not panic and keeps NaNs first.
+        let mut rules = vec![finite.clone(), nan_b.clone(), nan_a.clone()];
+        sort_by_rank_desc(&mut rules, ProfitMode::Profit);
+        assert!(rules[0].profit.is_nan() && rules[1].profit.is_nan());
+        assert_eq!(rules[2].gen_index, 2);
+    }
+
     #[test]
     fn sorting_is_descending() {
         let mut rules = vec![

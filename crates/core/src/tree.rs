@@ -271,8 +271,14 @@ mod tests {
             mk(vec![Sale::new(a, CodeId(0), 1)], 0),
             mk(vec![Sale::new(a, CodeId(0), 1)], 0),
             mk(vec![Sale::new(a, CodeId(1), 1)], 1),
-            mk(vec![Sale::new(a, CodeId(0), 1), Sale::new(b, CodeId(0), 1)], 1),
-            mk(vec![Sale::new(a, CodeId(1), 1), Sale::new(b, CodeId(0), 1)], 1),
+            mk(
+                vec![Sale::new(a, CodeId(0), 1), Sale::new(b, CodeId(0), 1)],
+                1,
+            ),
+            mk(
+                vec![Sale::new(a, CodeId(1), 1), Sale::new(b, CodeId(0), 1)],
+                1,
+            ),
             mk(vec![Sale::new(b, CodeId(1), 1)], 0),
             mk(vec![Sale::new(b, CodeId(0), 1)], 1),
             mk(vec![Sale::new(b, CodeId(1), 1)], 0),
@@ -390,7 +396,12 @@ mod tests {
         for (tid, &own) in owner.iter().enumerate() {
             assert_ne!(own, usize::MAX, "transaction {tid} uncovered");
             let first_match = (0..tree.len())
-                .find(|&i| tree.rules[i].body.iter().all(|g| ext.txn_gs[tid].contains(g)))
+                .find(|&i| {
+                    tree.rules[i]
+                        .body
+                        .iter()
+                        .all(|g| ext.txn_gs[tid].contains(g))
+                })
                 .expect("default matches");
             assert_eq!(own, first_match, "transaction {tid}");
         }

@@ -52,7 +52,7 @@ fn random_dataset(rng: &mut StdRng, n_nt: usize, n_txns: usize) -> TransactionSe
             .map(|&i| Sale::new(ItemId(i as u32), CodeId(rng.gen_range(0..2)), 1))
             .collect();
         let target = Sale::new(
-            ItemId((n_nt + rng.gen_range(0..2)) as u32),
+            ItemId((n_nt + rng.gen_range(0..2usize)) as u32),
             CodeId(rng.gen_range(0..2)),
             rng.gen_range(1..3),
         );

@@ -7,9 +7,7 @@ use crate::pricing::PricingConfig;
 use crate::quest::QuestConfig;
 use crate::targets::TargetSpec;
 use pm_stats::Binomial;
-use pm_txn::{
-    Catalog, CodeId, Hierarchy, ItemDef, ItemId, Sale, Transaction, TransactionSet,
-};
+use pm_txn::{Catalog, CodeId, Hierarchy, ItemDef, ItemId, Sale, Transaction, TransactionSet};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -194,14 +192,11 @@ impl DatasetConfig {
                     PriceCoupling::Sensitivity => {
                         // θ anchored at the preferred price; uniform over
                         // [0,1] when the preference is uniform.
-                        let theta =
-                            (pref_price as f64 + rng.gen::<f64>()) / n_prices as f64;
+                        let theta = (pref_price as f64 + rng.gen::<f64>()) / n_prices as f64;
                         let b = Binomial::new(n_prices as u32 - 1, theta);
                         let nts = basket
                             .into_iter()
-                            .map(|item| {
-                                Sale::new(ItemId(item), CodeId(b.sample(rng) as u16), 1)
-                            })
+                            .map(|item| Sale::new(ItemId(item), CodeId(b.sample(rng) as u16), 1))
                             .collect::<Vec<_>>();
                         let tp = if noisy {
                             b.sample(rng) as u16
@@ -333,7 +328,8 @@ mod tests {
         // one pattern. Identical baskets from the same pattern dominate,
         // so require at least 80% of duplicate-basket groups to agree.
         use std::collections::HashMap;
-        let mut groups: HashMap<Vec<(u32, u16)>, Vec<(u32, u16)>> = HashMap::new();
+        type Pair = (u32, u16);
+        let mut groups: HashMap<Vec<Pair>, Vec<Pair>> = HashMap::new();
         for t in coupled.transactions() {
             let key: Vec<(u32, u16)> = t
                 .non_target_sales()

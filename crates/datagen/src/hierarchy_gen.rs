@@ -33,14 +33,21 @@ impl HierarchyConfig {
     /// the first `n_non_target` are non-target (only those are grouped).
     pub fn build(&self, n_items: usize, n_non_target: usize) -> Hierarchy {
         assert!(n_non_target <= n_items);
-        assert!(self.branching >= 2 || self.levels == 0, "branching must be ≥ 2");
+        assert!(
+            self.branching >= 2 || self.levels == 0,
+            "branching must be ≥ 2"
+        );
         let mut h = Hierarchy::flat(n_items);
         if self.levels == 0 || n_non_target == 0 {
             return h;
         }
         // Level 1: group items.
         let mut current: Vec<_> = Vec::new();
-        for (g, chunk) in (0..n_non_target).collect::<Vec<_>>().chunks(self.branching).enumerate() {
+        for (g, chunk) in (0..n_non_target)
+            .collect::<Vec<_>>()
+            .chunks(self.branching)
+            .enumerate()
+        {
             let c = h.add_concept(format!("L1-{g}"));
             for &i in chunk {
                 h.link_item(ItemId(i as u32), c).expect("in range");

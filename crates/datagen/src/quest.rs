@@ -99,10 +99,7 @@ impl QuestConfig {
     /// pattern* of each transaction — the first potential maximal itemset
     /// that seeded it. The profit-mining augmentation uses it to couple
     /// target sales to basket structure (see `pm-datagen::config`).
-    pub fn generate_with_patterns<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> Vec<(Vec<u32>, usize)> {
+    pub fn generate_with_patterns<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<(Vec<u32>, usize)> {
         self.validate().expect("invalid QuestConfig");
         let patterns = PatternTable::generate(self, rng);
         let txn_size = Poisson::new(self.avg_txn_size);

@@ -37,16 +37,31 @@ fn miner(scale: &Scale, minsup: f64) -> RuleMiner {
     })
 }
 
+/// Split `threads` between ablation cells and the mining inside each
+/// cell (cells first — they are the coarser grain). Mirrors
+/// `runner::fold_thread_split`; results are identical either way.
+fn cell_split(threads: usize, n_cells: usize) -> (usize, usize) {
+    let workers = pm_par::resolve(threads).min(n_cells.max(1));
+    let inner = if workers > 1 {
+        1
+    } else {
+        pm_par::resolve(threads)
+    };
+    (workers, inner)
+}
+
 /// Gain and rule count across pessimistic confidence levels.
-pub fn cf_sweep(which: Dataset, scale: &Scale, seed: u64) -> Table {
+pub fn cf_sweep(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
     let data = which.generate(scale, seed);
     let (train, valid) = one_fold(&data, seed);
-    let mined = miner(scale, scale.range_minsup).mine(&train);
-    let mut table = Table::new(
-        format!("ablation: pessimistic CF — {which}"),
-        vec!["CF".into(), "gain".into(), "hit rate".into(), "rules".into()],
-    );
-    for cf in [0.05, 0.10, 0.25, 0.50, 0.90] {
+    // One mining run feeds every cell: give it the full thread budget.
+    let mined = miner(scale, scale.range_minsup)
+        .with_threads(threads)
+        .mine(&train);
+    let cfs = [0.05, 0.10, 0.25, 0.50, 0.90];
+    let (workers, _) = cell_split(threads, cfs.len());
+    let rows = pm_par::par_map(cfs.len(), workers, |i| {
+        let cf = cfs[i];
         let model = RuleModel::build(
             &mined,
             &CutConfig {
@@ -55,21 +70,54 @@ pub fn cf_sweep(which: Dataset, scale: &Scale, seed: u64) -> Table {
             },
         );
         let out = evaluate(&Matcher::new(&model), &valid, &EvalOptions::default());
-        table.push_row(vec![
+        vec![
             format!("{cf:.2}"),
             fmt(out.gain()),
             fmt(out.hit_rate()),
             model.rules().len().to_string(),
-        ]);
+        ]
+    });
+    let mut table = Table::new(
+        format!("ablation: pessimistic CF — {which}"),
+        vec![
+            "CF".into(),
+            "gain".into(),
+            "hit rate".into(),
+            "rules".into(),
+        ],
+    );
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
 
 /// Gain and model size with and without the cut-optimal phase.
-pub fn prune_value(which: Dataset, scale: &Scale, seed: u64) -> Table {
+pub fn prune_value(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
     let data = which.generate(scale, seed);
     let (train, valid) = one_fold(&data, seed);
-    let mined = miner(scale, scale.range_minsup).mine(&train);
+    let mined = miner(scale, scale.range_minsup)
+        .with_threads(threads)
+        .mine(&train);
+    let variants = [("cut-optimal (§4)", true), ("MPF only (§3.2)", false)];
+    let (workers, _) = cell_split(threads, variants.len());
+    let rows = pm_par::par_map(variants.len(), workers, |i| {
+        let (label, prune) = variants[i];
+        let model = RuleModel::build(
+            &mined,
+            &CutConfig {
+                prune,
+                ..CutConfig::default()
+            },
+        );
+        let out = evaluate(&Matcher::new(&model), &valid, &EvalOptions::default());
+        vec![
+            label.to_string(),
+            fmt(out.gain()),
+            fmt(out.hit_rate()),
+            model.rules().len().to_string(),
+        ]
+    });
     let mut table = Table::new(
         format!("ablation: cut-optimal pruning — {which}"),
         vec![
@@ -79,21 +127,8 @@ pub fn prune_value(which: Dataset, scale: &Scale, seed: u64) -> Table {
             "rules".into(),
         ],
     );
-    for (label, prune) in [("cut-optimal (§4)", true), ("MPF only (§3.2)", false)] {
-        let model = RuleModel::build(
-            &mined,
-            &CutConfig {
-                prune,
-                ..CutConfig::default()
-            },
-        );
-        let out = evaluate(&Matcher::new(&model), &valid, &EvalOptions::default());
-        table.push_row(vec![
-            label.to_string(),
-            fmt(out.gain()),
-            fmt(out.hit_rate()),
-            model.rules().len().to_string(),
-        ]);
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -101,7 +136,36 @@ pub fn prune_value(which: Dataset, scale: &Scale, seed: u64) -> Table {
 /// Gain of PROF+MOA across generator couplings — including the fully
 /// independent reading of §5.2 under which no recommender can beat a
 /// fixed pair.
-pub fn coupling(which: Dataset, scale: &Scale, seed: u64) -> Table {
+pub fn coupling(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
+    let variants: [(&str, f64, PriceCoupling); 4] = [
+        ("pattern+θ, noise 0.05", 0.05, PriceCoupling::Sensitivity),
+        ("pattern+θ, noise 0.15", 0.15, PriceCoupling::Sensitivity),
+        ("pattern only, noise 0.15", 0.15, PriceCoupling::Uniform),
+        ("independent (§5.2 literal)", 1.0, PriceCoupling::Uniform),
+    ];
+    // Every cell generates + mines its own dataset: fan the cells out and
+    // keep their inner mining sequential while cells saturate the budget.
+    let (workers, inner) = cell_split(threads, variants.len());
+    let rows = pm_par::par_map(variants.len(), workers, |i| {
+        let (label, noise, pc) = variants[i];
+        let cfg = which
+            .config(scale)
+            .with_target_noise(noise)
+            .with_price_coupling(pc);
+        let data = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        let (train, valid) = one_fold(&data, seed);
+        let mined = miner(scale, scale.range_minsup)
+            .with_threads(inner)
+            .mine(&train);
+        let model = RuleModel::build(&mined, &CutConfig::default());
+        let out = evaluate(&Matcher::new(&model), &valid, &EvalOptions::default());
+        vec![
+            label.to_string(),
+            fmt(out.gain()),
+            fmt(out.hit_rate()),
+            model.rules().len().to_string(),
+        ]
+    });
     let mut table = Table::new(
         format!("ablation: basket→target coupling — {which}"),
         vec![
@@ -111,28 +175,8 @@ pub fn coupling(which: Dataset, scale: &Scale, seed: u64) -> Table {
             "rules".into(),
         ],
     );
-    let variants: [(&str, f64, PriceCoupling); 4] = [
-        ("pattern+θ, noise 0.05", 0.05, PriceCoupling::Sensitivity),
-        ("pattern+θ, noise 0.15", 0.15, PriceCoupling::Sensitivity),
-        ("pattern only, noise 0.15", 0.15, PriceCoupling::Uniform),
-        ("independent (§5.2 literal)", 1.0, PriceCoupling::Uniform),
-    ];
-    for (label, noise, pc) in variants {
-        let cfg = which
-            .config(scale)
-            .with_target_noise(noise)
-            .with_price_coupling(pc);
-        let data = cfg.generate(&mut StdRng::seed_from_u64(seed));
-        let (train, valid) = one_fold(&data, seed);
-        let mined = miner(scale, scale.range_minsup).mine(&train);
-        let model = RuleModel::build(&mined, &CutConfig::default());
-        let out = evaluate(&Matcher::new(&model), &valid, &EvalOptions::default());
-        table.push_row(vec![
-            label.to_string(),
-            fmt(out.gain()),
-            fmt(out.hit_rate()),
-            model.rules().len().to_string(),
-        ]);
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -141,15 +185,17 @@ pub fn coupling(which: Dataset, scale: &Scale, seed: u64) -> Table {
 /// and the evaluation-time quantity model switch together, as in the
 /// paper ("the gain for buying MOA will be higher if all target items
 /// have non-negative profit").
-pub fn quantity_model(which: Dataset, scale: &Scale, seed: u64) -> Table {
+pub fn quantity_model(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
     use pm_txn::QuantityModel;
     let data = which.generate(scale, seed);
     let (train, valid) = one_fold(&data, seed);
-    let mut table = Table::new(
-        format!("ablation: saving vs buying MOA — {which}"),
-        vec!["quantity model".into(), "gain".into(), "hit rate".into()],
-    );
-    for (label, qm) in [("saving", QuantityModel::Saving), ("buying", QuantityModel::Buying)] {
+    let variants = [
+        ("saving", QuantityModel::Saving),
+        ("buying", QuantityModel::Buying),
+    ];
+    let (workers, inner) = cell_split(threads, variants.len());
+    let rows = pm_par::par_map(variants.len(), workers, |i| {
+        let (label, qm) = variants[i];
         let mined = RuleMiner::new(MinerConfig {
             min_support: Support::Fraction(scale.range_minsup),
             max_body_len: scale.max_body_len,
@@ -158,6 +204,7 @@ pub fn quantity_model(which: Dataset, scale: &Scale, seed: u64) -> Table {
             min_confidence: Some(0.5),
             ..MinerConfig::default()
         })
+        .with_threads(inner)
         .mine(&train);
         let model = RuleModel::build(&mined, &CutConfig::default());
         let out = evaluate(
@@ -168,32 +215,47 @@ pub fn quantity_model(which: Dataset, scale: &Scale, seed: u64) -> Table {
                 ..EvalOptions::default()
             },
         );
-        table.push_row(vec![label.to_string(), fmt(out.gain()), fmt(out.hit_rate())]);
+        vec![label.to_string(), fmt(out.gain()), fmt(out.hit_rate())]
+    });
+    let mut table = Table::new(
+        format!("ablation: saving vs buying MOA — {which}"),
+        vec!["quantity model".into(), "gain".into(), "hit rate".into()],
+    );
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
 
 /// MOA acceptance vs exact-match acceptance at evaluation time.
-pub fn eval_semantics(which: Dataset, scale: &Scale, seed: u64) -> Table {
+pub fn eval_semantics(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
     let data = which.generate(scale, seed);
     let (train, valid) = one_fold(&data, seed);
-    let mined = miner(scale, scale.range_minsup).mine(&train);
+    let mined = miner(scale, scale.range_minsup)
+        .with_threads(threads)
+        .mine(&train);
     let model = RuleModel::build(&mined, &CutConfig::default());
-    let matcher = Matcher::new(&model);
-    let mut table = Table::new(
-        format!("ablation: evaluation acceptance — {which}"),
-        vec!["acceptance".into(), "gain".into(), "hit rate".into()],
-    );
-    for (label, exact) in [("MOA (P ⪯ recorded)", false), ("exact code match", true)] {
+    let variants = [("MOA (P ⪯ recorded)", false), ("exact code match", true)];
+    let (workers, _) = cell_split(threads, variants.len());
+    // One Matcher per cell: its memoization scratch is a RefCell.
+    let rows = pm_par::par_map(variants.len(), workers, |i| {
+        let (label, exact) = variants[i];
         let out = evaluate(
-            &matcher,
+            &Matcher::new(&model),
             &valid,
             &EvalOptions {
                 exact_match: exact,
                 ..EvalOptions::default()
             },
         );
-        table.push_row(vec![label.to_string(), fmt(out.gain()), fmt(out.hit_rate())]);
+        vec![label.to_string(), fmt(out.gain()), fmt(out.hit_rate())]
+    });
+    let mut table = Table::new(
+        format!("ablation: evaluation acceptance — {which}"),
+        vec!["acceptance".into(), "gain".into(), "hit rate".into()],
+    );
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -204,14 +266,14 @@ mod tests {
 
     #[test]
     fn cf_sweep_shape() {
-        let t = cf_sweep(Dataset::I, &Scale::tiny(), 3);
+        let t = cf_sweep(Dataset::I, &Scale::tiny(), 3, 2);
         assert_eq!(t.rows.len(), 5);
         assert_eq!(t.columns.len(), 4);
     }
 
     #[test]
     fn prune_value_shape() {
-        let t = prune_value(Dataset::I, &Scale::tiny(), 3);
+        let t = prune_value(Dataset::I, &Scale::tiny(), 3, 2);
         assert_eq!(t.rows.len(), 2);
         // Pruned model is never larger.
         let pruned: usize = t.rows[0][3].parse().unwrap();
@@ -221,7 +283,7 @@ mod tests {
 
     #[test]
     fn coupling_orders_independent_last() {
-        let t = coupling(Dataset::I, &Scale::tiny(), 3);
+        let t = coupling(Dataset::I, &Scale::tiny(), 3, 2);
         assert_eq!(t.rows.len(), 4);
         // Strong coupling should not lose to the independent regime.
         let strong: f64 = t.rows[0][1].parse().unwrap();
@@ -234,15 +296,18 @@ mod tests {
 
     #[test]
     fn buying_gain_at_least_saving() {
-        let t = quantity_model(Dataset::I, &Scale::tiny(), 3);
+        let t = quantity_model(Dataset::I, &Scale::tiny(), 3, 2);
         let saving: f64 = t.rows[0][1].parse().unwrap();
         let buying: f64 = t.rows[1][1].parse().unwrap();
-        assert!(buying >= saving - 0.05, "buying {buying} vs saving {saving}");
+        assert!(
+            buying >= saving - 0.05,
+            "buying {buying} vs saving {saving}"
+        );
     }
 
     #[test]
     fn eval_semantics_moa_is_no_worse() {
-        let t = eval_semantics(Dataset::I, &Scale::tiny(), 3);
+        let t = eval_semantics(Dataset::I, &Scale::tiny(), 3, 2);
         let moa_hit: f64 = t.rows[0][2].parse().unwrap();
         let exact_hit: f64 = t.rows[1][2].parse().unwrap();
         assert!(moa_hit >= exact_hit, "{moa_hit} vs {exact_hit}");

@@ -123,31 +123,34 @@ impl Scale {
     }
 }
 
-fn base_config(scale: &Scale, seed: u64) -> EvalConfig {
+fn base_config(scale: &Scale, seed: u64, threads: usize) -> EvalConfig {
     EvalConfig {
         seed,
         sweep: scale.sweep.clone(),
         n_folds: scale.folds,
         max_body_len: scale.max_body_len,
+        threads,
         ..EvalConfig::default()
     }
 }
 
 /// Panels (a), (c), (f) of Figures 3/4: gain, hit rate, and rule count
 /// versus minimum support — three views of one cross-validated sweep.
-pub fn fig_sweep(which: Dataset, scale: &Scale, seed: u64) -> Vec<Table> {
+pub fn fig_sweep(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Vec<Table> {
     let data = which.generate(scale, seed);
-    let report = run_sweep(&data, &base_config(scale, seed));
+    let report = run_sweep(&data, &base_config(scale, seed, threads));
     vec![
         report.gain_table(&format!("Fig (a): gain vs minimum support — {which}")),
         report.hit_rate_table(&format!("Fig (c): hit rate vs minimum support — {which}")),
-        report.rules_table(&format!("Fig (f): number of rules vs minimum support — {which}")),
+        report.rules_table(&format!(
+            "Fig (f): number of rules vs minimum support — {which}"
+        )),
     ]
 }
 
 /// Panel (b): gain of the `+MOA` recommenders under the quantity-boost
 /// settings `(x=2, y=30%)` and `(x=3, y=40%)`.
-pub fn fig_b(which: Dataset, scale: &Scale, seed: u64) -> Table {
+pub fn fig_b(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
     let data = which.generate(scale, seed);
     let mut merged: Option<crate::runner::SweepReport> = None;
     for (x, y) in [(2u32, 0.30f64), (3, 0.40)] {
@@ -156,7 +159,7 @@ pub fn fig_b(which: Dataset, scale: &Scale, seed: u64) -> Table {
         let cfg = EvalConfig {
             boost: Some(boost),
             moa_only: true,
-            ..base_config(scale, seed)
+            ..base_config(scale, seed, threads)
         };
         let report = run_sweep(&data, &cfg);
         match &mut merged {
@@ -175,9 +178,13 @@ pub fn fig_b(which: Dataset, scale: &Scale, seed: u64) -> Table {
 
 /// Panel (d): hit rate by profit range (Low/Medium/High thirds of the
 /// maximum single-recommendation profit) at the paper's minsup.
-pub fn fig_d(which: Dataset, scale: &Scale, seed: u64) -> Table {
+pub fn fig_d(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
     let data = which.generate(scale, seed);
-    run_ranges(&data, &base_config(scale, seed), scale.range_minsup)
+    run_ranges(
+        &data,
+        &base_config(scale, seed, threads),
+        scale.range_minsup,
+    )
 }
 
 /// Panel (e): the profit distribution of the recorded target sales.
@@ -202,7 +209,7 @@ pub fn fig_e(which: Dataset, scale: &Scale, seed: u64, bins: usize) -> Table {
 /// §5.3 text experiment: gain of vote-kNN versus profit post-processing
 /// kNN on both datasets (paper: ≈ +2% on I, ≈ −5% on II — post-processing
 /// "does not improve much").
-pub fn post_knn(scale: &Scale, seed: u64) -> Table {
+pub fn post_knn(scale: &Scale, seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "kNN profit post-processing (gain)",
         vec![
@@ -220,13 +227,13 @@ pub fn post_knn(scale: &Scale, seed: u64) -> Table {
             include_knn: true,
             include_knn_profit: true,
             include_mpi: false,
-            ..base_config(scale, seed)
+            ..base_config(scale, seed, threads)
         };
         let report = run_sweep(&data, &cfg);
         let knn = report
             .series
             .iter()
-            .find(|(n, _)| n.starts_with("kNN(") )
+            .find(|(n, _)| n.starts_with("kNN("))
             .map(|(_, s)| s.gain[0].mean())
             .unwrap_or(0.0);
         let knn_p = report
@@ -261,7 +268,7 @@ mod tests {
 
     #[test]
     fn fig_sweep_smoke() {
-        let tables = fig_sweep(Dataset::I, &Scale::tiny(), 1);
+        let tables = fig_sweep(Dataset::I, &Scale::tiny(), 1, 2);
         assert_eq!(tables.len(), 3);
         for t in &tables {
             assert_eq!(t.rows.len(), 2, "{}", t.title);
@@ -271,7 +278,7 @@ mod tests {
 
     #[test]
     fn fig_b_smoke() {
-        let t = fig_b(Dataset::I, &Scale::tiny(), 1);
+        let t = fig_b(Dataset::I, &Scale::tiny(), 1, 2);
         // Two boost settings × (PROF+MOA, CONF+MOA, kNN, MPI).
         assert!(t.columns.len() >= 5, "{:?}", t.columns);
         assert!(t.columns.iter().any(|c| c.contains("(x=3,y=40%)")));
@@ -279,7 +286,7 @@ mod tests {
 
     #[test]
     fn fig_d_smoke() {
-        let t = fig_d(Dataset::I, &Scale::tiny(), 1);
+        let t = fig_d(Dataset::I, &Scale::tiny(), 1, 2);
         assert_eq!(t.rows.len(), 3);
     }
 
@@ -293,7 +300,7 @@ mod tests {
 
     #[test]
     fn post_knn_smoke() {
-        let t = post_knn(&Scale::tiny(), 1);
+        let t = post_knn(&Scale::tiny(), 1, 2);
         assert_eq!(t.rows.len(), 2);
         assert_eq!(t.rows[0][0], "dataset I");
     }

@@ -193,17 +193,17 @@ mod tests {
         let mut cat = Catalog::new();
         cat.push(ItemDef {
             name: "nt".into(),
-            codes: vec![PromotionCode::unit(Money::from_cents(100), Money::from_cents(50))],
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(100),
+                Money::from_cents(50),
+            )],
             is_target: false,
         });
         cat.push(ItemDef {
             name: "t".into(),
             codes: (1..=4)
                 .map(|j| {
-                    PromotionCode::unit(
-                        Money::from_cents(1000 + j * 100),
-                        Money::from_cents(1000),
-                    )
+                    PromotionCode::unit(Money::from_cents(1000 + j * 100), Money::from_cents(1000))
                 })
                 .collect(),
             is_target: true,
@@ -330,7 +330,7 @@ mod tests {
         let out = evaluate(&rec, &ds, &EvalOptions::default());
         let totals: Vec<usize> = out.range_hits.iter().map(|(_, _, t)| *t).collect();
         assert_eq!(totals, vec![1, 1, 2]); // $1 | $2 | $3,$4
-        // Cheapest recommendation hits everything.
+                                           // Cheapest recommendation hits everything.
         let hits: Vec<usize> = out.range_hits.iter().map(|(_, h, _)| *h).collect();
         assert_eq!(hits, vec![1, 1, 2]);
         assert!((out.range_hit_rate(2) - 1.0).abs() < 1e-12);

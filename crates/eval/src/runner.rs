@@ -60,6 +60,12 @@ pub struct EvalConfig {
     pub include_knn_profit: bool,
     /// Include MPI.
     pub include_mpi: bool,
+    /// Worker threads (`0` = all cores, `1` = sequential). Folds fan out
+    /// across workers; when that already saturates them, per-fold mining
+    /// stays sequential. Reported numbers are bit-identical at every
+    /// setting — per-fold records are merged in fold order, preserving
+    /// the sequential f64 accumulation order.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -79,8 +85,18 @@ impl Default for EvalConfig {
             include_knn: true,
             include_knn_profit: false,
             include_mpi: true,
+            threads: 0,
         }
     }
+}
+
+/// Split `threads` between the fold fan-out and per-fold mining: folds
+/// get priority (coarsest grain), and mining only goes parallel when a
+/// single fold would otherwise leave workers idle.
+fn fold_thread_split(threads: usize, n_folds: usize) -> (usize, usize) {
+    let fold_workers = threads.min(n_folds.max(1));
+    let inner = if fold_workers > 1 { 1 } else { threads };
+    (fold_workers, inner)
 }
 
 /// Mean accumulator.
@@ -237,117 +253,147 @@ pub struct Evaluation {
     pub report: SweepReport,
 }
 
-/// Run the full cross-validated sweep on `data`.
+/// One recorded evaluation: `(series name, sweep index, outcome, rules)`.
+type SweepRecord = (String, usize, EvalOutcome, Option<usize>);
+
+/// Run the full cross-validated sweep on `data`. Folds fan out across
+/// `cfg.threads` workers; per-fold record buffers are merged in fold
+/// order, so the report is bit-identical to a sequential run.
 pub fn run_sweep(data: &TransactionSet, cfg: &EvalConfig) -> SweepReport {
-    assert!(!cfg.sweep.is_empty(), "sweep must contain at least one point");
+    assert!(
+        !cfg.sweep.is_empty(),
+        "sweep must contain at least one point"
+    );
     assert!(
         cfg.sweep.windows(2).all(|w| w[0] <= w[1]),
         "sweep must be ascending"
     );
-    let folds = Folds::new(data.len(), cfg.n_folds, cfg.seed);
+    let folds: Vec<_> = Folds::new(data.len(), cfg.n_folds, cfg.seed)
+        .iter()
+        .collect();
+    let (fold_workers, inner_threads) =
+        fold_thread_split(pm_par::resolve(cfg.threads), folds.len());
+    let fold_records = pm_par::par_map(folds.len(), fold_workers, |fold_i| {
+        sweep_fold(data, cfg, fold_i, &folds[fold_i], inner_threads)
+    });
     let mut report = SweepReport::new(cfg.sweep.clone());
-    for (fold_i, (train_idx, valid_idx)) in folds.iter().enumerate() {
-        let train = data.subset(&train_idx);
-        let valid = data.subset(&valid_idx);
-        let opts = EvalOptions {
-            quantity: cfg.quantity,
-            boost: cfg.boost.clone(),
-            seed: cfg.seed.wrapping_add(fold_i as u64),
-            exact_match: false,
-        };
-
-        if cfg.include_rule_models {
-            let moa_modes: &[MoaMode] = if cfg.moa_only {
-                &[MoaMode::Enabled]
-            } else {
-                &[MoaMode::Enabled, MoaMode::Disabled]
-            };
-            for &moa in moa_modes {
-                let mined = RuleMiner::new(MinerConfig {
-                    min_support: Support::Fraction(cfg.sweep[0]),
-                    max_body_len: cfg.max_body_len,
-                    moa,
-                    quantity: cfg.quantity,
-                    min_confidence: cfg.min_confidence,
-                    min_rule_profit: None,
-                    prune_default_dominated: true,
-                })
-                .mine(&train);
-                for (si, &ms) in cfg.sweep.iter().enumerate() {
-                    for mode in [ProfitMode::Profit, ProfitMode::Confidence] {
-                        let model = RuleModel::build(
-                            &mined,
-                            &CutConfig {
-                                profit_mode: mode,
-                                cf: cfg.cf,
-                                prune: true,
-                                min_support: Some(Support::Fraction(ms)),
-                            },
-                        );
-                        let matcher = Matcher::new(&model);
-                        let out = evaluate(&matcher, &valid, &opts);
-                        report.record(&model.name(), si, &out, Some(model.rules().len()));
-                    }
-                }
-            }
-        }
-
-        // Instance-based baselines are minsup-independent: evaluate once,
-        // record at every sweep point.
-        let mut baselines: Vec<Box<dyn Recommender>> = Vec::new();
-        if cfg.include_knn {
-            baselines.push(Box::new(Knn::fit(
-                &train,
-                KnnConfig {
-                    k: cfg.knn_k,
-                    idf: true,
-                },
-            )));
-        }
-        if cfg.include_knn_profit {
-            baselines.push(Box::new(KnnProfit::fit(
-                &train,
-                KnnConfig {
-                    k: cfg.knn_k,
-                    idf: true,
-                },
-            )));
-        }
-        if cfg.include_mpi {
-            baselines.push(Box::new(MostProfitableItem::fit(&train)));
-        }
-        for b in &baselines {
-            let out = evaluate(b.as_ref(), &valid, &opts);
-            for si in 0..cfg.sweep.len() {
-                report.record(&b.name(), si, &out, None);
-            }
+    for records in fold_records {
+        for (name, si, out, n_rules) in records {
+            report.record(&name, si, &out, n_rules);
         }
     }
     report
 }
 
+/// The per-fold body of [`run_sweep`]: train/validate every configured
+/// recommender, returning records in the fixed sequential order.
+fn sweep_fold(
+    data: &TransactionSet,
+    cfg: &EvalConfig,
+    fold_i: usize,
+    fold: &(Vec<usize>, Vec<usize>),
+    inner_threads: usize,
+) -> Vec<SweepRecord> {
+    let (train_idx, valid_idx) = fold;
+    let train = data.subset(train_idx);
+    let valid = data.subset(valid_idx);
+    let opts = EvalOptions {
+        quantity: cfg.quantity,
+        boost: cfg.boost.clone(),
+        seed: cfg.seed.wrapping_add(fold_i as u64),
+        exact_match: false,
+    };
+    let mut records: Vec<SweepRecord> = Vec::new();
+
+    if cfg.include_rule_models {
+        let moa_modes: &[MoaMode] = if cfg.moa_only {
+            &[MoaMode::Enabled]
+        } else {
+            &[MoaMode::Enabled, MoaMode::Disabled]
+        };
+        for &moa in moa_modes {
+            let mined = RuleMiner::new(MinerConfig {
+                min_support: Support::Fraction(cfg.sweep[0]),
+                max_body_len: cfg.max_body_len,
+                moa,
+                quantity: cfg.quantity,
+                min_confidence: cfg.min_confidence,
+                min_rule_profit: None,
+                prune_default_dominated: true,
+            })
+            .with_threads(inner_threads)
+            .mine(&train);
+            for (si, &ms) in cfg.sweep.iter().enumerate() {
+                for mode in [ProfitMode::Profit, ProfitMode::Confidence] {
+                    let model = RuleModel::build(
+                        &mined,
+                        &CutConfig {
+                            profit_mode: mode,
+                            cf: cfg.cf,
+                            prune: true,
+                            min_support: Some(Support::Fraction(ms)),
+                        },
+                    );
+                    let matcher = Matcher::new(&model);
+                    let out = evaluate(&matcher, &valid, &opts);
+                    records.push((model.name(), si, out, Some(model.rules().len())));
+                }
+            }
+        }
+    }
+
+    // Instance-based baselines are minsup-independent: evaluate once,
+    // record at every sweep point.
+    let mut baselines: Vec<Box<dyn Recommender>> = Vec::new();
+    if cfg.include_knn {
+        baselines.push(Box::new(Knn::fit(
+            &train,
+            KnnConfig {
+                k: cfg.knn_k,
+                idf: true,
+            },
+        )));
+    }
+    if cfg.include_knn_profit {
+        baselines.push(Box::new(KnnProfit::fit(
+            &train,
+            KnnConfig {
+                k: cfg.knn_k,
+                idf: true,
+            },
+        )));
+    }
+    if cfg.include_mpi {
+        baselines.push(Box::new(MostProfitableItem::fit(&train)));
+    }
+    for b in &baselines {
+        let out = evaluate(b.as_ref(), &valid, &opts);
+        for si in 0..cfg.sweep.len() {
+            records.push((b.name(), si, out.clone(), None));
+        }
+    }
+    records
+}
+
 /// Hit rates by profit range (Figures 3(d)/4(d)) at a single minimum
 /// support: rows `Low`/`Medium`/`High`, one column per recommender.
 pub fn run_ranges(data: &TransactionSet, cfg: &EvalConfig, minsup: f64) -> Table {
-    let folds = Folds::new(data.len(), cfg.n_folds, cfg.seed);
-    // name → per-range (hits, totals)
-    let mut acc: BTreeMap<String, [(usize, usize); 3]> = BTreeMap::new();
-    for (fold_i, (train_idx, valid_idx)) in folds.iter().enumerate() {
-        let train = data.subset(&train_idx);
-        let valid = data.subset(&valid_idx);
+    let folds: Vec<_> = Folds::new(data.len(), cfg.n_folds, cfg.seed)
+        .iter()
+        .collect();
+    let (fold_workers, inner_threads) =
+        fold_thread_split(pm_par::resolve(cfg.threads), folds.len());
+    let fold_outcomes = pm_par::par_map(folds.len(), fold_workers, |fold_i| {
+        let (train_idx, valid_idx) = &folds[fold_i];
+        let train = data.subset(train_idx);
+        let valid = data.subset(valid_idx);
         let opts = EvalOptions {
             quantity: cfg.quantity,
             boost: cfg.boost.clone(),
             seed: cfg.seed.wrapping_add(fold_i as u64),
             exact_match: false,
         };
-        let mut record = |name: String, out: &EvalOutcome| {
-            let e = acc.entry(name).or_insert([(0, 0); 3]);
-            for (i, (_, h, t)) in out.range_hits.iter().enumerate() {
-                e[i].0 += h;
-                e[i].1 += t;
-            }
-        };
+        let mut outcomes: Vec<(String, EvalOutcome)> = Vec::new();
 
         if cfg.include_rule_models {
             for moa in [MoaMode::Enabled, MoaMode::Disabled] {
@@ -360,6 +406,7 @@ pub fn run_ranges(data: &TransactionSet, cfg: &EvalConfig, minsup: f64) -> Table
                     min_rule_profit: None,
                     prune_default_dominated: true,
                 })
+                .with_threads(inner_threads)
                 .mine(&train);
                 for mode in [ProfitMode::Profit, ProfitMode::Confidence] {
                     let model = RuleModel::build(
@@ -372,17 +419,34 @@ pub fn run_ranges(data: &TransactionSet, cfg: &EvalConfig, minsup: f64) -> Table
                         },
                     );
                     let matcher = Matcher::new(&model);
-                    record(model.name(), &evaluate(&matcher, &valid, &opts));
+                    outcomes.push((model.name(), evaluate(&matcher, &valid, &opts)));
                 }
             }
         }
         if cfg.include_knn {
-            let knn = Knn::fit(&train, KnnConfig { k: cfg.knn_k, idf: true });
-            record(knn.name(), &evaluate(&knn, &valid, &opts));
+            let knn = Knn::fit(
+                &train,
+                KnnConfig {
+                    k: cfg.knn_k,
+                    idf: true,
+                },
+            );
+            outcomes.push((knn.name(), evaluate(&knn, &valid, &opts)));
         }
         if cfg.include_mpi {
             let mpi = MostProfitableItem::fit(&train);
-            record(mpi.name(), &evaluate(&mpi, &valid, &opts));
+            outcomes.push((mpi.name(), evaluate(&mpi, &valid, &opts)));
+        }
+        outcomes
+    });
+    // name → per-range (hits, totals); integer sums, so fold order is
+    // immaterial — kept ascending anyway for symmetry with `run_sweep`.
+    let mut acc: BTreeMap<String, [(usize, usize); 3]> = BTreeMap::new();
+    for (name, out) in fold_outcomes.into_iter().flatten() {
+        let e = acc.entry(name).or_insert([(0, 0); 3]);
+        for (i, (_, h, t)) in out.range_hits.iter().enumerate() {
+            e[i].0 += h;
+            e[i].1 += t;
         }
     }
 
@@ -515,10 +579,28 @@ mod tests {
     fn deterministic() {
         let a = run_sweep(&small_data(), &small_cfg());
         let b = run_sweep(&small_data(), &small_cfg());
-        assert_eq!(
-            a.gain_table("g").to_csv(),
-            b.gain_table("g").to_csv()
-        );
+        assert_eq!(a.gain_table("g").to_csv(), b.gain_table("g").to_csv());
+    }
+
+    /// Fold fan-out must be invisible in the report — per-fold records
+    /// merge in fold order, so even the f64 accumulator bits match.
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let data = small_data();
+        let at = |threads: usize| {
+            let report = run_sweep(
+                &data,
+                &EvalConfig {
+                    threads,
+                    ..small_cfg()
+                },
+            );
+            serde_json::to_string(&report).unwrap()
+        };
+        let sequential = at(1);
+        for threads in [2usize, 4] {
+            assert_eq!(sequential, at(threads), "threads {threads}");
+        }
     }
 
     #[test]

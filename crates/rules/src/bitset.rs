@@ -54,13 +54,21 @@ impl BitSet {
     ///
     /// Panics when `id ≥ capacity`.
     pub fn insert(&mut self, id: usize) {
-        assert!(id < self.capacity, "id {id} out of capacity {}", self.capacity);
+        assert!(
+            id < self.capacity,
+            "id {id} out of capacity {}",
+            self.capacity
+        );
         self.words[id / 64] |= 1 << (id % 64);
     }
 
     /// Remove `id`.
     pub fn remove(&mut self, id: usize) {
-        assert!(id < self.capacity, "id {id} out of capacity {}", self.capacity);
+        assert!(
+            id < self.capacity,
+            "id {id} out of capacity {}",
+            self.capacity
+        );
         self.words[id / 64] &= !(1 << (id % 64));
     }
 

@@ -53,8 +53,7 @@ impl ExtendedData {
         let catalog = data.catalog();
         // Head universe: all (target item, code) pairs, in catalog order.
         let mut heads = Vec::new();
-        let mut head_index =
-            std::collections::HashMap::<(ItemId, CodeId), HeadId>::new();
+        let mut head_index = std::collections::HashMap::<(ItemId, CodeId), HeadId>::new();
         for item in catalog.target_items() {
             for k in 0..catalog.item(item).codes.len() {
                 let pair = (item, CodeId(k as u16));
@@ -143,9 +142,7 @@ impl ExtendedData {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pm_txn::{
-        Catalog, Hierarchy, ItemDef, Money, PromotionCode, Sale, Transaction,
-    };
+    use pm_txn::{Catalog, Hierarchy, ItemDef, Money, PromotionCode, Sale, Transaction};
 
     /// Two non-target items (a: 2 prices, b: 1 price) and one target with
     /// 2 prices.
@@ -161,7 +158,10 @@ mod tests {
         });
         cat.push(ItemDef {
             name: "b".into(),
-            codes: vec![PromotionCode::unit(Money::from_cents(200), Money::from_cents(90))],
+            codes: vec![PromotionCode::unit(
+                Money::from_cents(200),
+                Money::from_cents(90),
+            )],
             is_target: false,
         });
         cat.push(ItemDef {
@@ -246,9 +246,9 @@ mod tests {
         let ext = ExtendedData::build(&ds, &moa, QuantityModel::Saving);
         let sets = ext.tidsets();
         for (tid, gs) in ext.txn_gs.iter().enumerate() {
-            for g in 0..ext.n_gs() {
+            for (g, set) in sets.iter().enumerate() {
                 let id = GsId(g as u32);
-                assert_eq!(sets[g].contains(tid), gs.contains(&id));
+                assert_eq!(set.contains(tid), gs.contains(&id));
             }
         }
         // ⟨a, code0⟩ occurs in both transactions (MOA generalizes the

@@ -37,10 +37,29 @@ impl Support {
         Support::Count(c)
     }
 
-    /// Resolve to an absolute count for `n` transactions (at least 1).
+    /// Resolve to an absolute count for `n` transactions: the smallest
+    /// count covering the fraction, clamped to `[1, n]` (counts pass
+    /// through, clamped to at least 1).
+    ///
+    /// The fraction product is computed with a relative tolerance before
+    /// the ceiling: `0.003 * 1000` evaluates to `3.0000000000000004` in
+    /// f64, and a naive ceiling would silently require 4 transactions
+    /// where the paper's `minsup = 0.3%` means 3.
     pub fn to_count(&self, n: usize) -> u32 {
         match *self {
-            Support::Fraction(f) => ((f * n as f64).ceil() as u32).max(1),
+            Support::Fraction(f) => {
+                let target = f * n as f64;
+                // One part in 10¹² absorbs product rounding while staying
+                // far below any intentional fractional part.
+                let tol = target.abs() * 1e-12 + 1e-12;
+                let c = (target - tol).ceil().max(1.0);
+                let c = if c >= u32::MAX as f64 {
+                    u32::MAX
+                } else {
+                    c as u32
+                };
+                c.min(n.max(1).min(u32::MAX as usize) as u32)
+            }
             Support::Count(c) => c.max(1),
         }
     }
@@ -98,17 +117,37 @@ impl Default for MinerConfig {
 #[derive(Debug, Clone, Default)]
 pub struct RuleMiner {
     config: MinerConfig,
+    /// Worker threads for the mining fan-out: `0` = all cores, `1` =
+    /// the sequential legacy path. Not part of [`MinerConfig`] — thread
+    /// count is an execution detail, never a modeling choice, and the
+    /// output is bit-identical at every setting.
+    threads: usize,
 }
 
 impl RuleMiner {
-    /// A miner with the given configuration.
+    /// A miner with the given configuration, using all cores (see
+    /// [`Self::with_threads`]).
     pub fn new(config: MinerConfig) -> Self {
-        Self { config }
+        Self { config, threads: 0 }
+    }
+
+    /// Set the worker thread count: `0` = all cores, `1` = sequential.
+    /// Mining output is guaranteed bit-identical across thread counts;
+    /// the §3.2 generation-order tie-break is preserved by merging
+    /// per-anchor rule buffers in anchor order and renumbering.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The configuration.
     pub fn config(&self) -> &MinerConfig {
         &self.config
+    }
+
+    /// The configured worker thread count (`0` = all cores).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Mine `data`, producing rules plus the supporting structures the
@@ -153,63 +192,44 @@ impl RuleMiner {
             let best_conf = hits.iter().cloned().max().unwrap_or(0) as f64 / nf;
             (best_prof, best_conf)
         };
-        let mut emitter = RuleEmitter::new(&extended, &self.config, minsup, default_floor);
-
         // Frequent singletons, ascending GsId.
         let freq: Vec<GsId> = (0..extended.n_gs() as u32)
             .map(GsId)
             .filter(|g| tidsets[g.index()].count() >= minsup as usize)
             .collect();
 
-        // Level 1.
-        for &a in &freq {
-            let ts = &tidsets[a.index()];
-            emitter.emit(&[a], ts, ts.count() as u32);
-        }
+        let threads = pm_par::resolve(self.threads);
+        let pairs = if self.config.max_body_len >= 2 && freq.len() >= 2 {
+            Some(PairCounts::count_with_threads(&extended, &freq, threads))
+        } else {
+            None
+        };
 
-        if self.config.max_body_len >= 2 && freq.len() >= 2 {
-            let pairs = PairCounts::count(&extended, &freq);
-            let interner = &extended.interner;
-            // Per-anchor candidate lists, filtered by pair frequency and
-            // the no-generalization constraint.
-            for ai in 0..freq.len() {
-                let a = freq[ai];
-                let cands: Vec<usize> = (ai + 1..freq.len())
-                    .filter(|&bi| {
-                        pairs.get(ai, bi) >= minsup && !interner.related(a, freq[bi])
-                    })
-                    .collect();
-                for (pos, &bi) in cands.iter().enumerate() {
-                    let b = freq[bi];
-                    let ts = tidsets[a.index()].intersection(&tidsets[b.index()]);
-                    let count = pairs.get(ai, bi);
-                    debug_assert_eq!(count as usize, ts.count());
-                    emitter.emit(&[a, b], &ts, count);
-                    if self.config.max_body_len >= 3 {
-                        let deeper: Vec<usize> = cands[pos + 1..]
-                            .iter()
-                            .copied()
-                            .filter(|&ci| {
-                                pairs.get(bi, ci) >= minsup
-                                    && !interner.related(b, freq[ci])
-                            })
-                            .collect();
-                        self.dfs(
-                            &mut emitter,
-                            &freq,
-                            &tidsets,
-                            &pairs,
-                            minsup,
-                            &mut vec![a, b],
-                            &ts,
-                            &deeper,
-                        );
-                    }
+        let rules = if threads > 1 {
+            self.mine_rules_parallel(
+                &extended,
+                &freq,
+                &tidsets,
+                pairs.as_ref(),
+                minsup,
+                default_floor,
+                threads,
+            )
+        } else {
+            // Legacy sequential path: one global emitter, generation
+            // indices assigned directly at emission.
+            let mut emitter = RuleEmitter::new(&extended, &self.config, minsup, default_floor);
+            for &a in &freq {
+                let ts = &tidsets[a.index()];
+                emitter.emit(&[a], ts, ts.count() as u32);
+            }
+            if let Some(pairs) = &pairs {
+                for ai in 0..freq.len() {
+                    self.process_anchor(&mut emitter, &freq, &tidsets, pairs, minsup, ai);
                 }
             }
-        }
-
-        let rules = emitter.finish();
+            emitter.finish()
+        };
         MinedRules {
             config: self.config,
             min_support_count: minsup,
@@ -218,6 +238,108 @@ impl RuleMiner {
             tidsets,
             moa,
         }
+    }
+
+    /// Level-2 extension and deeper DFS for the single anchor
+    /// `freq[ai]`: builds the anchor's candidate list (pair-frequent,
+    /// no generalization relation), emits every frequent pair, and
+    /// recurses while `max_body_len` allows. Emission order within an
+    /// anchor is fixed (candidates ascending, depth-first), so the
+    /// sequential path and the per-anchor parallel path produce rules
+    /// in exactly the same order.
+    #[allow(clippy::too_many_arguments)]
+    fn process_anchor(
+        &self,
+        emitter: &mut RuleEmitter<'_>,
+        freq: &[GsId],
+        tidsets: &[BitSet],
+        pairs: &PairCounts,
+        minsup: u32,
+        ai: usize,
+    ) {
+        let interner = &emitter.extended.interner;
+        let a = freq[ai];
+        let cands: Vec<usize> = (ai + 1..freq.len())
+            .filter(|&bi| pairs.get(ai, bi) >= minsup && !interner.related(a, freq[bi]))
+            .collect();
+        for (pos, &bi) in cands.iter().enumerate() {
+            let b = freq[bi];
+            let ts = tidsets[a.index()].intersection(&tidsets[b.index()]);
+            let count = pairs.get(ai, bi);
+            debug_assert_eq!(count as usize, ts.count());
+            emitter.emit(&[a, b], &ts, count);
+            if self.config.max_body_len >= 3 {
+                let interner = &emitter.extended.interner;
+                let deeper: Vec<usize> = cands[pos + 1..]
+                    .iter()
+                    .copied()
+                    .filter(|&ci| pairs.get(bi, ci) >= minsup && !interner.related(b, freq[ci]))
+                    .collect();
+                self.dfs(
+                    emitter,
+                    freq,
+                    tidsets,
+                    pairs,
+                    minsup,
+                    &mut vec![a, b],
+                    &ts,
+                    &deeper,
+                );
+            }
+        }
+    }
+
+    /// The parallel mining fan-out: level-1 singleton chunks and then
+    /// per-anchor extension jobs run across worker threads, each worker
+    /// reusing one scratch [`RuleEmitter`]. Per-job rule buffers come
+    /// back in job order (level-1 chunks ascending, then anchors
+    /// ascending) — the exact order the sequential path emits in — and
+    /// generation indices are assigned after the ordered merge, so the
+    /// result is bit-identical to the sequential path at any thread
+    /// count, including every §3.2 generation-order tie-break and the
+    /// f64 summation order inside each rule's statistics.
+    #[allow(clippy::too_many_arguments)]
+    fn mine_rules_parallel(
+        &self,
+        extended: &ExtendedData,
+        freq: &[GsId],
+        tidsets: &[BitSet],
+        pairs: Option<&PairCounts>,
+        minsup: u32,
+        default_floor: (f64, f64),
+        threads: usize,
+    ) -> Vec<Rule> {
+        let new_emitter = || RuleEmitter::new(extended, &self.config, minsup, default_floor);
+        // Level 1: chunked so one emitter allocation serves many
+        // singletons; over-split 4× for load balance.
+        let l1_chunks = pm_par::even_chunks(freq.len(), threads * 4);
+        let l1_buffers =
+            pm_par::par_map_init(l1_chunks.len(), threads, new_emitter, |emitter, ci| {
+                for i in l1_chunks[ci].clone() {
+                    let a = freq[i];
+                    let ts = &tidsets[a.index()];
+                    emitter.emit(&[a], ts, ts.count() as u32);
+                }
+                emitter.take_rules()
+            });
+        // Level ≥ 2: one job per anchor; anchor costs are heavily
+        // skewed, and pm-par's dynamic claiming absorbs that.
+        let anchor_buffers = match pairs {
+            None => Vec::new(),
+            Some(pairs) => pm_par::par_map_init(freq.len(), threads, new_emitter, |emitter, ai| {
+                self.process_anchor(emitter, freq, tidsets, pairs, minsup, ai);
+                emitter.take_rules()
+            }),
+        };
+        let mut rules: Vec<Rule> = l1_buffers
+            .into_iter()
+            .chain(anchor_buffers)
+            .flatten()
+            .collect();
+        for (i, r) in rules.iter_mut().enumerate() {
+            r.gen_index = i as u32;
+        }
+        rules
     }
 
     /// Depth-first extension of `body` with the (pre-filtered) dense
@@ -248,9 +370,7 @@ impl RuleMiner {
                 let deeper: Vec<usize> = cands[pos + 1..]
                     .iter()
                     .copied()
-                    .filter(|&di| {
-                        pairs.get(ci, di) >= minsup && !interner.related(c, freq[di])
-                    })
+                    .filter(|&di| pairs.get(ci, di) >= minsup && !interner.related(c, freq[di]))
                     .collect();
                 self.dfs(emitter, freq, tidsets, pairs, minsup, body, &ts, &deeper);
             }
@@ -352,6 +472,14 @@ impl<'a> RuleEmitter<'a> {
         }
     }
 
+    /// Drain the emitted rules, leaving the emitter's scratch arrays
+    /// intact for reuse on the next work item. Generation indices in
+    /// the returned buffer are local to this drain; the parallel merge
+    /// renumbers them globally.
+    fn take_rules(&mut self) -> Vec<Rule> {
+        std::mem::take(&mut self.rules)
+    }
+
     fn finish(self) -> Vec<Rule> {
         self.rules
     }
@@ -369,13 +497,18 @@ enum PairCounts {
 const TRI_LIMIT: usize = 16_384;
 
 impl PairCounts {
-    fn count(extended: &ExtendedData, freq: &[GsId]) -> Self {
-        let f = freq.len();
-        // GsId → dense index (or None).
+    /// GsId → dense index over the frequent singletons.
+    fn dense_map(extended: &ExtendedData, freq: &[GsId]) -> Vec<Option<u32>> {
         let mut dense: Vec<Option<u32>> = vec![None; extended.n_gs()];
         for (di, g) in freq.iter().enumerate() {
             dense[g.index()] = Some(di as u32);
         }
+        dense
+    }
+
+    fn count(extended: &ExtendedData, freq: &[GsId]) -> Self {
+        let f = freq.len();
+        let dense = Self::dense_map(extended, freq);
         let mut counts = if f <= TRI_LIMIT {
             PairCounts::Tri(vec![0u32; f * (f.saturating_sub(1)) / 2])
         } else {
@@ -394,6 +527,38 @@ impl PairCounts {
             }
         }
         counts
+    }
+
+    /// [`Self::count`] fanned out over `threads` workers. The triangle
+    /// is shared as relaxed atomics — u32 addition commutes, so the
+    /// result is exactly the sequential table regardless of scheduling.
+    /// The rare hash-map fallback (> [`TRI_LIMIT`] frequent singletons)
+    /// stays sequential rather than paying a per-worker map merge.
+    fn count_with_threads(extended: &ExtendedData, freq: &[GsId], threads: usize) -> Self {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let f = freq.len();
+        let n_txn = extended.txn_gs.len();
+        if threads <= 1 || f > TRI_LIMIT || n_txn < 2 {
+            return Self::count(extended, freq);
+        }
+        let dense = Self::dense_map(extended, freq);
+        let tri_len = f * (f - 1) / 2;
+        let counts: Vec<AtomicU32> = (0..tri_len).map(|_| AtomicU32::new(0)).collect();
+        let chunks = pm_par::even_chunks(n_txn, threads * 8);
+        pm_par::par_map(chunks.len(), threads, |ci| {
+            let mut present: Vec<u32> = Vec::new();
+            for gs in &extended.txn_gs[chunks[ci].clone()] {
+                present.clear();
+                present.extend(gs.iter().filter_map(|g| dense[g.index()]));
+                for i in 0..present.len() {
+                    for j in i + 1..present.len() {
+                        let idx = Self::tri_index(present[i] as usize, present[j] as usize);
+                        counts[idx].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        PairCounts::Tri(counts.into_iter().map(AtomicU32::into_inner).collect())
     }
 
     #[inline]
@@ -533,12 +698,12 @@ impl MinedRules {
             ProfitMode::Profit => profit[i],
             ProfitMode::Confidence => hits[i] as f64,
         };
+        // total_cmp, not partial_cmp().expect(): a NaN profit (e.g. a
+        // degenerate 0/0 somewhere upstream) must not panic the miner;
+        // under the total order NaN sorts above +∞ on the `max_by`
+        // probe, which still yields a deterministic head.
         let best = (0..h)
-            .max_by(|&a, &b| {
-                score(a)
-                    .partial_cmp(&score(b))
-                    .expect("profits are finite")
-            })
+            .max_by(|&a, &b| score(a).total_cmp(&score(b)))
             .expect("at least one head exists");
         Rule {
             body: Vec::new(),
@@ -554,9 +719,7 @@ impl MinedRules {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pm_txn::{
-        Catalog, Hierarchy, ItemDef, Money, PromotionCode, Sale, Transaction,
-    };
+    use pm_txn::{Catalog, Hierarchy, ItemDef, Money, PromotionCode, Sale, Transaction};
 
     /// 8 transactions over 2 non-target items (2 codes each) and 1 target
     /// (2 codes). Constructed so that specific bodies predict specific
@@ -585,15 +748,19 @@ mod tests {
         let a = ItemId(0);
         let b = ItemId(1);
         let t = ItemId(2);
-        let mk = |nts: Vec<Sale>, tc: u16| {
-            Transaction::new(nts, Sale::new(t, CodeId(tc), 1))
-        };
+        let mk = |nts: Vec<Sale>, tc: u16| Transaction::new(nts, Sale::new(t, CodeId(tc), 1));
         let txns = vec![
             mk(vec![Sale::new(a, CodeId(0), 1)], 0),
             mk(vec![Sale::new(a, CodeId(0), 1)], 0),
             mk(vec![Sale::new(a, CodeId(1), 1)], 1),
-            mk(vec![Sale::new(a, CodeId(0), 1), Sale::new(b, CodeId(0), 1)], 1),
-            mk(vec![Sale::new(a, CodeId(1), 1), Sale::new(b, CodeId(0), 1)], 1),
+            mk(
+                vec![Sale::new(a, CodeId(0), 1), Sale::new(b, CodeId(0), 1)],
+                1,
+            ),
+            mk(
+                vec![Sale::new(a, CodeId(1), 1), Sale::new(b, CodeId(0), 1)],
+                1,
+            ),
             mk(vec![Sale::new(b, CodeId(1), 1)], 0),
             mk(vec![Sale::new(b, CodeId(0), 1)], 1),
             mk(vec![Sale::new(b, CodeId(1), 1)], 0),
@@ -820,16 +987,16 @@ mod tests {
         let ext = mined.extended();
         for h in 0..ext.n_heads() {
             let h = HeadId(h as u32);
-            let profit: f64 = (0..8)
-                .filter_map(|tid| ext.head_profit_on(tid, h))
-                .sum();
+            let profit: f64 = (0..8).filter_map(|tid| ext.head_profit_on(tid, h)).sum();
             assert!(d.profit >= profit - 1e-12, "head {h:?} beats default");
         }
         // Confidence-mode default maximizes hits instead.
         let dc = mined.default_rule(ProfitMode::Confidence);
         for h in 0..ext.n_heads() {
             let h = HeadId(h as u32);
-            let hits = (0..8).filter(|&t| ext.head_profit_on(t, h).is_some()).count();
+            let hits = (0..8)
+                .filter(|&t| ext.head_profit_on(t, h).is_some())
+                .count();
             assert!(dc.hits as usize >= hits);
         }
     }
@@ -850,6 +1017,80 @@ mod tests {
         assert_eq!(Support::Fraction(0.001).to_count(50), 1);
         assert_eq!(Support::Count(5).to_count(10), 5);
         assert_eq!(Support::Fraction(0.0001).to_count(100), 1, "min 1");
+    }
+
+    /// `to_count` must absorb f64 product rounding: `0.003 * 1000`
+    /// evaluates to `3.0000000000000004`, whose naive ceiling over-counts
+    /// to 4.
+    #[test]
+    fn support_fraction_rounding_does_not_overcount() {
+        assert_eq!(Support::Fraction(0.003).to_count(1000), 3);
+        assert_eq!(Support::Fraction(0.07).to_count(100), 7);
+        assert_eq!(Support::Fraction(0.29).to_count(100), 29);
+        // Intentional fractional parts still round up.
+        assert_eq!(Support::Fraction(0.0035).to_count(1000), 4);
+        assert_eq!(Support::Fraction(0.301).to_count(10), 4);
+    }
+
+    /// A fraction never resolves above `n` (so `Fraction(1.0)` means
+    /// "every transaction", not an unsatisfiable n+1), and never below 1.
+    #[test]
+    fn support_fraction_clamped_to_transaction_count() {
+        assert_eq!(Support::Fraction(1.0).to_count(7), 7);
+        assert_eq!(Support::Fraction(1.0).to_count(1_000_000), 1_000_000);
+        assert_eq!(Support::Fraction(0.999_999_999).to_count(5), 5);
+        assert_eq!(Support::Fraction(1e-12).to_count(100), 1);
+        assert_eq!(Support::Fraction(0.5).to_count(0), 1);
+        // Absolute counts pass through unclamped — requesting more
+        // support than there are transactions just yields zero rules.
+        assert_eq!(Support::Count(50).to_count(10), 50);
+    }
+
+    /// The tentpole guarantee: mining output is bit-identical at every
+    /// thread count — same rules, same order, same `gen_index`, same f64
+    /// profit bits.
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let ds = dataset();
+        for moa in [MoaMode::Enabled, MoaMode::Disabled] {
+            for max_len in [1usize, 2, 3] {
+                let config = MinerConfig {
+                    min_support: Support::Count(1),
+                    max_body_len: max_len,
+                    moa,
+                    prune_default_dominated: false,
+                    ..MinerConfig::default()
+                };
+                let base = RuleMiner::new(config).with_threads(1).mine(&ds);
+                assert!(!base.rules().is_empty());
+                for threads in [2usize, 3, 8] {
+                    let par = RuleMiner::new(config).with_threads(threads).mine(&ds);
+                    assert_eq!(
+                        base.rules(),
+                        par.rules(),
+                        "{moa:?} max_len {max_len} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The parallel pair-count table is exactly the sequential one
+    /// (relaxed atomic u32 adds commute).
+    #[test]
+    fn parallel_pair_counts_match_sequential() {
+        let mined = mine(1, MoaMode::Enabled, 2);
+        let ext = mined.extended();
+        let freq: Vec<GsId> = (0..ext.n_gs() as u32).map(GsId).collect();
+        let seq = PairCounts::count(ext, &freq);
+        for threads in [2usize, 5] {
+            let par = PairCounts::count_with_threads(ext, &freq, threads);
+            for i in 0..freq.len() {
+                for j in i + 1..freq.len() {
+                    assert_eq!(seq.get(i, j), par.get(i, j), "pair ({i},{j})");
+                }
+            }
+        }
     }
 
     #[test]

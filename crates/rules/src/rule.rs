@@ -104,9 +104,7 @@ mod tests {
         assert_eq!(r.rule_profit(ProfitMode::Confidence), 30.0);
         assert!((r.recommendation_profit(ProfitMode::Profit) - 3.0).abs() < 1e-12);
         // Binary recommendation profit is exactly confidence.
-        assert!(
-            (r.recommendation_profit(ProfitMode::Confidence) - r.confidence()).abs() < 1e-12
-        );
+        assert!((r.recommendation_profit(ProfitMode::Confidence) - r.confidence()).abs() < 1e-12);
         assert_eq!(r.body_len(), 2);
     }
 

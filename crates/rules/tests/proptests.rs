@@ -1,8 +1,38 @@
 //! Property-based tests for the mining substrate.
 
-use pm_rules::{BitSet, Support};
+use pm_datagen::DatasetConfig;
+use pm_rules::{BitSet, MinerConfig, RuleMiner, Support};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole invariant: mining on a randomized worker-thread count is
+    /// bit-identical — rules, order, `gen_index`, f64 profit bits — to
+    /// the sequential path, on randomized synthetic data.
+    #[test]
+    fn mining_is_thread_count_invariant(
+        seed in 0u64..1_000_000,
+        threads in 2usize..9,
+        n_txn in 40usize..120,
+    ) {
+        let ds = DatasetConfig::dataset_i()
+            .with_transactions(n_txn)
+            .with_items(30)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let config = MinerConfig {
+            min_support: Support::Fraction(0.05),
+            max_body_len: 3,
+            ..MinerConfig::default()
+        };
+        let seq = RuleMiner::new(config).with_threads(1).mine(&ds);
+        let par = RuleMiner::new(config).with_threads(threads).mine(&ds);
+        prop_assert_eq!(seq.rules(), par.rules());
+    }
+}
 
 proptest! {
     /// Bitset algebra against a BTreeSet reference model.

@@ -1,0 +1,342 @@
+//! Offline shim for the `criterion` 0.5 API surface used by this
+//! workspace: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! benchmark groups with `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and `black_box`.
+//!
+//! Measurement is deliberately simple: after a warm-up, each benchmark
+//! takes `sample_size` wall-clock samples and reports the min / mean /
+//! median per-iteration time to stdout. No statistical outlier
+//! analysis, no `target/criterion` reports, no baseline comparisons —
+//! the shim exists so `cargo bench` runs and yields honest comparable
+//! wall-clock numbers in this offline environment.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark runner configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Match upstream defaults except sample count (kept small; the
+        // shim has no statistics that would need 100 samples). The
+        // benchmark filter comes from the CLI like upstream: the first
+        // non-flag argument is a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the wall-clock budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run `f` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            criterion: self,
+        }
+    }
+
+    fn skip(&self, id: &str) -> bool {
+        matches!(&self.filter, Some(f) if !id.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_bench(
+            id,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            self.skip(id),
+            f,
+        );
+    }
+}
+
+/// A benchmark identifier, `"function"` or `"function/parameter"`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `"{function}/{parameter}"`.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (the group name supplies the function part).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            self.criterion.skip(&full),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Run an unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            self.criterion.skip(&full),
+            f,
+        );
+        self
+    }
+
+    /// End the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The timing handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Mean per-iteration nanoseconds per sample; filled by `iter`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also calibrating iterations per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+            // A single extremely slow iteration should not pin us in
+            // warm-up for its full multiple.
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            (budget_ns / self.sample_size as f64 / per_iter.max(1.0)).clamp(1.0, 1e9) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn run_bench<F: FnOnce(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    skip: bool,
+    f: F,
+) {
+    if skip {
+        return;
+    }
+    let mut b = Bencher {
+        sample_size,
+        measurement_time,
+        warm_up_time,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<50} (no measurement)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(f64::total_cmp);
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{id:<50} time: [min {} mean {} median {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(median)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function; both upstream invocation forms are
+/// accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("quest", 500).id, "quest/500");
+        assert_eq!(BenchmarkId::from_parameter("on").id, "on");
+        assert_eq!(BenchmarkId::from_parameter("x".to_string()).id, "x");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        // Force no filter regardless of the test harness's own CLI args.
+        c.filter = None;
+        let mut observed = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            observed = b.samples.len();
+        });
+        assert_eq!(observed, 3);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.filter = Some("matches-nothing-zzz".to_string());
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1u32);
+            ran = true;
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline shim for the `serde` 1 API surface used by this workspace.
+//!
+//! Real serde serializes through visitor traits; every use in this
+//! workspace goes `#[derive(Serialize, Deserialize)]` →
+//! `serde_json::{to_string, from_str}`, so the shim routes both traits
+//! through one owned JSON-like [`Value`] tree instead. The derive macros
+//! live in the sibling `serde_derive` shim and generate implementations
+//! of the traits below.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An owned JSON-like document tree — the interchange format between the
+/// `Serialize`/`Deserialize` shims and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A negative integer (always `< 0`; non-negatives use [`Value::U64`]).
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+/// (De)serialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn ser_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn de_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up struct field `name` in an object; a missing field
+/// deserializes from `Null` (so `Option` fields default to `None`, as in
+/// real serde) and otherwise reports the missing field.
+pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::de_value(v).map_err(|e| Error(format!("field {name}: {e}"))),
+        None => T::de_value(&Value::Null).map_err(|_| Error(format!("missing field {name}"))),
+    }
+}
+
+/// The object entries of `v`, or a type error mentioning `what`.
+pub fn as_map<'v>(v: &'v Value, what: &str) -> Result<&'v [(String, Value)], Error> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => Err(Error(format!("{what}: expected object, got {other:?}"))),
+    }
+}
+
+/// The array elements of `v` with exactly `n` entries, or an error
+/// mentioning `what`.
+pub fn as_seq_n<'v>(v: &'v Value, n: usize, what: &str) -> Result<&'v [Value], Error> {
+    match v {
+        Value::Seq(s) if s.len() == n => Ok(s),
+        Value::Seq(s) => Err(Error(format!(
+            "{what}: expected {n} elements, got {}",
+            s.len()
+        ))),
+        other => Err(Error(format!("{what}: expected array, got {other:?}"))),
+    }
+}
+
+// ---- Serialize impls for std types ----
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::I64(v) } else { Value::U64(v as u64) }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn ser_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn ser_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn ser_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn ser_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn ser_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.ser_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser_value(&self) -> Value {
+        self.as_slice().ser_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser_value(&self) -> Value {
+        self.as_slice().ser_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+/// `HashMap`s serialize as a key-sorted sequence of `[key, value]`
+/// pairs: JSON objects require string keys, and the workspace's hash
+/// maps are keyed by structured types. Sorting makes the output
+/// independent of hash iteration order.
+impl<K: Serialize + Ord + std::hash::Hash + Eq, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn ser_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Seq(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Seq(vec![k.ser_value(), v.ser_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.ser_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.ser_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---- Deserialize impls for std types ----
+
+fn int_from(v: &Value, what: &str) -> Result<i128, Error> {
+    match v {
+        Value::U64(u) => Ok(*u as i128),
+        Value::I64(i) => Ok(*i as i128),
+        Value::F64(f) if f.fract() == 0.0 && f.abs() < 2e18 => Ok(*f as i128),
+        other => Err(Error(format!("{what}: expected integer, got {other:?}"))),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn de_value(v: &Value) -> Result<Self, Error> {
+                let i = int_from(v, stringify!($t))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error(format!(concat!(stringify!($t), " out of range: {}"), i))
+                })
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            other => Err(Error(format!("f64: expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        f64::de_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("bool: expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("String: expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::de_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::de_value).collect(),
+            other => Err(Error(format!("Vec: expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        T::de_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        T::de_value(v).map(Arc::new)
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s
+                .iter()
+                .map(|pair| {
+                    let p = as_seq_n(pair, 2, "HashMap entry")?;
+                    Ok((K::de_value(&p[0])?, V::de_value(&p[1])?))
+                })
+                .collect(),
+            other => Err(Error(format!(
+                "HashMap: expected array of pairs, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::de_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("BTreeMap: expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn de_value(v: &Value) -> Result<Self, Error> {
+                let s = as_seq_n(v, $len, "tuple")?;
+                Ok(($($t::de_value(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::de_value(&42u32.ser_value()).unwrap(), 42);
+        assert_eq!(i64::de_value(&(-7i64).ser_value()).unwrap(), -7);
+        assert_eq!(f64::de_value(&1.5f64.ser_value()).unwrap(), 1.5);
+        assert!(bool::de_value(&true.ser_value()).unwrap());
+        assert_eq!(
+            String::de_value(&"hi".to_string().ser_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn options_and_missing_fields() {
+        assert_eq!(Option::<u32>::de_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::de_value(&Value::U64(3)).unwrap(), Some(3));
+        let m: Vec<(String, Value)> = vec![];
+        assert_eq!(field::<Option<u32>>(&m, "x").unwrap(), None);
+        assert!(field::<u32>(&m, "x").is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::de_value(&v.ser_value()).unwrap(), v);
+        let t = (1u32, "a".to_string(), 2.5f64);
+        assert_eq!(<(u32, String, f64)>::de_value(&t.ser_value()).unwrap(), t);
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(
+            BTreeMap::<String, u64>::de_value(&m.ser_value()).unwrap(),
+            m
+        );
+        let a = Arc::new(5u32);
+        assert_eq!(*Arc::<u32>::de_value(&a.ser_value()).unwrap(), 5);
+    }
+
+    #[test]
+    fn integer_coercions_are_checked() {
+        assert!(u8::de_value(&Value::U64(300)).is_err());
+        assert!(u32::de_value(&Value::I64(-1)).is_err());
+        assert_eq!(f64::de_value(&Value::U64(4)).unwrap(), 4.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Offline shim for `serde_derive`: implements
+//! `#[derive(Serialize, Deserialize)]` against the workspace's `serde`
+//! shim (the `ser_value`/`de_value` traits over `serde::Value`).
+//!
+//! Built without `syn`/`quote` (unavailable offline): the input is
+//! parsed directly from the `proc_macro` token stream and the output is
+//! generated as Rust source text. Only the shapes this workspace
+//! actually derives are supported — non-generic named structs, tuple
+//! structs, and enums with unit/tuple variants — plus the
+//! `#[serde(skip)]` field attribute. Anything else panics at compile
+//! time with a clear message, which is the desired failure mode for a
+//! shim.
+//!
+//! JSON representation matches real serde's defaults: named structs are
+//! objects, one-field tuple structs are transparent newtypes, n-field
+//! tuple structs are arrays, unit variants are `"Name"`, newtype
+//! variants are `{"Name": value}`, and tuple variants are
+//! `{"Name": [..]}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// A field of a named struct.
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+/// The shape of the deriving type.
+enum Shape {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+    /// `(variant name, arity)`; arity 0 is a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("shim codegen: invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("shim codegen: invalid Deserialize impl")
+}
+
+// ---- parsing ----
+
+/// Consume any `#[...]` attributes; report whether one was
+/// `#[serde(skip)]`.
+fn take_attrs(it: &mut TokenIter) -> bool {
+    let mut skip = false;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if attr_is_serde_skip(g.stream()) {
+                    skip = true;
+                }
+            }
+            other => panic!("serde shim derive: expected [...] after #, got {other:?}"),
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let mut it = attr.into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            match inner.as_slice() {
+                [s] if s == "skip" => true,
+                other => panic!(
+                    "serde shim derive supports only #[serde(skip)], got #[serde({})]",
+                    other.join(" ")
+                ),
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(super)`, ….
+fn take_vis(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    take_attrs(&mut it);
+    take_vis(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "type name");
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde shim derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&name, g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body for {name}, got {other:?}"),
+        },
+        other => panic!("serde shim derive supports struct/enum only, got `{other}` ({name})"),
+    };
+    Input { name, shape }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<NamedField> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let skip = take_attrs(&mut it);
+        take_vis(&mut it);
+        let name = expect_ident(&mut it, "field name");
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field {name}, got {other:?}"),
+        }
+        skip_type(&mut it);
+        fields.push(NamedField { name, skip });
+    }
+    fields
+}
+
+/// Consume type tokens up to (and including) the field-separating comma.
+/// Groups (`(..)`, `[..]`, `{..}`) are single atomic tokens; only
+/// `<...>` nesting needs explicit depth tracking.
+fn skip_type(it: &mut TokenIter) {
+    let mut angle = 0i32;
+    for t in it.by_ref() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut seen_tokens = false;
+    let mut angle = 0i32;
+    for t in body {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    n += 1;
+                    seen_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seen_tokens = true;
+    }
+    if seen_tokens {
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(enum_name: &str, body: TokenStream) -> Vec<(String, usize)> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        take_attrs(&mut it);
+        let name = expect_ident(&mut it, "variant name");
+        let arity = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                n
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde shim derive: struct variants unsupported ({enum_name}::{name})")
+            }
+            _ => 0,
+        };
+        match it.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!(
+                "serde shim derive: unexpected token after {enum_name}::{name}: {other:?} \
+                 (discriminants are unsupported)"
+            ),
+        }
+        variants.push((name, arity));
+    }
+    variants
+}
+
+// ---- codegen ----
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::ser_value(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::ser_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::ser_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::ser_value(f0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let sers: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::ser_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            sers.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn ser_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!("{}: ::serde::field(m, {:?})?", f.name, f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "let m = ::serde::as_map(v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::de_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::de_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = ::serde::as_seq_n(v, {n}, {name:?})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit => format!(
+            "match v {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"{name}: expected null, got {{other:?}}\"))),\n\
+             }}"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::de_value(val)?)),"
+                        )
+                    } else {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::de_value(&s[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{\n\
+                             let s = ::serde::as_seq_n(val, {arity}, \"{name}::{v}\")?;\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }},",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown unit variant {{other:?}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (k, val) = &m[0];\n\
+                 let _ = val;\n\
+                 match k.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: expected variant string or single-key map, got {{other:?}}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn de_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

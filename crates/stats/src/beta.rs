@@ -20,7 +20,10 @@ const TINY: f64 = 1e-300;
 /// Panics on parameters outside the domain.
 pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "inc_beta requires a, b > 0 ({a}, {b})");
-    assert!((0.0..=1.0).contains(&x), "inc_beta requires x in [0,1] ({x})");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "inc_beta requires x in [0,1] ({x})"
+    );
     if x == 0.0 {
         return 0.0;
     }

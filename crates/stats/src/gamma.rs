@@ -5,7 +5,9 @@
 //! digits over the positive reals, which is far more than the pessimistic
 //! estimator requires.
 
-/// Lanczos coefficients for g = 7, n = 9.
+/// Lanczos coefficients for g = 7, n = 9, quoted at full published
+/// precision (the trailing digits round away in the f64 literal).
+#[allow(clippy::excessive_precision)]
 const LANCZOS: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,

@@ -102,7 +102,9 @@ impl Histogram {
     /// Render as `(midpoint, count)` rows, the format the figure binaries
     /// print.
     pub fn rows(&self) -> Vec<(f64, u64)> {
-        (0..self.bins()).map(|i| (self.bin_mid(i), self.counts[i])).collect()
+        (0..self.bins())
+            .map(|i| (self.bin_mid(i), self.counts[i]))
+            .collect()
     }
 }
 

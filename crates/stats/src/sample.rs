@@ -61,10 +61,7 @@ impl Zipf {
     /// Draw a rank in `1..=n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             // Err(i): u falls strictly before cumulative[i] ⇒ rank i+1.
             // Ok(i): u lands exactly on the boundary; rank i+1 as well.
             Ok(i) | Err(i) => (i + 1).min(self.cumulative.len()),
@@ -251,10 +248,7 @@ impl Discrete {
     /// Draw a category index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite weights"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
         }
     }

@@ -79,7 +79,11 @@ impl fmt::Display for PromotionCode {
         if self.pack_qty == 1 {
             write!(f, "{} (cost {})", self.price, self.cost)
         } else {
-            write!(f, "{}/{}-pack (cost {})", self.price, self.pack_qty, self.cost)
+            write!(
+                f,
+                "{}/{}-pack (cost {})",
+                self.price, self.pack_qty, self.cost
+            )
         }
     }
 }

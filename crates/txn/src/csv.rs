@@ -85,7 +85,12 @@ pub fn parse_catalog(text: &str) -> Result<(Catalog, HashMap<String, ItemId>), C
         let is_target = match f[1] {
             "target" => true,
             "nontarget" | "non-target" => false,
-            other => return Err(err(ln, format!("role must be target|nontarget, got {other:?}"))),
+            other => {
+                return Err(err(
+                    ln,
+                    format!("role must be target|nontarget, got {other:?}"),
+                ))
+            }
         };
         let price: f64 = f[2].parse().map_err(|_| err(ln, "bad price"))?;
         let cost: f64 = f[3].parse().map_err(|_| err(ln, "bad cost"))?;
@@ -135,9 +140,10 @@ pub fn parse_sales(
     if fields(header) != vec!["txn", "item", "code", "qty"] {
         return Err(err(1, "header must be txn,item,code,qty"));
     }
-    // txn key → (non-target sales, target sale)
+    // txn key → (non-target sales, target sale + its line number)
+    type Group = (Vec<Sale>, Option<(Sale, usize)>);
     let mut order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, (Vec<Sale>, Option<(Sale, usize)>)> = HashMap::new();
+    let mut groups: HashMap<String, Group> = HashMap::new();
     for (i, line) in lines {
         let ln = i + 1;
         if line.trim().is_empty() {
@@ -260,10 +266,7 @@ txn,item,code,qty
         let (catalog2, names2) = parse_catalog(&cat_csv).unwrap();
         let data2 = parse_sales(&sales_csv, catalog2, &names2).unwrap();
         assert_eq!(data2.len(), data.len());
-        assert_eq!(
-            data2.total_recorded_profit(),
-            data.total_recorded_profit()
-        );
+        assert_eq!(data2.total_recorded_profit(), data.total_recorded_profit());
         assert_eq!(data2.transactions(), data.transactions());
     }
 

@@ -199,12 +199,8 @@ mod tests {
 
     #[test]
     fn subset_selects() {
-        let ds = TransactionSet::new(
-            catalog(),
-            Hierarchy::flat(2),
-            vec![txn(1), txn(2), txn(3)],
-        )
-        .unwrap();
+        let ds = TransactionSet::new(catalog(), Hierarchy::flat(2), vec![txn(1), txn(2), txn(3)])
+            .unwrap();
         let sub = ds.subset(&[2, 0]);
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.transactions()[0].target_sale().qty, 3);

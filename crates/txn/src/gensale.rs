@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn ordering_is_total() {
         // The derived order groups kinds; only used for canonical sorting.
-        let mut v = vec![
+        let mut v = [
             GenSale::ItemCode(ItemId(0), CodeId(1)),
             GenSale::Concept(ConceptId(0)),
             GenSale::Item(ItemId(5)),

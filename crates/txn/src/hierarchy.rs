@@ -129,7 +129,9 @@ impl Hierarchy {
 
     /// Is `ancestor` a (strict) concept ancestor of `concept`?
     pub fn is_concept_ancestor(&self, ancestor: ConceptId, concept: ConceptId) -> bool {
-        self.concept_ancestors(concept).binary_search(&ancestor).is_ok()
+        self.concept_ancestors(concept)
+            .binary_search(&ancestor)
+            .is_ok()
     }
 
     /// Is `concept` a (strict) ancestor of `item`?

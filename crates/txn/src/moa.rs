@@ -80,7 +80,11 @@ impl Moa {
 
     /// Convenience constructor that clones borrowed data into `Arc`s.
     pub fn from_refs(catalog: &Catalog, hierarchy: &Hierarchy, enabled: bool) -> Self {
-        Self::new(Arc::new(catalog.clone()), Arc::new(hierarchy.clone()), enabled)
+        Self::new(
+            Arc::new(catalog.clone()),
+            Arc::new(hierarchy.clone()),
+            enabled,
+        )
     }
 
     /// Whether MOA generalization is on.
@@ -249,7 +253,11 @@ impl Moa {
         if !accepted {
             return None;
         }
-        let margin = self.catalog.code(head_item, head_code).margin().as_dollars();
+        let margin = self
+            .catalog
+            .code(head_item, head_code)
+            .margin()
+            .as_dollars();
         Some(margin * self.accepted_quantity(head_item, head_code, target, qm))
     }
 }

@@ -101,7 +101,11 @@ impl AddAssign for Money {
 impl Sub for Money {
     type Output = Money;
     fn sub(self, rhs: Money) -> Money {
-        Money(self.0.checked_sub(rhs.0).expect("money subtraction overflow"))
+        Money(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("money subtraction overflow"),
+        )
     }
 }
 

@@ -29,8 +29,16 @@ fn main() {
     let report = run_sweep(&data, &cfg);
 
     println!("{}", report.gain_table("gain vs minimum support").render());
-    println!("{}", report.hit_rate_table("hit rate vs minimum support").render());
-    println!("{}", report.rules_table("rules in the recommender").render());
+    println!(
+        "{}",
+        report
+            .hit_rate_table("hit rate vs minimum support")
+            .render()
+    );
+    println!(
+        "{}",
+        report.rules_table("rules in the recommender").render()
+    );
 
     // The paper's two headline orderings should already show at this
     // scale: PROF+MOA earns the best gain, and +MOA beats −MOA.

@@ -31,7 +31,10 @@ fn scenario(n_diamond: u32) -> (RuleModel, ItemId, ItemId, ItemId) {
         } else {
             Sale::new(lipstick, CodeId(0), 1)
         };
-        txns.push(Transaction::new(vec![Sale::new(perfume, CodeId(0), 1)], target));
+        txns.push(Transaction::new(
+            vec![Sale::new(perfume, CodeId(0), 1)],
+            target,
+        ));
     }
     let data = TransactionSet::new(catalog, Hierarchy::flat(3), txns).unwrap();
     let model = ProfitMiner::new(MinerConfig {
@@ -48,7 +51,10 @@ fn main() {
     // 98 × $7 / 100 = $6.86 — the rare diamond still wins.
     let (model, perfume, _lipstick, diamond) = scenario(2);
     let rec = model.recommend(&[Sale::new(perfume, CodeId(0), 1)]);
-    println!("2% diamond buyers → recommend {}", model.moa().catalog().item(rec.item).name);
+    println!(
+        "2% diamond buyers → recommend {}",
+        model.moa().catalog().item(rec.item).name
+    );
     println!("  {}", model.explain(rec.rule_index.unwrap()));
     assert_eq!(rec.item, diamond);
 
@@ -58,7 +64,10 @@ fn main() {
     // pure confidence ranking would always say Lipstick.
     let (model, perfume, lipstick, _diamond) = scenario(1);
     let rec = model.recommend(&[Sale::new(perfume, CodeId(0), 1)]);
-    println!("1% diamond buyers → recommend {}", model.moa().catalog().item(rec.item).name);
+    println!(
+        "1% diamond buyers → recommend {}",
+        model.moa().catalog().item(rec.item).name
+    );
     println!("  {}", model.explain(rec.rule_index.unwrap()));
     assert_eq!(rec.item, lipstick);
 

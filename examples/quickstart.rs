@@ -56,7 +56,10 @@ fn main() {
 
     // 4. Recommend for new customers.
     for (label, basket) in [
-        ("bread + butter", vec![Sale::new(bread, cheap, 1), Sale::new(butter, cheap, 1)]),
+        (
+            "bread + butter",
+            vec![Sale::new(bread, cheap, 1), Sale::new(butter, cheap, 1)],
+        ),
         ("coffee", vec![Sale::new(coffee, cheap, 1)]),
         ("empty basket", vec![]),
     ] {

@@ -80,7 +80,9 @@ fn example2_moa_structure() {
 fn egg_example_gets_smarter_than_the_past() {
     let mut b = CatalogBuilder::new();
     b.non_target("basket").unit_code(1.0, 0.5);
-    b.target("egg").unit_code(1.00, 0.50).packed_code(3.20, 2.00, 4);
+    b.target("egg")
+        .unit_code(1.00, 0.50)
+        .packed_code(3.20, 2.00, 4);
     let basket = b.id("basket").unwrap();
     let egg = b.id("egg").unwrap();
     let cat = b.build().unwrap();
@@ -170,10 +172,16 @@ fn mpf_balances_likelihood_and_profit() {
 
     // 2 diamond buyers: 2×390/100 = 7.8 > 98×7/100 = 6.86 ⇒ Diamond.
     let (model, perfume, _, diamond) = build(2);
-    assert_eq!(model.recommend(&[Sale::new(perfume, CodeId(0), 1)]).item, diamond);
+    assert_eq!(
+        model.recommend(&[Sale::new(perfume, CodeId(0), 1)]).item,
+        diamond
+    );
     // 1 diamond buyer: 3.9 < 6.93 ⇒ Lipstick.
     let (model, perfume, lipstick, _) = build(1);
-    assert_eq!(model.recommend(&[Sale::new(perfume, CodeId(0), 1)]).item, lipstick);
+    assert_eq!(
+        model.recommend(&[Sale::new(perfume, CodeId(0), 1)]).item,
+        lipstick
+    );
 }
 
 /// §5.1: under saving MOA the gain is at most 1 (spending never grows).

@@ -58,7 +58,11 @@ fn evaluation_metrics_are_consistent() {
     assert_eq!(out.n, valid.len());
     assert!(out.hits <= out.n);
     // Saving MOA with uniform per-item costs: gain ∈ [0, 1].
-    assert!(out.gain() >= 0.0 && out.gain() <= 1.0 + 1e-12, "{}", out.gain());
+    assert!(
+        out.gain() >= 0.0 && out.gain() <= 1.0 + 1e-12,
+        "{}",
+        out.gain()
+    );
     // Range buckets partition the validation set.
     let bucket_total: usize = out.range_hits.iter().map(|(_, _, t)| t).sum();
     assert_eq!(bucket_total, out.n);
@@ -136,8 +140,16 @@ fn pruning_never_explodes_rule_count() {
     assert!(pruned.rules().len() <= mined.rules().len() + 1);
     // Both still recommend identically-valid items.
     let customer = data.transactions()[0].non_target_sales();
-    assert!(data.catalog().item(pruned.recommend(customer).item).is_target);
-    assert!(data.catalog().item(unpruned.recommend(customer).item).is_target);
+    assert!(
+        data.catalog()
+            .item(pruned.recommend(customer).item)
+            .is_target
+    );
+    assert!(
+        data.catalog()
+            .item(unpruned.recommend(customer).item)
+            .is_target
+    );
 }
 
 #[test]
@@ -190,5 +202,8 @@ fn buying_moa_beats_saving_gain_cap() {
         },
     )
     .gain();
-    assert!(buying >= saving - 1e-12, "buying {buying} vs saving {saving}");
+    assert!(
+        buying >= saving - 1e-12,
+        "buying {buying} vs saving {saving}"
+    );
 }

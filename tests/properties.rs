@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the core invariants.
 
-use proptest::prelude::*;
 use profit_mining::prelude::*;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,10 +54,7 @@ fn arb_transactions(
                 let code = ((salt >> 32) as usize) % n_codes;
                 Transaction::new(nts, Sale::new(titem, CodeId(code as u16), qty))
             });
-        (
-            Just(cat),
-            proptest::collection::vec(txn, 4..max_txns),
-        )
+        (Just(cat), proptest::collection::vec(txn, 4..max_txns))
     })
 }
 

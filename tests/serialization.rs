@@ -19,10 +19,7 @@ fn dataset_json_roundtrip() {
     assert_eq!(back.len(), ds.len());
     assert_eq!(back.transactions(), ds.transactions());
     assert_eq!(back.catalog().len(), ds.catalog().len());
-    assert_eq!(
-        back.total_recorded_profit(),
-        ds.total_recorded_profit()
-    );
+    assert_eq!(back.total_recorded_profit(), ds.total_recorded_profit());
 }
 
 #[test]
