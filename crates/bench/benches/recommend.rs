@@ -35,6 +35,24 @@ fn bench_recommend(c: &mut Criterion) {
             model.recommend(&customers[i])
         })
     });
+    // Serving throughput: one full pass over every customer — the batch
+    // loop `recommend --all` and the evaluation runner actually execute.
+    c.bench_function("recommend/batch-matcher", |b| {
+        b.iter(|| {
+            customers
+                .iter()
+                .map(|c| matcher.recommend(c).item.0 as u64)
+                .sum::<u64>()
+        })
+    });
+    c.bench_function("recommend/batch-linear-scan", |b| {
+        b.iter(|| {
+            customers
+                .iter()
+                .map(|c| model.recommend(c).item.0 as u64)
+                .sum::<u64>()
+        })
+    });
 }
 
 criterion_group! {

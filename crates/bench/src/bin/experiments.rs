@@ -7,6 +7,7 @@
 //!   fig3a fig3b fig3c fig3d fig3e fig3f   Figure 3 (Dataset I)
 //!   fig4a fig4b fig4c fig4d fig4e fig4f   Figure 4 (Dataset II)
 //!   post-knn                              §5.3 kNN post-processing
+//!   bench-mining                          per-phase wall times → BENCH_mining.json
 //!   all                                   everything above
 //!
 //! OPTIONS
@@ -25,6 +26,10 @@
 
 use pm_eval::experiments::{self, Dataset, Scale};
 use pm_eval::Table;
+use pm_rules::{ExtendedData, MinerConfig, MoaMode, RuleMiner, Support, TidPolicy};
+use pm_txn::Moa;
+use profit_core::{CutConfig, Matcher, Recommender, RuleModel};
+use serde::Serialize;
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
@@ -36,7 +41,7 @@ struct Options {
     panels: BTreeSet<String>,
 }
 
-const ALL_PANELS: [&str; 18] = [
+const ALL_PANELS: [&str; 19] = [
     "fig3a",
     "fig3b",
     "fig3c",
@@ -55,6 +60,7 @@ const ALL_PANELS: [&str; 18] = [
     "ablate-coupling",
     "ablate-eval",
     "ablate-quantity",
+    "bench-mining",
 ];
 
 fn usage() -> String {
@@ -152,6 +158,120 @@ fn emit(table: &Table, id: &str, out: &Option<std::path::PathBuf>) {
     }
 }
 
+/// One timed phase of the mining/serving trajectory.
+#[derive(Serialize)]
+struct PhaseTime {
+    phase: &'static str,
+    millis: f64,
+}
+
+/// The `BENCH_mining.json` document.
+#[derive(Serialize)]
+struct MiningBench {
+    transactions: usize,
+    items: usize,
+    seed: u64,
+    threads: usize,
+    rules: usize,
+    customers_served: usize,
+    phases: Vec<PhaseTime>,
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Wall-time every phase of the pipeline — generation, extension, tidset
+/// construction and mining under the dense and adaptive policies, model
+/// build, and a full serving pass through the indexed matcher versus the
+/// linear scan — and write the summary as `BENCH_mining.json`.
+fn bench_mining(opts: &Options) {
+    let cfg = MinerConfig {
+        min_support: Support::Fraction(0.01),
+        max_body_len: 3,
+        ..MinerConfig::default()
+    };
+    let mut phases = Vec::new();
+    let mut record = |phase: &'static str, millis: f64| {
+        eprintln!("  {phase:<16} {millis:9.2} ms");
+        phases.push(PhaseTime { phase, millis });
+    };
+
+    let (data, t) = timed(|| Dataset::I.generate(&opts.scale, opts.seed));
+    record("generate", t);
+    let moa = || {
+        Moa::new(
+            data.catalog_arc(),
+            data.hierarchy_arc(),
+            cfg.moa == MoaMode::Enabled,
+        )
+    };
+    let (extended, t) = timed(|| ExtendedData::build(&data, &moa(), cfg.quantity));
+    record("extend", t);
+    for (phase, policy) in [
+        ("tidsets-dense", TidPolicy::Dense),
+        ("tidsets-adaptive", TidPolicy::Adaptive),
+    ] {
+        let (_, t) = timed(|| extended.tidsets(policy));
+        record(phase, t);
+    }
+    let miner = |policy| {
+        RuleMiner::new(cfg)
+            .with_threads(opts.threads)
+            .with_tidset(policy)
+    };
+    let (_, t) = timed(|| miner(TidPolicy::Dense).mine_extended(extended.clone(), moa()));
+    record("mine-dense", t);
+    let (mined, t) = timed(|| miner(TidPolicy::Adaptive).mine_extended(extended, moa()));
+    record("mine-adaptive", t);
+    let (model, t) = timed(|| RuleModel::build(&mined, &CutConfig::default()));
+    record("model-build", t);
+
+    let customers: Vec<_> = data
+        .transactions()
+        .iter()
+        .map(|t| t.non_target_sales().to_vec())
+        .collect();
+    let (matcher, t) = timed(|| Matcher::new(&model));
+    record("matcher-index", t);
+    let (indexed, t) = timed(|| {
+        customers
+            .iter()
+            .map(|c| matcher.recommend(c).expected_profit)
+            .sum::<f64>()
+    });
+    record("serve-indexed", t);
+    let (linear, t) = timed(|| {
+        customers
+            .iter()
+            .map(|c| model.recommend(c).expected_profit)
+            .sum::<f64>()
+    });
+    record("serve-linear", t);
+    assert_eq!(indexed, linear, "indexed and linear serving disagree");
+
+    let doc = MiningBench {
+        transactions: opts.scale.transactions,
+        items: opts.scale.items,
+        seed: opts.seed,
+        threads: opts.threads,
+        rules: model.rules().len(),
+        customers_served: customers.len(),
+        phases,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench summary");
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let path = dir.join("BENCH_mining.json");
+        std::fs::write(&path, &json).expect("write BENCH_mining.json");
+        eprintln!("[wrote {}]", path.display());
+    } else {
+        println!("{json}");
+    }
+}
+
 fn run(opts: &Options) {
     eprintln!(
         "scale: {} transactions, {} items, sweep {:?}, seed {}",
@@ -201,6 +321,10 @@ fn run(opts: &Options) {
             let t = f(Dataset::I, &opts.scale, opts.seed, opts.threads);
             emit(&t, id, &opts.out);
         }
+    }
+    if opts.panels.contains("bench-mining") {
+        eprintln!("[bench-mining] per-phase wall times…");
+        bench_mining(opts);
     }
 }
 

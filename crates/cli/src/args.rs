@@ -29,7 +29,7 @@ pub struct ArgMap {
 }
 
 /// Boolean switches (no value follows).
-const SWITCHES: [&str; 4] = ["--no-moa", "--conf", "--no-prune", "--buying"];
+const SWITCHES: [&str; 5] = ["--no-moa", "--conf", "--no-prune", "--buying", "--all"];
 
 impl ArgMap {
     /// Parse a flat argument list.

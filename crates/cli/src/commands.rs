@@ -4,9 +4,9 @@ use crate::args::{ArgMap, CliError};
 use pm_baselines::MostProfitableItem;
 use pm_datagen::DatasetConfig;
 use pm_eval::runner::{run_sweep, EvalConfig};
-use pm_rules::{MinerConfig, MoaMode, ProfitMode, Support};
+use pm_rules::{MinerConfig, MoaMode, ProfitMode, Support, TidPolicy};
 use pm_txn::{QuantityModel, Sale, TransactionSet};
-use profit_core::{CutConfig, ProfitMiner, Recommender, RuleModel, SavedModel};
+use profit_core::{CutConfig, Matcher, ProfitMiner, Recommender, RuleModel, SavedModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,6 +34,21 @@ fn load_model(args: &ArgMap) -> Result<RuleModel, CliError> {
 /// result is bit-identical at every setting.
 fn threads(args: &ArgMap) -> Result<usize, CliError> {
     args.get_or("--threads", 0usize)
+}
+
+/// `--tidset auto|dense|adaptive|sparse`: the miner's tidset
+/// representation policy (default `auto`, which honors `PM_TIDSET`).
+/// Mined models are byte-identical at every setting.
+fn tidset(args: &ArgMap) -> Result<TidPolicy, CliError> {
+    match args.get("--tidset") {
+        None | Some("auto") => Ok(TidPolicy::Auto),
+        Some("dense") => Ok(TidPolicy::Dense),
+        Some("adaptive") => Ok(TidPolicy::Adaptive),
+        Some("sparse") => Ok(TidPolicy::Sparse),
+        Some(other) => Err(CliError::Usage(format!(
+            "--tidset must be auto, dense, adaptive, or sparse, got {other:?}"
+        ))),
+    }
 }
 
 fn miner_config(args: &ArgMap) -> Result<MinerConfig, CliError> {
@@ -115,6 +130,7 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
     let model = ProfitMiner::new(miner)
         .with_cut(cut)
         .with_threads(threads(args)?)
+        .with_tidset(tidset(args)?)
         .fit(&data);
     let stats = *model.stats();
     write(
@@ -132,10 +148,15 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
     ))
 }
 
-/// `recommend`: recommend for one dataset transaction's customer.
+/// `recommend`: recommend for one dataset transaction's customer, or —
+/// with `--all` — serve every customer through the indexed [`Matcher`]
+/// and print a per-`(item, code)` summary.
 pub fn recommend(args: &ArgMap) -> Result<String, CliError> {
     let data = load_data(args)?;
     let model = load_model(args)?;
+    if args.switch("--all") {
+        return recommend_all(&data, &model);
+    }
     let txn: usize = args.get_or("--txn", 0usize)?;
     let k: usize = args.get_or("--top", 1usize)?;
     let t = data
@@ -156,6 +177,40 @@ pub fn recommend(args: &ArgMap) -> Result<String, CliError> {
             rec.expected_profit,
             rec.confidence * 100.0,
             model.explain(rec.rule_index.expect("rule-based model")),
+        ));
+    }
+    Ok(out)
+}
+
+/// Batch serving: one indexed-matcher pass over every transaction's
+/// customer, aggregated by recommended `(item, code)` pair. Per-customer
+/// cost is O(postings touched), not O(total rules), so this is the
+/// reference serving loop for large datasets. Output order is
+/// deterministic (catalog order of the pairs).
+fn recommend_all(data: &TransactionSet, model: &RuleModel) -> Result<String, CliError> {
+    let matcher = Matcher::new(model);
+    let catalog = model.moa().catalog();
+    // (item, code) → (customers served, Σ expected profit).
+    let mut summary: std::collections::BTreeMap<(pm_txn::ItemId, pm_txn::CodeId), (u64, f64)> =
+        std::collections::BTreeMap::new();
+    for t in data.transactions() {
+        let rec = matcher.recommend(t.non_target_sales());
+        let e = summary.entry((rec.item, rec.code)).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += rec.expected_profit;
+    }
+    let mut out = format!(
+        "served {} customers over {} rules (indexed matcher):\n",
+        data.len(),
+        model.rules().len()
+    );
+    for (&(item, code), &(count, profit)) in &summary {
+        out.push_str(&format!(
+            "{:>8} × {} at {}  [expected profit {:.2}]\n",
+            count,
+            catalog.item(item).name,
+            catalog.code(item, code),
+            profit,
         ));
     }
     Ok(out)

@@ -42,8 +42,8 @@ USAGE
   profit-mining gen        --out data.json [--dataset i|ii] [--txns N] [--items N] [--seed N]
   profit-mining fit        --data data.json --out model.json [--minsup F] [--max-body N]
                            [--no-moa] [--conf] [--no-prune] [--min-conf F] [--buying]
-                           [--threads N]
-  profit-mining recommend  --data data.json --model model.json [--txn N] [--top K]
+                           [--threads N] [--tidset auto|dense|adaptive|sparse]
+  profit-mining recommend  --data data.json --model model.json [--txn N] [--top K] [--all]
   profit-mining rules      --model model.json [--top N]
   profit-mining eval       --data data.json [--minsup F] [--folds N] [--buying] [--seed N]
                            [--threads N]
@@ -53,8 +53,12 @@ USAGE
   profit-mining help
 
   --threads N selects the worker-thread count for mining and evaluation
-  (0 = all cores, the default; 1 = sequential). Output is bit-identical
-  at every setting.
+  (0 = all cores, the default; 1 = sequential). --tidset selects the
+  miner's tidset representation (auto honors the PM_TIDSET env var).
+  Output is bit-identical at every setting of either.
+
+  recommend --all serves every customer in --data through the indexed
+  rule matcher and prints a per-(item, code) summary.
 "
     .to_string()
 }
@@ -145,6 +149,95 @@ mod tests {
         .unwrap();
         assert!(out.contains("gain"), "{out}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_all_serves_every_customer() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-all-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        let model = dir.join("model.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "300", "--items", "60", "--seed", "11",
+        ]))
+        .unwrap();
+        run(&v(&[
+            "fit",
+            "--data",
+            &data,
+            "--out",
+            &model,
+            "--minsup",
+            "0.03",
+            "--max-body",
+            "2",
+        ]))
+        .unwrap();
+        let out = run(&v(&[
+            "recommend",
+            "--data",
+            &data,
+            "--model",
+            &model,
+            "--all",
+        ]))
+        .unwrap();
+        assert!(out.contains("served 300 customers"), "{out}");
+        assert!(out.contains("indexed matcher"), "{out}");
+        // The per-pair counts add back up to the customer count.
+        let total: u64 = out
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split('×').next())
+            .filter_map(|n| n.trim().parse::<u64>().ok())
+            .sum();
+        assert_eq!(total, 300, "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tidset_flag_is_output_invariant() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-tid-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "300", "--items", "60", "--seed", "9",
+        ]))
+        .unwrap();
+        let fit_with = |policy: &str| {
+            let model = dir.join(format!("m-{policy}.json")).display().to_string();
+            run(&v(&[
+                "fit",
+                "--data",
+                &data,
+                "--out",
+                &model,
+                "--minsup",
+                "0.03",
+                "--max-body",
+                "2",
+                "--tidset",
+                policy,
+            ]))
+            .unwrap();
+            std::fs::read(&model).unwrap()
+        };
+        let dense = fit_with("dense");
+        assert_eq!(dense, fit_with("adaptive"), "fitted model bytes differ");
+        assert_eq!(dense, fit_with("sparse"), "fitted model bytes differ");
+        assert!(matches!(
+            run(&v(&[
+                "fit",
+                "--data",
+                &data,
+                "--out",
+                "/tmp/x.json",
+                "--tidset",
+                "bogus",
+            ])),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -263,7 +263,7 @@ impl RuleModel {
             self.moa.generalizations_of_sale_into(s, &mut buf);
             gs.extend(buf.iter().copied());
         }
-        let mut seen: Vec<(ItemId, CodeId)> = Vec::new();
+        let mut seen: HashSet<(ItemId, CodeId)> = HashSet::new();
         let mut out = Vec::new();
         for (idx, r) in self.rules.iter().enumerate() {
             if out.len() >= k {
@@ -273,7 +273,7 @@ impl RuleModel {
                 continue;
             }
             if r.body.iter().all(|g| gs.contains(g)) {
-                seen.push((r.item, r.code));
+                seen.insert((r.item, r.code));
                 out.push(Recommendation {
                     item: r.item,
                     code: r.code,
@@ -685,6 +685,50 @@ mod tests {
         let mut pairs: Vec<_> = all.iter().map(|r| (r.item, r.code)).collect();
         pairs.dedup();
         assert_eq!(pairs.len(), all.len());
+    }
+
+    /// `k` far beyond the distinct `(item, code)` universe: the result is
+    /// bounded by the distinct pairs among matching rules, every pair is
+    /// unique, and each pair surfaces at its best-ranked rule.
+    #[test]
+    fn top_k_larger_than_distinct_pair_count() {
+        // Unpruned model keeps every surviving rule ⇒ many rules share
+        // the same head pair, exercising the dedup on a real skip path.
+        let m = model(ProfitMode::Profit, false);
+        let c = vec![
+            Sale::new(ItemId(0), CodeId(0), 1),
+            Sale::new(ItemId(1), CodeId(0), 1),
+        ];
+        let matching: Vec<usize> = (0..m.rules().len())
+            .filter(|&i| {
+                let gs: Vec<_> = c
+                    .iter()
+                    .flat_map(|s| m.moa().generalizations_of_sale(s))
+                    .collect();
+                m.rules()[i].body.iter().all(|g| gs.contains(g))
+            })
+            .collect();
+        let distinct: HashSet<(ItemId, CodeId)> = matching
+            .iter()
+            .map(|&i| (m.rules()[i].item, m.rules()[i].code))
+            .collect();
+        assert!(
+            matching.len() > distinct.len(),
+            "need duplicate head pairs for this test to bite"
+        );
+        let all = m.recommend_top_k(&c, 10_000);
+        assert_eq!(all.len(), distinct.len());
+        let got: HashSet<(ItemId, CodeId)> = all.iter().map(|r| (r.item, r.code)).collect();
+        assert_eq!(got, distinct);
+        // Each pair is reported at the first (best-ranked) rule carrying it.
+        for rec in &all {
+            let first = matching
+                .iter()
+                .copied()
+                .find(|&i| (m.rules()[i].item, m.rules()[i].code) == (rec.item, rec.code))
+                .unwrap();
+            assert_eq!(rec.rule_index, Some(first));
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! One-call pipeline: mine → rank → prune → recommender.
 
 use crate::model::RuleModel;
-use pm_rules::{MinerConfig, ProfitMode, RuleMiner, Support};
+use pm_rules::{MinerConfig, ProfitMode, RuleMiner, Support, TidPolicy};
 use pm_txn::TransactionSet;
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +53,7 @@ pub struct ProfitMiner {
     miner: MinerConfig,
     cut: CutConfig,
     threads: usize,
+    tidset: TidPolicy,
 }
 
 impl ProfitMiner {
@@ -64,6 +65,7 @@ impl ProfitMiner {
             miner,
             cut: CutConfig::default(),
             threads: 0,
+            tidset: TidPolicy::Auto,
         }
     }
 
@@ -85,6 +87,19 @@ impl ProfitMiner {
         self.threads
     }
 
+    /// Set the miner's tidset representation policy (default
+    /// [`TidPolicy::Auto`], honoring `PM_TIDSET`). The fitted model is
+    /// byte-identical under every policy.
+    pub fn with_tidset(mut self, tidset: TidPolicy) -> Self {
+        self.tidset = tidset;
+        self
+    }
+
+    /// The configured tidset policy.
+    pub fn tidset(&self) -> TidPolicy {
+        self.tidset
+    }
+
     /// The mining configuration.
     pub fn miner_config(&self) -> &MinerConfig {
         &self.miner
@@ -104,6 +119,7 @@ impl ProfitMiner {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         let mined = RuleMiner::new(self.miner)
             .with_threads(self.threads)
+            .with_tidset(self.tidset)
             .mine(data);
         RuleModel::build(&mined, &self.cut)
     }

@@ -201,10 +201,19 @@ impl CoveringTree {
                 cover.push(uncovered.iter().map(|t| t as u32).collect());
                 uncovered = BitSet::new(n);
             } else {
+                // Walk the (possibly sparse) body tidset directly: the
+                // claim-and-remove pass is the intersection with
+                // `uncovered` and its subtraction in one sweep, touching
+                // only the tids the body actually matches.
                 let ts = mined.body_tidset(&rule.body);
-                let mine = ts.intersection(&uncovered);
-                uncovered.subtract(&mine);
-                cover.push(mine.iter().map(|t| t as u32).collect());
+                let mut mine: Vec<u32> = Vec::new();
+                for t in ts.iter() {
+                    if uncovered.contains(t) {
+                        uncovered.remove(t);
+                        mine.push(t as u32);
+                    }
+                }
+                cover.push(mine);
             }
         }
 

@@ -127,13 +127,21 @@ impl BitSet {
         self.words.iter().all(|&w| w == 0)
     }
 
+    /// The backing `u64` words (bit `i % 64` of word `i / 64` is id `i`).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// A set over `0..capacity` from pre-built words. The caller must not
+    /// set bits at or beyond `capacity`.
+    pub(crate) fn from_words(capacity: usize, words: Vec<u64>) -> Self {
+        debug_assert_eq!(words.len(), capacity.div_ceil(64));
+        Self { capacity, words }
+    }
+
     /// Iterate set ids in increasing order.
     pub fn iter(&self) -> Ones<'_> {
-        Ones {
-            words: &self.words,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        Ones::over_words(&self.words)
     }
 }
 
@@ -142,6 +150,17 @@ pub struct Ones<'a> {
     words: &'a [u64],
     word_idx: usize,
     current: u64,
+}
+
+impl<'a> Ones<'a> {
+    /// Iterate the set bits of a raw word slice in increasing order.
+    pub(crate) fn over_words(words: &'a [u64]) -> Self {
+        Ones {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
 }
 
 impl Iterator for Ones<'_> {

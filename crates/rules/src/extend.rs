@@ -9,8 +9,8 @@
 //!   [`QuantityModel`]. Because `p(r, t)` depends only on the head and the
 //!   target sale, this list serves every rule that covers the transaction.
 
-use crate::bitset::BitSet;
 use crate::interner::{GsId, GsInterner};
+use crate::tidset::{TidPolicy, TidSet};
 use pm_txn::{CodeId, ItemId, Moa, QuantityModel, TransactionSet};
 use serde::{Deserialize, Serialize};
 
@@ -126,13 +126,26 @@ impl ExtendedData {
             .map(|i| self.txn_heads[tid][i].1)
     }
 
-    /// Build the per-generalized-sale tid bitsets (vertical layout).
-    pub fn tidsets(&self) -> Vec<BitSet> {
+    /// Build the per-generalized-sale tidsets (vertical layout), choosing
+    /// each set's representation by `policy`: a counting pass sizes every
+    /// set exactly, then a fill pass pushes tids in ascending order — so
+    /// rare generalized sales go straight to sorted sparse vectors without
+    /// a dense detour.
+    pub fn tidsets(&self, policy: TidPolicy) -> Vec<TidSet> {
         let n = self.n_transactions();
-        let mut sets = vec![BitSet::new(n); self.n_gs()];
+        let mut counts = vec![0usize; self.n_gs()];
+        for gs in &self.txn_gs {
+            for g in gs {
+                counts[g.index()] += 1;
+            }
+        }
+        let mut sets: Vec<TidSet> = counts
+            .iter()
+            .map(|&c| TidSet::for_expected(n, c, policy))
+            .collect();
         for (tid, gs) in self.txn_gs.iter().enumerate() {
             for g in gs {
-                sets[g.index()].insert(tid);
+                sets[g.index()].push(tid);
             }
         }
         sets
@@ -244,7 +257,7 @@ mod tests {
         let ds = dataset();
         let moa = Moa::new(ds.catalog_arc(), ds.hierarchy_arc(), true);
         let ext = ExtendedData::build(&ds, &moa, QuantityModel::Saving);
-        let sets = ext.tidsets();
+        let sets = ext.tidsets(TidPolicy::Adaptive);
         for (tid, gs) in ext.txn_gs.iter().enumerate() {
             for (g, set) in sets.iter().enumerate() {
                 let id = GsId(g as u32);

@@ -18,10 +18,13 @@
 //! 1. each transaction is *extended* once into the set of generalized
 //!    sales of its non-target sales ([`extend`]), interned to dense ids
 //!    ([`interner`]);
-//! 2. every generalized sale owns a tid-[`bitset`]; frequent bodies are
-//!    enumerated depth-first by tidset intersection, with the Cumulate
-//!    rule (no body element generalizing another) enforced on candidates,
-//!    and the 2-itemset level counted through a dense triangle for speed;
+//! 2. every generalized sale owns a [`tidset`] — dense [`bitset`] words
+//!    or a sorted sparse vector, chosen adaptively by density; frequent
+//!    bodies are enumerated depth-first by tidset intersection (galloping
+//!    sparse kernels, minimum-support early exit, per-worker scratch
+//!    buffers), with the Cumulate rule (no body element generalizing
+//!    another) enforced on candidates, and the 2-itemset level counted
+//!    through a dense triangle for speed;
 //! 3. because `p(r, t)` depends only on the head and `t`'s target sale,
 //!    heads are credited in one pass per frequent body by walking its
 //!    tidset against precomputed per-transaction `(head, profit)` lists.
@@ -39,11 +42,13 @@ pub mod extend;
 pub mod interner;
 pub mod miner;
 pub mod rule;
+pub mod tidset;
 
 pub use bitset::BitSet;
 pub use extend::{ExtendedData, HeadId};
 pub use interner::{GsId, GsInterner};
 pub use miner::{MinedRules, MinerConfig, MoaMode, RuleMiner, Support};
 pub use rule::{ProfitMode, Rule};
+pub use tidset::{intersect_into, TidBuf, TidPolicy, TidScratch, TidSet, TidView};
 
 pub use pm_txn::moa::QuantityModel;

@@ -7,10 +7,10 @@
 //! paper's multi-level miner produces, modulo the optional confidence and
 //! rule-profit thresholds.
 
-use crate::bitset::BitSet;
 use crate::extend::{ExtendedData, HeadId};
 use crate::interner::{GsId, GsInterner};
 use crate::rule::{ProfitMode, Rule};
+use crate::tidset::{intersect_into, TidPolicy, TidScratch, TidSet, TidView};
 use pm_txn::{CodeId, ItemId, Moa, QuantityModel, TransactionSet};
 use serde::{Deserialize, Serialize};
 
@@ -122,13 +122,21 @@ pub struct RuleMiner {
     /// count is an execution detail, never a modeling choice, and the
     /// output is bit-identical at every setting.
     threads: usize,
+    /// Tidset representation policy. Like `threads`, an execution detail
+    /// kept out of [`MinerConfig`]: mined output is byte-identical under
+    /// every policy, only the set-algebra kernels change.
+    tidset: TidPolicy,
 }
 
 impl RuleMiner {
     /// A miner with the given configuration, using all cores (see
     /// [`Self::with_threads`]).
     pub fn new(config: MinerConfig) -> Self {
-        Self { config, threads: 0 }
+        Self {
+            config,
+            threads: 0,
+            tidset: TidPolicy::Auto,
+        }
     }
 
     /// Set the worker thread count: `0` = all cores, `1` = sequential.
@@ -140,6 +148,14 @@ impl RuleMiner {
         self
     }
 
+    /// Set the tidset representation policy (default [`TidPolicy::Auto`],
+    /// which honors the `PM_TIDSET` environment variable). Mining output
+    /// is byte-identical under every policy.
+    pub fn with_tidset(mut self, tidset: TidPolicy) -> Self {
+        self.tidset = tidset;
+        self
+    }
+
     /// The configuration.
     pub fn config(&self) -> &MinerConfig {
         &self.config
@@ -148,6 +164,11 @@ impl RuleMiner {
     /// The configured worker thread count (`0` = all cores).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured tidset policy.
+    pub fn tidset(&self) -> TidPolicy {
+        self.tidset
     }
 
     /// Mine `data`, producing rules plus the supporting structures the
@@ -167,7 +188,8 @@ impl RuleMiner {
     pub fn mine_extended(&self, extended: ExtendedData, moa: Moa) -> MinedRules {
         let n = extended.n_transactions();
         let minsup = self.config.min_support.to_count(n);
-        let tidsets = extended.tidsets();
+        let policy = self.tidset.resolve();
+        let tidsets = extended.tidsets(policy);
         // Dominance pre-filter: a rule whose recommendation profit does
         // not exceed the default rule's — under BOTH profit modes — is
         // dominated by the default rule (empty body, ranked higher) and
@@ -214,18 +236,29 @@ impl RuleMiner {
                 minsup,
                 default_floor,
                 threads,
+                policy,
             )
         } else {
             // Legacy sequential path: one global emitter, generation
             // indices assigned directly at emission.
             let mut emitter = RuleEmitter::new(&extended, &self.config, minsup, default_floor);
+            let mut scratch = TidScratch::new(n, self.config.max_body_len.saturating_sub(1));
             for &a in &freq {
                 let ts = &tidsets[a.index()];
-                emitter.emit(&[a], ts, ts.count() as u32);
+                emitter.emit(&[a], ts.view(), ts.count() as u32);
             }
             if let Some(pairs) = &pairs {
                 for ai in 0..freq.len() {
-                    self.process_anchor(&mut emitter, &freq, &tidsets, pairs, minsup, ai);
+                    self.process_anchor(
+                        &mut emitter,
+                        &mut scratch,
+                        &freq,
+                        &tidsets,
+                        pairs,
+                        minsup,
+                        ai,
+                        policy,
+                    );
                 }
             }
             emitter.finish()
@@ -236,6 +269,7 @@ impl RuleMiner {
             rules,
             extended,
             tidsets,
+            tid_policy: policy,
             moa,
         }
     }
@@ -251,11 +285,13 @@ impl RuleMiner {
     fn process_anchor(
         &self,
         emitter: &mut RuleEmitter<'_>,
+        scratch: &mut TidScratch,
         freq: &[GsId],
-        tidsets: &[BitSet],
+        tidsets: &[TidSet],
         pairs: &PairCounts,
         minsup: u32,
         ai: usize,
+        policy: TidPolicy,
     ) {
         let interner = &emitter.extended.interner;
         let a = freq[ai];
@@ -264,10 +300,18 @@ impl RuleMiner {
             .collect();
         for (pos, &bi) in cands.iter().enumerate() {
             let b = freq[bi];
-            let ts = tidsets[a.index()].intersection(&tidsets[b.index()]);
-            let count = pairs.get(ai, bi);
-            debug_assert_eq!(count as usize, ts.count());
-            emitter.emit(&[a, b], &ts, count);
+            // The pair table already proved this candidate frequent, so
+            // the `minsup` bound can never trigger the early exit here.
+            let count = intersect_into(
+                tidsets[a.index()].view(),
+                tidsets[b.index()].view(),
+                scratch.pair_level(),
+                minsup,
+                policy,
+            )
+            .expect("pair candidates are pair-frequent");
+            debug_assert_eq!(count, pairs.get(ai, bi));
+            emitter.emit(&[a, b], scratch.level(0).view(), count);
             if self.config.max_body_len >= 3 {
                 let interner = &emitter.extended.interner;
                 let deeper: Vec<usize> = cands[pos + 1..]
@@ -277,13 +321,15 @@ impl RuleMiner {
                     .collect();
                 self.dfs(
                     emitter,
+                    scratch,
                     freq,
                     tidsets,
                     pairs,
                     minsup,
                     &mut vec![a, b],
-                    &ts,
+                    1,
                     &deeper,
+                    policy,
                 );
             }
         }
@@ -303,22 +349,33 @@ impl RuleMiner {
         &self,
         extended: &ExtendedData,
         freq: &[GsId],
-        tidsets: &[BitSet],
+        tidsets: &[TidSet],
         pairs: Option<&PairCounts>,
         minsup: u32,
         default_floor: (f64, f64),
         threads: usize,
+        policy: TidPolicy,
     ) -> Vec<Rule> {
-        let new_emitter = || RuleEmitter::new(extended, &self.config, minsup, default_floor);
+        // Per-worker state: one emitter plus one intersection-scratch
+        // pool; both persist across the work items a worker claims, so
+        // the DFS performs no per-node heap allocation.
+        let n = extended.n_transactions();
+        let scratch_levels = self.config.max_body_len.saturating_sub(1);
+        let new_state = || {
+            (
+                RuleEmitter::new(extended, &self.config, minsup, default_floor),
+                TidScratch::new(n, scratch_levels),
+            )
+        };
         // Level 1: chunked so one emitter allocation serves many
         // singletons; over-split 4× for load balance.
         let l1_chunks = pm_par::even_chunks(freq.len(), threads * 4);
         let l1_buffers =
-            pm_par::par_map_init(l1_chunks.len(), threads, new_emitter, |emitter, ci| {
+            pm_par::par_map_init(l1_chunks.len(), threads, new_state, |(emitter, _), ci| {
                 for i in l1_chunks[ci].clone() {
                     let a = freq[i];
                     let ts = &tidsets[a.index()];
-                    emitter.emit(&[a], ts, ts.count() as u32);
+                    emitter.emit(&[a], ts.view(), ts.count() as u32);
                 }
                 emitter.take_rules()
             });
@@ -326,10 +383,12 @@ impl RuleMiner {
         // skewed, and pm-par's dynamic claiming absorbs that.
         let anchor_buffers = match pairs {
             None => Vec::new(),
-            Some(pairs) => pm_par::par_map_init(freq.len(), threads, new_emitter, |emitter, ai| {
-                self.process_anchor(emitter, freq, tidsets, pairs, minsup, ai);
-                emitter.take_rules()
-            }),
+            Some(pairs) => {
+                pm_par::par_map_init(freq.len(), threads, new_state, |(emitter, scratch), ai| {
+                    self.process_anchor(emitter, scratch, freq, tidsets, pairs, minsup, ai, policy);
+                    emitter.take_rules()
+                })
+            }
         };
         let mut rules: Vec<Rule> = l1_buffers
             .into_iter()
@@ -343,28 +402,39 @@ impl RuleMiner {
     }
 
     /// Depth-first extension of `body` with the (pre-filtered) dense
-    /// candidate indices `cands`.
+    /// candidate indices `cands`. The parent tidset lives in the scratch
+    /// buffer at `depth - 1` (the pair level is depth 0); each child
+    /// intersection is written to the buffer at `depth` with the
+    /// `minsup` early-exit bound, so infrequent children are abandoned
+    /// mid-loop without materializing their tidsets.
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &self,
         emitter: &mut RuleEmitter<'_>,
+        scratch: &mut TidScratch,
         freq: &[GsId],
-        tidsets: &[BitSet],
+        tidsets: &[TidSet],
         pairs: &PairCounts,
         minsup: u32,
         body: &mut Vec<GsId>,
-        tidset: &BitSet,
+        depth: usize,
         cands: &[usize],
+        policy: TidPolicy,
     ) {
         for (pos, &ci) in cands.iter().enumerate() {
             let c = freq[ci];
-            let ts = tidset.intersection(&tidsets[c.index()]);
-            let count = ts.count() as u32;
-            if count < minsup {
+            let (parent, out) = scratch.parent_and_out(depth);
+            let Some(count) = intersect_into(
+                parent.view(),
+                tidsets[c.index()].view(),
+                out,
+                minsup,
+                policy,
+            ) else {
                 continue;
-            }
+            };
             body.push(c);
-            emitter.emit(body, &ts, count);
+            emitter.emit(body, scratch.level(depth).view(), count);
             if body.len() < self.config.max_body_len {
                 let interner = &emitter.extended.interner;
                 let deeper: Vec<usize> = cands[pos + 1..]
@@ -372,7 +442,18 @@ impl RuleMiner {
                     .copied()
                     .filter(|&di| pairs.get(ci, di) >= minsup && !interner.related(c, freq[di]))
                     .collect();
-                self.dfs(emitter, freq, tidsets, pairs, minsup, body, &ts, &deeper);
+                self.dfs(
+                    emitter,
+                    scratch,
+                    freq,
+                    tidsets,
+                    pairs,
+                    minsup,
+                    body,
+                    depth + 1,
+                    &deeper,
+                    policy,
+                );
             }
             body.pop();
         }
@@ -418,7 +499,7 @@ impl<'a> RuleEmitter<'a> {
         }
     }
 
-    fn emit(&mut self, body: &[GsId], tidset: &BitSet, body_count: u32) {
+    fn emit(&mut self, body: &[GsId], tidset: TidView<'_>, body_count: u32) {
         self.stamp += 1;
         self.touched.clear();
         for tid in tidset.iter() {
@@ -594,7 +675,8 @@ pub struct MinedRules {
     min_support_count: u32,
     rules: Vec<Rule>,
     extended: ExtendedData,
-    tidsets: Vec<BitSet>,
+    tidsets: Vec<TidSet>,
+    tid_policy: TidPolicy,
     moa: Moa,
 }
 
@@ -645,19 +727,24 @@ impl MinedRules {
     }
 
     /// Singleton tidset of a generalized sale.
-    pub fn gs_tidset(&self, g: GsId) -> &BitSet {
+    pub fn gs_tidset(&self, g: GsId) -> &TidSet {
         &self.tidsets[g.index()]
+    }
+
+    /// The (resolved) tidset policy this run mined under.
+    pub fn tid_policy(&self) -> TidPolicy {
+        self.tid_policy
     }
 
     /// Tidset of a body (AND of singleton tidsets; the empty body matches
     /// every transaction).
-    pub fn body_tidset(&self, body: &[GsId]) -> BitSet {
+    pub fn body_tidset(&self, body: &[GsId]) -> TidSet {
         match body.split_first() {
-            None => BitSet::full(self.n_transactions()),
+            None => TidSet::full(self.n_transactions()),
             Some((&first, rest)) => {
                 let mut ts = self.tidsets[first.index()].clone();
                 for g in rest {
-                    ts.intersect_with(&self.tidsets[g.index()]);
+                    ts = ts.intersection(&self.tidsets[g.index()], self.tid_policy);
                 }
                 ts
             }
@@ -1072,6 +1159,68 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The adaptive-tidset guarantee: mining output is bit-identical
+    /// under every representation policy — forced all-dense, forced
+    /// all-sparse, and the adaptive threshold — at 1 and several threads.
+    #[test]
+    fn tidset_policy_does_not_change_output() {
+        let ds = dataset();
+        for moa in [MoaMode::Enabled, MoaMode::Disabled] {
+            for max_len in [2usize, 4] {
+                let config = MinerConfig {
+                    min_support: Support::Count(1),
+                    max_body_len: max_len,
+                    moa,
+                    prune_default_dominated: false,
+                    ..MinerConfig::default()
+                };
+                let base = RuleMiner::new(config)
+                    .with_threads(1)
+                    .with_tidset(TidPolicy::Dense)
+                    .mine(&ds);
+                assert!(!base.rules().is_empty());
+                for policy in [TidPolicy::Sparse, TidPolicy::Adaptive] {
+                    for threads in [1usize, 3] {
+                        let got = RuleMiner::new(config)
+                            .with_threads(threads)
+                            .with_tidset(policy)
+                            .mine(&ds);
+                        assert_eq!(
+                            base.rules(),
+                            got.rules(),
+                            "{moa:?} max_len {max_len} {policy:?} threads {threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `body_tidset` agrees across policies and with each rule's count.
+    #[test]
+    fn body_tidset_agrees_across_policies() {
+        let ds = dataset();
+        let config = MinerConfig {
+            min_support: Support::Count(1),
+            max_body_len: 3,
+            moa: MoaMode::Enabled,
+            prune_default_dominated: false,
+            ..MinerConfig::default()
+        };
+        let dense = RuleMiner::new(config)
+            .with_tidset(TidPolicy::Dense)
+            .mine(&ds);
+        let sparse = RuleMiner::new(config)
+            .with_tidset(TidPolicy::Sparse)
+            .mine(&ds);
+        for r in dense.rules() {
+            let td = dense.body_tidset(&r.body);
+            let ts = sparse.body_tidset(&r.body);
+            assert_eq!(td.count() as u32, r.body_count);
+            assert_eq!(td.iter().collect::<Vec<_>>(), ts.iter().collect::<Vec<_>>());
         }
     }
 

@@ -1,0 +1,737 @@
+//! Adaptive tidset representations for the vertical miner.
+//!
+//! Apriori-style support shrinks geometrically with body length, so deep
+//! DFS nodes carry tidsets whose density is a tiny fraction of the
+//! transaction universe — exactly where a dense `u64`-word [`BitSet`]
+//! wastes both memory bandwidth (every intersection touches `n/64` words
+//! regardless of cardinality) and allocation (a fresh word vector per
+//! node). This module provides:
+//!
+//! * [`TidSet`] — a stored tidset that is either `Dense` (a [`BitSet`])
+//!   or `Sparse` (a sorted `Vec<u32>`), chosen per set by a density
+//!   threshold ([`TidPolicy`]);
+//! * [`TidBuf`] — a reusable intersection output buffer owning storage
+//!   for *both* representations, so the mining hot loop does zero
+//!   per-node heap allocation after warm-up;
+//! * [`intersect_into`] — the one intersection kernel, with galloping
+//!   sparse∩sparse, word-masked sparse∩dense, word-AND dense∩dense with
+//!   adaptive compression of small results, and a **minimum-support
+//!   early exit**: the loop is abandoned as soon as the elements still
+//!   reachable cannot lift the count to the bound.
+//!
+//! Both representations describe identical id sets and iterate ids in
+//! ascending order, so swapping representations never changes mined
+//! output — candidate enumeration order, per-head f64 accumulation
+//! order, and every tie-break are representation-independent. The
+//! forced-threshold tests in `pm-rules` lock this byte-for-byte.
+
+use crate::bitset::{BitSet, Ones};
+
+/// Density denominator of the adaptive threshold: a set stays sparse
+/// while its cardinality is at most `capacity / 64` (≈ 1.56% density).
+/// At that point the sorted-`u32` vector holds no more entries than the
+/// dense representation holds words, so a sparse intersection touches no
+/// more memory than the dense word loop — below the threshold it touches
+/// strictly less, above it the branchless word AND wins.
+pub const SPARSE_DENSITY_SHIFT: u32 = 6;
+
+/// Which tidset representation the miner uses. An execution detail like
+/// the worker-thread count: mined output is byte-identical at every
+/// setting, only set algebra changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TidPolicy {
+    /// Resolve from the `PM_TIDSET` environment variable (`dense`,
+    /// `adaptive`, or `sparse`; anything else — including unset — means
+    /// [`TidPolicy::Adaptive`]).
+    #[default]
+    Auto,
+    /// Always dense `u64`-word bitsets (the legacy representation).
+    Dense,
+    /// Dense above the [`SPARSE_DENSITY_SHIFT`] density threshold,
+    /// sorted-`u32` sparse at or below it.
+    Adaptive,
+    /// Always sorted-`u32` vectors (forced-threshold testing, or data
+    /// known to be uniformly sparse).
+    Sparse,
+}
+
+impl TidPolicy {
+    /// Resolve [`TidPolicy::Auto`] against the `PM_TIDSET` environment
+    /// variable; concrete policies pass through unchanged.
+    pub fn resolve(self) -> TidPolicy {
+        match self {
+            TidPolicy::Auto => match std::env::var("PM_TIDSET").ok().as_deref() {
+                Some("dense") => TidPolicy::Dense,
+                Some("sparse") => TidPolicy::Sparse,
+                _ => TidPolicy::Adaptive,
+            },
+            other => other,
+        }
+    }
+
+    /// Largest cardinality still stored sparse over a universe of
+    /// `capacity` ids. `Auto` behaves like `Adaptive` here; callers on
+    /// hot paths should [`resolve`](Self::resolve) once up front.
+    pub fn sparse_max(self, capacity: usize) -> usize {
+        match self {
+            TidPolicy::Dense => 0,
+            TidPolicy::Sparse => capacity,
+            TidPolicy::Auto | TidPolicy::Adaptive => capacity >> SPARSE_DENSITY_SHIFT,
+        }
+    }
+}
+
+/// A stored tidset over `0..capacity`, dense or sparse by policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TidSet {
+    capacity: usize,
+    repr: TidRepr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TidRepr {
+    Dense(BitSet),
+    Sparse(Vec<u32>),
+}
+
+impl TidSet {
+    /// An empty set expecting `expected` elements: sparse (with reserved
+    /// capacity) when `expected` is within the policy's threshold, dense
+    /// otherwise. Fill with ascending [`push`](Self::push) calls.
+    pub fn for_expected(capacity: usize, expected: usize, policy: TidPolicy) -> Self {
+        let repr = if expected <= policy.sparse_max(capacity) {
+            TidRepr::Sparse(Vec::with_capacity(expected))
+        } else {
+            TidRepr::Dense(BitSet::new(capacity))
+        };
+        Self { capacity, repr }
+    }
+
+    /// The set containing all of `0..capacity` (always dense — the full
+    /// set is maximally above any sparse threshold).
+    pub fn full(capacity: usize) -> Self {
+        Self {
+            capacity,
+            repr: TidRepr::Dense(BitSet::full(capacity)),
+        }
+    }
+
+    /// Build from strictly ascending ids, choosing the representation by
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when ids are not strictly ascending or reach `capacity`.
+    pub fn from_sorted_ids(ids: Vec<u32>, capacity: usize, policy: TidPolicy) -> Self {
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly ascending"
+        );
+        if let Some(&last) = ids.last() {
+            assert!((last as usize) < capacity, "id {last} out of capacity");
+        }
+        if ids.len() <= policy.sparse_max(capacity) {
+            Self {
+                capacity,
+                repr: TidRepr::Sparse(ids),
+            }
+        } else {
+            let mut bs = BitSet::new(capacity);
+            for &id in &ids {
+                bs.insert(id as usize);
+            }
+            Self {
+                capacity,
+                repr: TidRepr::Dense(bs),
+            }
+        }
+    }
+
+    /// Build from a dense bitset, compressing to sparse when the policy's
+    /// threshold allows.
+    pub fn from_bitset(bs: BitSet, policy: TidPolicy) -> Self {
+        let capacity = bs.capacity();
+        if bs.count() <= policy.sparse_max(capacity) {
+            Self {
+                capacity,
+                repr: TidRepr::Sparse(bs.iter().map(|t| t as u32).collect()),
+            }
+        } else {
+            Self {
+                capacity,
+                repr: TidRepr::Dense(bs),
+            }
+        }
+    }
+
+    /// Expand to the dense representation.
+    pub fn to_bitset(&self) -> BitSet {
+        match &self.repr {
+            TidRepr::Dense(bs) => bs.clone(),
+            TidRepr::Sparse(ids) => {
+                let mut bs = BitSet::new(self.capacity);
+                for &id in ids {
+                    bs.insert(id as usize);
+                }
+                bs
+            }
+        }
+    }
+
+    /// Append an id. Ids must arrive in strictly ascending order (the
+    /// level-1 builder walks transactions in tid order, so this holds by
+    /// construction).
+    pub fn push(&mut self, id: usize) {
+        match &mut self.repr {
+            TidRepr::Dense(bs) => bs.insert(id),
+            TidRepr::Sparse(ids) => {
+                debug_assert!(
+                    id < self.capacity && ids.last().is_none_or(|&l| (l as usize) < id),
+                    "push must be ascending and within capacity"
+                );
+                ids.push(id as u32);
+            }
+        }
+    }
+
+    /// The universe size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        match &self.repr {
+            TidRepr::Dense(bs) => bs.count(),
+            TidRepr::Sparse(ids) => ids.len(),
+        }
+    }
+
+    /// True when the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            TidRepr::Dense(bs) => bs.is_empty(),
+            TidRepr::Sparse(ids) => ids.is_empty(),
+        }
+    }
+
+    /// True when stored sparse (diagnostics and tests).
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, TidRepr::Sparse(_))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: usize) -> bool {
+        match &self.repr {
+            TidRepr::Dense(bs) => bs.contains(id),
+            TidRepr::Sparse(ids) => ids.binary_search(&(id as u32)).is_ok(),
+        }
+    }
+
+    /// A borrowed view for the intersection kernel.
+    pub fn view(&self) -> TidView<'_> {
+        match &self.repr {
+            TidRepr::Dense(bs) => TidView::Dense(bs.words()),
+            TidRepr::Sparse(ids) => TidView::Sparse(ids),
+        }
+    }
+
+    /// Iterate ids in increasing order.
+    pub fn iter(&self) -> TidIter<'_> {
+        self.view().iter()
+    }
+
+    /// `self ∩ other` as a new set whose representation follows `policy`.
+    /// Allocates — meant for cold paths (coverage assignment, tests); the
+    /// mining loop uses [`intersect_into`] with a [`TidBuf`].
+    pub fn intersection(&self, other: &TidSet, policy: TidPolicy) -> TidSet {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut out = TidBuf::new(self.capacity);
+        intersect_into(self.view(), other.view(), &mut out, 0, policy)
+            .expect("bound 0 never early-exits");
+        out.into_tidset()
+    }
+}
+
+/// A borrowed tidset: dense words or sorted sparse ids.
+#[derive(Debug, Clone, Copy)]
+pub enum TidView<'a> {
+    /// Dense `u64` words (bit `i % 64` of word `i / 64` is id `i`).
+    Dense(&'a [u64]),
+    /// Strictly ascending ids.
+    Sparse(&'a [u32]),
+}
+
+impl<'a> TidView<'a> {
+    /// Number of elements (popcount for dense views).
+    pub fn count(self) -> usize {
+        match self {
+            TidView::Dense(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+            TidView::Sparse(ids) => ids.len(),
+        }
+    }
+
+    /// Iterate ids in increasing order.
+    pub fn iter(self) -> TidIter<'a> {
+        match self {
+            TidView::Dense(words) => TidIter::Dense(Ones::over_words(words)),
+            TidView::Sparse(ids) => TidIter::Sparse(ids.iter()),
+        }
+    }
+}
+
+/// Iterator over the ids of a [`TidView`] / [`TidSet`], ascending.
+pub enum TidIter<'a> {
+    /// Bit-scanning a dense view.
+    Dense(Ones<'a>),
+    /// Walking a sparse id slice.
+    Sparse(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for TidIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            TidIter::Dense(ones) => ones.next(),
+            TidIter::Sparse(ids) => ids.next().map(|&id| id as usize),
+        }
+    }
+}
+
+/// A reusable intersection output buffer. Owns storage for both
+/// representations so [`intersect_into`] can pick either without
+/// allocating; one buffer per DFS level per worker is all the miner
+/// needs.
+#[derive(Debug, Clone)]
+pub struct TidBuf {
+    capacity: usize,
+    kind: BufKind,
+    words: Vec<u64>,
+    ids: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufKind {
+    Dense,
+    Sparse,
+}
+
+impl TidBuf {
+    /// An empty buffer over `0..capacity`. Backing vectors grow lazily on
+    /// first dense / sparse use and are retained across reuses.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            kind: BufKind::Sparse,
+            words: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// The universe size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A borrowed view of the current contents.
+    pub fn view(&self) -> TidView<'_> {
+        match self.kind {
+            BufKind::Dense => TidView::Dense(&self.words),
+            BufKind::Sparse => TidView::Sparse(&self.ids),
+        }
+    }
+
+    /// Freeze the buffer into a stored [`TidSet`] (the representation was
+    /// already chosen by the kernel that filled it).
+    pub fn into_tidset(self) -> TidSet {
+        match self.kind {
+            BufKind::Dense => TidSet {
+                capacity: self.capacity,
+                repr: TidRepr::Dense(BitSet::from_words(self.capacity, self.words)),
+            },
+            BufKind::Sparse => TidSet {
+                capacity: self.capacity,
+                repr: TidRepr::Sparse(self.ids),
+            },
+        }
+    }
+
+    /// Reset to an empty sparse buffer, keeping allocations.
+    fn start_sparse(&mut self) {
+        self.kind = BufKind::Sparse;
+        self.ids.clear();
+    }
+
+    /// Switch to the dense layout sized for the capacity. Word contents
+    /// are unspecified; the dense kernel overwrites every word it keeps.
+    fn start_dense(&mut self) {
+        self.kind = BufKind::Dense;
+        let n_words = self.capacity.div_ceil(64);
+        if self.words.len() != n_words {
+            self.words.resize(n_words, 0);
+        }
+    }
+}
+
+/// Intersect `a ∩ b` into `out`, returning `Some(count)` when the
+/// intersection has at least `bound` elements and `None` otherwise.
+///
+/// `bound` is the **minimum-support early exit**: each kernel abandons
+/// its loop as soon as the elements still reachable cannot lift the
+/// running count to `bound` (pass `0` to always compute the full
+/// intersection). On `None`, `out`'s contents are unspecified.
+///
+/// The output representation is sparse whenever either input is sparse
+/// (the result is no larger than the smaller input); a dense∩dense
+/// result is compressed to sparse when its count falls within `policy`'s
+/// threshold, so descendant intersections in a DFS run the cheaper
+/// sparse kernels.
+pub fn intersect_into(
+    a: TidView<'_>,
+    b: TidView<'_>,
+    out: &mut TidBuf,
+    bound: u32,
+    policy: TidPolicy,
+) -> Option<u32> {
+    match (a, b) {
+        (TidView::Sparse(x), TidView::Sparse(y)) => sparse_sparse(x, y, out, bound),
+        (TidView::Sparse(x), TidView::Dense(w)) | (TidView::Dense(w), TidView::Sparse(x)) => {
+            sparse_dense(x, w, out, bound)
+        }
+        (TidView::Dense(wa), TidView::Dense(wb)) => dense_dense(wa, wb, out, bound, policy),
+    }
+}
+
+/// Index of the first element of sorted `s` that is `≥ x`, found by
+/// exponential probing from the front plus a bounded binary search —
+/// `O(log d)` in the landing distance `d`, which is what makes skewed
+/// sparse∩sparse intersections gallop instead of merge.
+fn gallop_to(s: &[u32], x: u32) -> usize {
+    if s.first().is_none_or(|&v| v >= x) {
+        return 0;
+    }
+    // Invariant: s[lo] < x.
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < s.len() && s[lo + step] < x {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(s.len());
+    lo + 1 + s[lo + 1..hi].partition_point(|&v| v < x)
+}
+
+/// Galloping sparse∩sparse: probe with the smaller list, gallop in the
+/// larger.
+fn sparse_sparse(a: &[u32], b: &[u32], out: &mut TidBuf, bound: u32) -> Option<u32> {
+    let (probe, gallop) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    out.start_sparse();
+    let mut gi = 0usize;
+    for (pi, &x) in probe.iter().enumerate() {
+        let reachable = (probe.len() - pi).min(gallop.len() - gi);
+        if out.ids.len() + reachable < bound as usize {
+            return None;
+        }
+        if gi >= gallop.len() {
+            break;
+        }
+        gi += gallop_to(&gallop[gi..], x);
+        if gi < gallop.len() && gallop[gi] == x {
+            out.ids.push(x);
+            gi += 1;
+        }
+    }
+    let n = out.ids.len() as u32;
+    (n >= bound).then_some(n)
+}
+
+/// Word-masked sparse∩dense: test each sparse id against its word.
+fn sparse_dense(ids: &[u32], words: &[u64], out: &mut TidBuf, bound: u32) -> Option<u32> {
+    out.start_sparse();
+    for (i, &x) in ids.iter().enumerate() {
+        if out.ids.len() + (ids.len() - i) < bound as usize {
+            return None;
+        }
+        if words[(x / 64) as usize] & (1u64 << (x % 64)) != 0 {
+            out.ids.push(x);
+        }
+    }
+    let n = out.ids.len() as u32;
+    (n >= bound).then_some(n)
+}
+
+/// Word-AND dense∩dense with a running popcount; compresses a
+/// below-threshold result to sparse.
+fn dense_dense(
+    a: &[u64],
+    b: &[u64],
+    out: &mut TidBuf,
+    bound: u32,
+    policy: TidPolicy,
+) -> Option<u32> {
+    debug_assert_eq!(a.len(), b.len());
+    out.start_dense();
+    debug_assert_eq!(out.words.len(), a.len());
+    let n = a.len();
+    let mut count = 0u32;
+    for i in 0..n {
+        if (count as u64) + 64 * ((n - i) as u64) < bound as u64 {
+            return None;
+        }
+        let w = a[i] & b[i];
+        out.words[i] = w;
+        count += w.count_ones();
+    }
+    if count < bound {
+        return None;
+    }
+    if (count as usize) <= policy.sparse_max(out.capacity) {
+        // Compress: every descendant intersection then runs a sparse
+        // kernel. Take the words out to appease the borrow checker, put
+        // them back so the allocation survives for reuse.
+        let words = std::mem::take(&mut out.words);
+        out.start_sparse();
+        out.ids.extend(Ones::over_words(&words).map(|t| t as u32));
+        out.words = words;
+    }
+    Some(count)
+}
+
+/// Per-worker pool of intersection buffers, one per DFS depth. Sized
+/// once per worker; after the first descent the mining loop performs no
+/// heap allocation for set algebra.
+#[derive(Debug, Clone)]
+pub struct TidScratch {
+    levels: Vec<TidBuf>,
+}
+
+impl TidScratch {
+    /// A pool of `levels` buffers over a universe of `capacity` ids (at
+    /// least one; the miner passes `max_body_len - 1`).
+    pub fn new(capacity: usize, levels: usize) -> Self {
+        Self {
+            levels: (0..levels.max(1)).map(|_| TidBuf::new(capacity)).collect(),
+        }
+    }
+
+    /// The buffer holding the pair-level (body length 2) intersection.
+    pub fn pair_level(&mut self) -> &mut TidBuf {
+        &mut self.levels[0]
+    }
+
+    /// Split into the parent buffer at `depth - 1` (read) and the output
+    /// buffer at `depth` (write), for the DFS recursion.
+    pub fn parent_and_out(&mut self, depth: usize) -> (&TidBuf, &mut TidBuf) {
+        debug_assert!(depth >= 1);
+        let (lo, hi) = self.levels.split_at_mut(depth);
+        (&lo[depth - 1], &mut hi[0])
+    }
+
+    /// Read-only access to the buffer at `depth`.
+    pub fn level(&self, depth: usize) -> &TidBuf {
+        &self.levels[depth]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut x = seed | 1;
+        move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+    }
+
+    fn random_ids(cap: usize, approx: usize, seed: u64) -> Vec<u32> {
+        let mut next = xorshift(seed);
+        let mut set = std::collections::BTreeSet::new();
+        for _ in 0..approx {
+            set.insert((next() % cap as u64) as u32);
+        }
+        set.into_iter().collect()
+    }
+
+    fn reference_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let sb: std::collections::BTreeSet<u32> = b.iter().copied().collect();
+        a.iter().copied().filter(|x| sb.contains(x)).collect()
+    }
+
+    #[test]
+    fn policy_resolution_and_threshold() {
+        assert_eq!(TidPolicy::Dense.sparse_max(1000), 0);
+        assert_eq!(TidPolicy::Sparse.sparse_max(1000), 1000);
+        assert_eq!(TidPolicy::Adaptive.sparse_max(6400), 100);
+        assert_eq!(TidPolicy::Dense.resolve(), TidPolicy::Dense);
+        // Auto resolves to something concrete.
+        assert_ne!(TidPolicy::Auto.resolve(), TidPolicy::Auto);
+    }
+
+    #[test]
+    fn representation_follows_policy() {
+        let ids = vec![3u32, 70, 500];
+        let cap = 100_000;
+        assert!(TidSet::from_sorted_ids(ids.clone(), cap, TidPolicy::Adaptive).is_sparse());
+        assert!(!TidSet::from_sorted_ids(ids.clone(), cap, TidPolicy::Dense).is_sparse());
+        assert!(TidSet::from_sorted_ids(ids, cap, TidPolicy::Sparse).is_sparse());
+        // Above the adaptive threshold the set goes dense.
+        let many = random_ids(1000, 600, 42);
+        assert!(!TidSet::from_sorted_ids(many, 1000, TidPolicy::Adaptive).is_sparse());
+    }
+
+    #[test]
+    fn roundtrip_between_representations() {
+        for seed in [1u64, 7, 99] {
+            let ids = random_ids(3000, 150, seed);
+            let sparse = TidSet::from_sorted_ids(ids.clone(), 3000, TidPolicy::Sparse);
+            let dense = TidSet::from_sorted_ids(ids.clone(), 3000, TidPolicy::Dense);
+            assert_eq!(sparse.to_bitset(), dense.to_bitset());
+            let back = TidSet::from_bitset(dense.to_bitset(), TidPolicy::Sparse);
+            assert!(back.is_sparse());
+            assert_eq!(
+                back.iter().collect::<Vec<_>>(),
+                sparse.iter().collect::<Vec<_>>()
+            );
+            assert_eq!(sparse.count(), ids.len());
+            for &id in &ids {
+                assert!(sparse.contains(id as usize) && dense.contains(id as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_to_matches_partition_point() {
+        let s: Vec<u32> = vec![2, 3, 5, 8, 13, 21, 34, 55, 89];
+        for x in 0..100u32 {
+            assert_eq!(gallop_to(&s, x), s.partition_point(|&v| v < x), "x={x}");
+        }
+        assert_eq!(gallop_to(&[], 5), 0);
+    }
+
+    #[test]
+    fn all_kernel_combinations_agree() {
+        let cap = 5000;
+        for (na, nb, seed) in [
+            (40usize, 900usize, 3u64),
+            (900, 40, 4),
+            (30, 35, 5),
+            (900, 800, 6),
+        ] {
+            let a = random_ids(cap, na, seed);
+            let b = random_ids(cap, nb, seed.wrapping_mul(31));
+            let expect = reference_intersection(&a, &b);
+            let reprs = |ids: &[u32]| {
+                vec![
+                    TidSet::from_sorted_ids(ids.to_vec(), cap, TidPolicy::Sparse),
+                    TidSet::from_sorted_ids(ids.to_vec(), cap, TidPolicy::Dense),
+                ]
+            };
+            for ra in reprs(&a) {
+                for rb in reprs(&b) {
+                    let mut out = TidBuf::new(cap);
+                    let count =
+                        intersect_into(ra.view(), rb.view(), &mut out, 0, TidPolicy::Adaptive)
+                            .unwrap();
+                    assert_eq!(count as usize, expect.len());
+                    let got: Vec<u32> = out.view().iter().map(|t| t as u32).collect();
+                    assert_eq!(got, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_early_exit_is_exact() {
+        let cap = 4000;
+        let a = random_ids(cap, 300, 11);
+        let b = random_ids(cap, 500, 13);
+        let expect = reference_intersection(&a, &b).len() as u32;
+        for policy in [TidPolicy::Dense, TidPolicy::Sparse, TidPolicy::Adaptive] {
+            let ta = TidSet::from_sorted_ids(a.clone(), cap, policy);
+            let tb = TidSet::from_sorted_ids(b.clone(), cap, policy);
+            let mut out = TidBuf::new(cap);
+            for bound in [0u32, 1, expect / 2, expect, expect + 1, expect + 100] {
+                let got = intersect_into(ta.view(), tb.view(), &mut out, bound, policy);
+                assert_eq!(
+                    got,
+                    (expect >= bound).then_some(expect),
+                    "{policy:?} {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_result_compresses_when_small() {
+        let cap = 100_000;
+        // Two dense sets with a tiny overlap.
+        let a = random_ids(cap, 40_000, 17);
+        let b = random_ids(cap, 200, 19);
+        let ta = TidSet::from_sorted_ids(a, cap, TidPolicy::Dense);
+        let tb = TidSet::from_sorted_ids(b, cap, TidPolicy::Dense);
+        let inter = ta.intersection(&tb, TidPolicy::Adaptive);
+        assert!(inter.is_sparse(), "small result must compress");
+        assert_eq!(
+            inter.count(),
+            ta.to_bitset().intersection_count(&tb.to_bitset())
+        );
+        // Under the forced-dense policy it stays dense.
+        assert!(!ta.intersection(&tb, TidPolicy::Dense).is_sparse());
+    }
+
+    #[test]
+    fn buffers_are_reusable_across_kinds() {
+        let cap = 2000;
+        let mut out = TidBuf::new(cap);
+        let d1 = TidSet::from_sorted_ids(random_ids(cap, 900, 23), cap, TidPolicy::Dense);
+        let d2 = TidSet::from_sorted_ids(random_ids(cap, 900, 29), cap, TidPolicy::Dense);
+        let s1 = TidSet::from_sorted_ids(random_ids(cap, 20, 31), cap, TidPolicy::Sparse);
+        // dense∩dense (dense out) → sparse∩dense (sparse out) → again dense.
+        let c1 = intersect_into(d1.view(), d2.view(), &mut out, 0, TidPolicy::Dense).unwrap();
+        assert_eq!(c1 as usize, out.view().count());
+        let c2 = intersect_into(s1.view(), d2.view(), &mut out, 0, TidPolicy::Dense).unwrap();
+        assert_eq!(c2 as usize, out.view().count());
+        let c3 = intersect_into(d1.view(), d2.view(), &mut out, 0, TidPolicy::Dense).unwrap();
+        assert_eq!(c1, c3);
+    }
+
+    #[test]
+    fn scratch_split_borrows() {
+        let mut scratch = TidScratch::new(100, 3);
+        let a = TidSet::from_sorted_ids(vec![1, 5, 9, 50], 100, TidPolicy::Sparse);
+        let b = TidSet::from_sorted_ids(vec![5, 9, 70], 100, TidPolicy::Sparse);
+        intersect_into(
+            a.view(),
+            b.view(),
+            scratch.pair_level(),
+            0,
+            TidPolicy::Adaptive,
+        )
+        .unwrap();
+        let (parent, out) = scratch.parent_and_out(1);
+        let c = intersect_into(parent.view(), a.view(), out, 0, TidPolicy::Adaptive).unwrap();
+        assert_eq!(c, 2);
+        assert_eq!(
+            scratch.level(1).view().iter().collect::<Vec<_>>(),
+            vec![5, 9]
+        );
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let full = TidSet::full(70);
+        assert_eq!(full.count(), 70);
+        assert!(!full.is_sparse());
+        let empty = TidSet::for_expected(70, 0, TidPolicy::Adaptive);
+        assert!(empty.is_empty() && empty.is_sparse());
+        let inter = full.intersection(&empty, TidPolicy::Adaptive);
+        assert!(inter.is_empty());
+        assert_eq!(TidSet::full(0).count(), 0);
+    }
+}

@@ -70,6 +70,7 @@ pub mod prelude {
     };
     pub use pm_rules::{
         MinedRules, MinerConfig, MoaMode, ProfitMode, QuantityModel, Rule, RuleMiner, Support,
+        TidPolicy,
     };
     pub use pm_txn::{
         Catalog, CatalogBuilder, CodeId, ConceptId, GenSale, Hierarchy, ItemDef, ItemId, Moa,

@@ -1,0 +1,55 @@
+//! The adaptive-tidset acceptance criterion: fitted models are
+//! **byte-identical** — down to the serialized JSON, so every f64 bit —
+//! across tidset representation policies and thread counts. The tidset
+//! engine changes set algebra only; candidate order, `gen_index`
+//! renumbering, and the emitter's accumulation order are untouched.
+
+use profit_mining::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fit_bytes(ds: &TransactionSet, policy: TidPolicy, threads: usize) -> String {
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::Fraction(0.03),
+        max_body_len: 3,
+        ..MinerConfig::default()
+    })
+    .with_threads(threads)
+    .with_tidset(policy)
+    .fit(ds);
+    serde_json::to_string(&model.save()).unwrap()
+}
+
+#[test]
+fn model_bytes_identical_across_policies_and_threads() {
+    let ds = DatasetConfig::dataset_i()
+        .with_transactions(400)
+        .with_items(100)
+        .generate(&mut StdRng::seed_from_u64(19));
+    let reference = fit_bytes(&ds, TidPolicy::Dense, 1);
+    for policy in [TidPolicy::Dense, TidPolicy::Adaptive, TidPolicy::Sparse] {
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                reference,
+                fit_bytes(&ds, policy, threads),
+                "{policy:?} × {threads} threads diverged from dense sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn model_bytes_identical_on_dataset_ii() {
+    // Dataset II has the deeper hierarchy ⇒ denser level-1 tidsets and a
+    // different sparse/dense mix under the adaptive threshold.
+    let ds = DatasetConfig::dataset_ii()
+        .with_transactions(300)
+        .with_items(80)
+        .generate(&mut StdRng::seed_from_u64(23));
+    let reference = fit_bytes(&ds, TidPolicy::Dense, 1);
+    for policy in [TidPolicy::Adaptive, TidPolicy::Sparse] {
+        for threads in [2usize, 8] {
+            assert_eq!(reference, fit_bytes(&ds, policy, threads), "{policy:?}");
+        }
+    }
+}
