@@ -6,7 +6,9 @@ use pm_datagen::DatasetConfig;
 use pm_eval::runner::{run_sweep, EvalConfig};
 use pm_rules::{MinerConfig, MoaMode, ProfitMode, Support, TidPolicy};
 use pm_txn::{QuantityModel, Sale, TransactionSet};
-use profit_core::{CutConfig, Matcher, ProfitMiner, Recommender, RuleModel, SavedModel};
+use profit_core::{
+    CutConfig, Matcher, ProfitMiner, Recommendation, Recommender, RuleModel, SavedModel,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,6 +23,17 @@ fn write(path: &str, contents: &str) -> Result<(), CliError> {
 fn load_data(args: &ArgMap) -> Result<TransactionSet, CliError> {
     let path = args.require("--data")?;
     TransactionSet::from_json(&read(path)?).map_err(|e| CliError::Runtime(format!("{path}: {e}")))
+}
+
+/// `--metrics <path>`: dump the `pm-obs` registry as JSON once the
+/// command body has run. The dump is observation-only — emitting it can
+/// never change a command's primary output or any written model bytes.
+fn dump_metrics(args: &ArgMap) -> Result<(), CliError> {
+    if let Some(path) = args.get("--metrics") {
+        write(path, &pm_obs::registry().dump_json())?;
+        pm_obs::info!("cli.metrics_written", path = path);
+    }
+    Ok(())
 }
 
 fn load_model(args: &ArgMap) -> Result<RuleModel, CliError> {
@@ -96,9 +109,12 @@ pub fn gen(args: &ArgMap) -> Result<String, CliError> {
             )))
         }
     };
-    cfg = cfg
-        .with_transactions(args.get_or("--txns", 10_000usize)?)
-        .with_items(args.get_or("--items", 300usize)?);
+    let txns: usize = args.get_or("--txns", 10_000usize)?;
+    let items: usize = args.get_or("--items", 300usize)?;
+    if txns == 0 || items == 0 {
+        return Err(CliError::Usage("--txns and --items must be ≥ 1".into()));
+    }
+    cfg = cfg.with_transactions(txns).with_items(items);
     cfg.quest.n_patterns = (cfg.quest.n_transactions / 50).clamp(20, 2000);
     let seed: u64 = args.get_or("--seed", 2002u64)?;
     let data = cfg.generate(&mut StdRng::seed_from_u64(seed));
@@ -116,6 +132,11 @@ pub fn gen(args: &ArgMap) -> Result<String, CliError> {
 /// `fit`: train and save a recommender.
 pub fn fit(args: &ArgMap) -> Result<String, CliError> {
     let data = load_data(args)?;
+    if data.is_empty() {
+        return Err(CliError::Runtime(
+            "dataset is empty — nothing to fit".into(),
+        ));
+    }
     let out = args.require("--out")?;
     let miner = miner_config(args)?;
     let cut = CutConfig {
@@ -137,6 +158,7 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
         out,
         &serde_json::to_string(&model.save()).map_err(|e| CliError::Runtime(e.to_string()))?,
     )?;
+    dump_metrics(args)?;
     Ok(format!(
         "wrote {} — {} ({} rules; mined {}, after dominance {}, projected profit {:.2})",
         out,
@@ -154,9 +176,46 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
 pub fn recommend(args: &ArgMap) -> Result<String, CliError> {
     let data = load_data(args)?;
     let model = load_model(args)?;
-    if args.switch("--all") {
-        return recommend_all(&data, &model);
+    let out = if args.switch("--all") {
+        recommend_all(&data, &model)?
+    } else {
+        recommend_one(&data, &model, args)?
+    };
+    dump_metrics(args)?;
+    Ok(out)
+}
+
+/// Render one recommendation with its rule trace. When the model cannot
+/// attach a rule index the line degrades to a traceless form and the
+/// event is counted — the old `rule_index.expect("rule-based model")`
+/// aborted the whole command instead.
+pub(crate) fn render_recommendation(model: &RuleModel, rec: &Recommendation) -> String {
+    let catalog = model.moa().catalog();
+    let mut s = format!(
+        "recommend {} at {}  [expected profit {:.4}, confidence {:.0}%]\n",
+        catalog.item(rec.item).name,
+        rec.promotion,
+        rec.expected_profit,
+        rec.confidence * 100.0,
+    );
+    match rec.rule_index {
+        Some(idx) if idx < model.rules().len() => {
+            s.push_str(&format!("  via {}\n", model.explain(idx)));
+        }
+        _ => {
+            pm_obs::counter("cli.missing_rule_trace").inc();
+            pm_obs::error!("cli.missing_rule_trace", item = catalog.item(rec.item).name);
+            s.push_str("  (no rule trace available)\n");
+        }
     }
+    s
+}
+
+fn recommend_one(
+    data: &TransactionSet,
+    model: &RuleModel,
+    args: &ArgMap,
+) -> Result<String, CliError> {
     let txn: usize = args.get_or("--txn", 0usize)?;
     let k: usize = args.get_or("--top", 1usize)?;
     let t = data
@@ -169,15 +228,7 @@ pub fn recommend(args: &ArgMap) -> Result<String, CliError> {
         customer.len()
     );
     for rec in model.recommend_top_k(customer, k.max(1)) {
-        let catalog = model.moa().catalog();
-        out.push_str(&format!(
-            "recommend {} at {}  [expected profit {:.4}, confidence {:.0}%]\n  via {}\n",
-            catalog.item(rec.item).name,
-            rec.promotion,
-            rec.expected_profit,
-            rec.confidence * 100.0,
-            model.explain(rec.rule_index.expect("rule-based model")),
-        ));
+        out.push_str(&render_recommendation(model, &rec));
     }
     Ok(out)
 }
@@ -213,6 +264,18 @@ fn recommend_all(data: &TransactionSet, model: &RuleModel) -> Result<String, Cli
             profit,
         ));
     }
+    // Per-request serving latency from the matcher's histogram (the
+    // process-lifetime distribution; for a CLI run, this batch).
+    let lat = pm_obs::latency("serve.recommend_ns");
+    if lat.count() > 0 {
+        out.push_str(&format!(
+            "serving latency: p50 {:.1}µs  p95 {:.1}µs  p99 {:.1}µs  ({} recommendations timed)\n",
+            lat.quantile_ns(0.50) / 1e3,
+            lat.quantile_ns(0.95) / 1e3,
+            lat.quantile_ns(0.99) / 1e3,
+            lat.count(),
+        ));
+    }
     Ok(out)
 }
 
@@ -230,6 +293,11 @@ pub fn rules(args: &ArgMap) -> Result<String, CliError> {
 /// `eval`: cross-validated comparison on a dataset.
 pub fn eval(args: &ArgMap) -> Result<String, CliError> {
     let data = load_data(args)?;
+    if data.is_empty() {
+        return Err(CliError::Runtime(
+            "dataset is empty — nothing to evaluate".into(),
+        ));
+    }
     let minsup: f64 = args.get_or("--minsup", 0.002)?;
     let cfg = EvalConfig {
         n_folds: args.get_or("--folds", 5usize)?,
@@ -252,6 +320,7 @@ pub fn eval(args: &ArgMap) -> Result<String, CliError> {
     out.push_str(&report.hit_rate_table("hit rate").render());
     out.push('\n');
     out.push_str(&report.rules_table("rules").render());
+    dump_metrics(args)?;
     Ok(out)
 }
 
@@ -260,10 +329,11 @@ pub fn import(args: &ArgMap) -> Result<String, CliError> {
     let catalog_csv = read(args.require("--catalog")?)?;
     let sales_csv = read(args.require("--sales")?)?;
     let out = args.require("--out")?;
-    let (catalog, names) = pm_txn::csv::parse_catalog(&catalog_csv)
-        .map_err(|e| CliError::Runtime(format!("catalog: {e}")))?;
+    // CsvError names its file role itself ("catalog line N: …").
+    let (catalog, names) =
+        pm_txn::csv::parse_catalog(&catalog_csv).map_err(|e| CliError::Runtime(e.to_string()))?;
     let data = pm_txn::csv::parse_sales(&sales_csv, catalog, &names)
-        .map_err(|e| CliError::Runtime(format!("sales: {e}")))?;
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     write(out, &data.to_json())?;
     Ok(format!(
         "wrote {} — {} transactions over {} items",
@@ -287,6 +357,9 @@ pub fn export(args: &ArgMap) -> Result<String, CliError> {
 /// `stats`: summarize a dataset.
 pub fn stats(args: &ArgMap) -> Result<String, CliError> {
     let data = load_data(args)?;
+    if data.is_empty() {
+        return Err(CliError::Runtime("dataset is empty".into()));
+    }
     let catalog = data.catalog();
     let targets = catalog.target_items();
     let basket: f64 = data

@@ -43,10 +43,12 @@ USAGE
   profit-mining fit        --data data.json --out model.json [--minsup F] [--max-body N]
                            [--no-moa] [--conf] [--no-prune] [--min-conf F] [--buying]
                            [--threads N] [--tidset auto|dense|adaptive|sparse]
+                           [--metrics metrics.json]
   profit-mining recommend  --data data.json --model model.json [--txn N] [--top K] [--all]
+                           [--metrics metrics.json]
   profit-mining rules      --model model.json [--top N]
   profit-mining eval       --data data.json [--minsup F] [--folds N] [--buying] [--seed N]
-                           [--threads N]
+                           [--threads N] [--metrics metrics.json]
   profit-mining stats      --data data.json
   profit-mining import     --catalog catalog.csv --sales sales.csv --out data.json
   profit-mining export     --data data.json --catalog catalog.csv --sales sales.csv
@@ -58,7 +60,14 @@ USAGE
   Output is bit-identical at every setting of either.
 
   recommend --all serves every customer in --data through the indexed
-  rule matcher and prints a per-(item, code) summary.
+  rule matcher and prints a per-(item, code) summary plus the serving
+  latency p50/p95/p99.
+
+  Observability: PM_LOG=off|error|info|debug selects structured logging
+  to stderr (default off); --metrics PATH dumps the metrics registry
+  (phase timings, counters, latency histograms) as JSON after fit,
+  eval, and recommend. Neither perturbs output: models are
+  byte-identical with observability on or off.
 "
     .to_string()
 }
@@ -270,6 +279,143 @@ mod tests {
         };
         let sequential = fit_at("1");
         assert_eq!(sequential, fit_at("4"), "fitted model bytes differ");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Structs mirroring the `pm-obs` dump schema, to prove `--metrics`
+    /// emits JSON our own serde shim can parse.
+    #[derive(serde::Deserialize)]
+    struct PhaseTime {
+        phase: String,
+        millis: f64,
+    }
+
+    #[derive(serde::Deserialize)]
+    struct MetricsDump {
+        phases: Vec<PhaseTime>,
+    }
+
+    #[test]
+    fn metrics_flag_emits_json_without_perturbing_model_bytes() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "300", "--items", "60", "--seed", "7",
+        ]))
+        .unwrap();
+
+        // Baseline: observability fully off, no --metrics.
+        pm_obs::set_level(pm_obs::Level::Off);
+        let baseline = dir.join("m-base.json").display().to_string();
+        run(&v(&[
+            "fit",
+            "--data",
+            &data,
+            "--out",
+            &baseline,
+            "--minsup",
+            "0.03",
+            "--max-body",
+            "2",
+        ]))
+        .unwrap();
+        let baseline_bytes = std::fs::read(&baseline).unwrap();
+
+        // Instrumented runs: PM_LOG=debug + --metrics at 1/2/8 threads
+        // must still write byte-identical models.
+        std::env::set_var("PM_LOG", "debug");
+        pm_obs::set_level(pm_obs::Level::Debug);
+        for threads in ["1", "2", "8"] {
+            let model = dir.join(format!("m-t{threads}.json")).display().to_string();
+            let metrics = dir.join(format!("x-t{threads}.json")).display().to_string();
+            run(&v(&[
+                "fit",
+                "--data",
+                &data,
+                "--out",
+                &model,
+                "--minsup",
+                "0.03",
+                "--max-body",
+                "2",
+                "--threads",
+                threads,
+                "--metrics",
+                &metrics,
+            ]))
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&model).unwrap(),
+                baseline_bytes,
+                "model bytes changed under PM_LOG=debug + --metrics at {threads} threads"
+            );
+            let dump: MetricsDump =
+                serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+            let phases: Vec<&str> = dump.phases.iter().map(|p| p.phase.as_str()).collect();
+            for want in ["mine.tidsets", "mine.dfs", "fit.mine", "fit.build"] {
+                assert!(phases.contains(&want), "missing phase {want}: {phases:?}");
+            }
+            assert!(dump.phases.iter().all(|p| p.millis >= 0.0));
+        }
+        pm_obs::set_level(pm_obs::Level::Off);
+
+        // recommend --all --metrics: the dump gains the serving histogram
+        // and the summary reports its quantiles.
+        let metrics = dir.join("serve-metrics.json").display().to_string();
+        let out = run(&v(&[
+            "recommend",
+            "--data",
+            &data,
+            "--model",
+            &baseline,
+            "--all",
+            "--metrics",
+            &metrics,
+        ]))
+        .unwrap();
+        assert!(out.contains("serving latency: p50"), "{out}");
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        assert!(raw.contains("\"serve.recommend_ns\""), "{raw}");
+        assert!(raw.contains("\"p99_ns\""), "{raw}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_rule_trace_degrades_instead_of_panicking() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        let model_path = dir.join("model.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "200", "--items", "40", "--seed", "3",
+        ]))
+        .unwrap();
+        run(&v(&[
+            "fit",
+            "--data",
+            &data,
+            "--out",
+            &model_path,
+            "--minsup",
+            "0.03",
+            "--max-body",
+            "2",
+        ]))
+        .unwrap();
+        let saved: profit_core::SavedModel =
+            serde_json::from_str(&std::fs::read_to_string(&model_path).unwrap()).unwrap();
+        let model = profit_core::RuleModel::load(saved);
+        let mut rec = profit_core::Recommender::recommend(&model, &[]);
+        // A trace the model cannot explain (e.g. produced by a different
+        // recommender) must degrade, not abort the command.
+        rec.rule_index = None;
+        let line = commands::render_recommendation(&model, &rec);
+        assert!(line.contains("(no rule trace available)"), "{line}");
+        rec.rule_index = Some(usize::MAX);
+        let line = commands::render_recommendation(&model, &rec);
+        assert!(line.contains("(no rule trace available)"), "{line}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -336,6 +336,11 @@ pub struct Matcher<'a> {
     postings: std::collections::HashMap<GenSale, Vec<u32>>,
     body_len: Vec<u32>,
     scratch: std::cell::RefCell<MatcherScratch>,
+    /// Serving metrics, resolved once at index time so the per-request
+    /// path pays one atomic op per signal and no registry lookups.
+    latency: pm_obs::LatencyHistogram,
+    default_hits: pm_obs::Counter,
+    postings_touched: pm_obs::Counter,
 }
 
 #[derive(Debug, Default)]
@@ -371,6 +376,9 @@ impl<'a> Matcher<'a> {
                 gs_buf: Vec::new(),
                 gs_set: Vec::new(),
             }),
+            latency: pm_obs::latency("serve.recommend_ns"),
+            default_hits: pm_obs::counter("serve.default_rule_hits"),
+            postings_touched: pm_obs::counter("serve.postings_touched"),
         }
     }
 
@@ -399,8 +407,10 @@ impl<'a> Matcher<'a> {
         s.stamp += 1;
         // The default rule (last, empty body) always matches.
         let mut best = self.model.rules.len() - 1;
+        let mut touched = 0u64;
         for g in &s.gs_set {
             if let Some(list) = self.postings.get(g) {
+                touched += list.len() as u64;
                 for &ri in list {
                     let i = ri as usize;
                     if i >= best {
@@ -417,6 +427,10 @@ impl<'a> Matcher<'a> {
                 }
             }
         }
+        self.postings_touched.add(touched);
+        if best == self.model.rules.len() - 1 {
+            self.default_hits.inc();
+        }
         best
     }
 }
@@ -427,6 +441,7 @@ impl Recommender for Matcher<'_> {
     }
 
     fn recommend(&self, customer: &[Sale]) -> Recommendation {
+        let _timer = self.latency.time();
         let idx = self.rule_for(customer);
         let r = &self.model.rules[idx];
         Recommendation {

@@ -117,11 +117,22 @@ impl ProfitMiner {
     /// Panics on an empty dataset — there is nothing to learn from.
     pub fn fit(&self, data: &TransactionSet) -> RuleModel {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
-        let mined = RuleMiner::new(self.miner)
-            .with_threads(self.threads)
-            .with_tidset(self.tidset)
-            .mine(data);
-        RuleModel::build(&mined, &self.cut)
+        let mined = {
+            let _span = pm_obs::span("fit.mine");
+            RuleMiner::new(self.miner)
+                .with_threads(self.threads)
+                .with_tidset(self.tidset)
+                .mine(data)
+        };
+        let _span = pm_obs::span("fit.build");
+        let model = RuleModel::build(&mined, &self.cut);
+        pm_obs::info!(
+            "fit.done",
+            transactions = data.len(),
+            mined_rules = mined.rules().len(),
+            model_rules = model.rules().len()
+        );
+        model
     }
 }
 

@@ -294,6 +294,14 @@ fn sweep_fold(
     fold: &(Vec<usize>, Vec<usize>),
     inner_threads: usize,
 ) -> Vec<SweepRecord> {
+    let _span = pm_obs::span("eval.fold");
+    pm_obs::counter("eval.folds").inc();
+    pm_obs::debug!(
+        "eval.fold",
+        fold = fold_i,
+        train = fold.0.len(),
+        valid = fold.1.len()
+    );
     let (train_idx, valid_idx) = fold;
     let train = data.subset(train_idx);
     let valid = data.subset(valid_idx);
@@ -384,6 +392,8 @@ pub fn run_ranges(data: &TransactionSet, cfg: &EvalConfig, minsup: f64) -> Table
     let (fold_workers, inner_threads) =
         fold_thread_split(pm_par::resolve(cfg.threads), folds.len());
     let fold_outcomes = pm_par::par_map(folds.len(), fold_workers, |fold_i| {
+        let _span = pm_obs::span("eval.fold");
+        pm_obs::counter("eval.folds").inc();
         let (train_idx, valid_idx) = &folds[fold_i];
         let train = data.subset(train_idx);
         let valid = data.subset(valid_idx);

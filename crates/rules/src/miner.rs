@@ -179,7 +179,10 @@ impl RuleMiner {
             data.hierarchy_arc(),
             self.config.moa == MoaMode::Enabled,
         );
-        let extended = ExtendedData::build(data, &moa, self.config.quantity);
+        let extended = {
+            let _span = pm_obs::span("mine.extend");
+            ExtendedData::build(data, &moa, self.config.quantity)
+        };
         self.mine_extended(extended, moa)
     }
 
@@ -189,7 +192,21 @@ impl RuleMiner {
         let n = extended.n_transactions();
         let minsup = self.config.min_support.to_count(n);
         let policy = self.tidset.resolve();
-        let tidsets = extended.tidsets(policy);
+        let tidsets = {
+            let _span = pm_obs::span("mine.tidsets");
+            extended.tidsets(policy)
+        };
+        let sparse_n = tidsets.iter().filter(|t| t.is_sparse()).count() as u64;
+        let dense_n = tidsets.len() as u64 - sparse_n;
+        pm_obs::counter("miner.tidsets_sparse").add(sparse_n);
+        pm_obs::counter("miner.tidsets_dense").add(dense_n);
+        pm_obs::debug!(
+            "mine.tidsets",
+            total = tidsets.len(),
+            sparse = sparse_n,
+            dense = dense_n,
+            policy = format!("{policy:?}")
+        );
         // Dominance pre-filter: a rule whose recommendation profit does
         // not exceed the default rule's — under BOTH profit modes — is
         // dominated by the default rule (empty body, ranked higher) and
@@ -222,11 +239,13 @@ impl RuleMiner {
 
         let threads = pm_par::resolve(self.threads);
         let pairs = if self.config.max_body_len >= 2 && freq.len() >= 2 {
+            let _span = pm_obs::span("mine.generate");
             Some(PairCounts::count_with_threads(&extended, &freq, threads))
         } else {
             None
         };
 
+        let _dfs_span = pm_obs::span("mine.dfs");
         let rules = if threads > 1 {
             self.mine_rules_parallel(
                 &extended,
@@ -263,6 +282,15 @@ impl RuleMiner {
             }
             emitter.finish()
         };
+        drop(_dfs_span);
+        pm_obs::gauge("miner.rules").set(rules.len() as i64);
+        pm_obs::info!(
+            "mine.done",
+            rules = rules.len(),
+            minsup = minsup,
+            threads = threads,
+            freq_singletons = freq.len()
+        );
         MinedRules {
             config: self.config,
             min_support_count: minsup,
@@ -311,7 +339,11 @@ impl RuleMiner {
             )
             .expect("pair candidates are pair-frequent");
             debug_assert_eq!(count, pairs.get(ai, bi));
-            emitter.emit(&[a, b], scratch.level(0).view(), count);
+            let out_view = scratch.level(0).view();
+            if matches!(out_view, TidView::Sparse(_)) != tidsets[a.index()].is_sparse() {
+                emitter.switches += 1;
+            }
+            emitter.emit(&[a, b], out_view, count);
             if self.config.max_body_len >= 3 {
                 let interner = &emitter.extended.interner;
                 let deeper: Vec<usize> = cands[pos + 1..]
@@ -424,6 +456,7 @@ impl RuleMiner {
         for (pos, &ci) in cands.iter().enumerate() {
             let c = freq[ci];
             let (parent, out) = scratch.parent_and_out(depth);
+            let parent_sparse = matches!(parent.view(), TidView::Sparse(_));
             let Some(count) = intersect_into(
                 parent.view(),
                 tidsets[c.index()].view(),
@@ -431,10 +464,15 @@ impl RuleMiner {
                 minsup,
                 policy,
             ) else {
+                emitter.pruned += 1;
                 continue;
             };
             body.push(c);
-            emitter.emit(body, scratch.level(depth).view(), count);
+            let out_view = scratch.level(depth).view();
+            if matches!(out_view, TidView::Sparse(_)) != parent_sparse {
+                emitter.switches += 1;
+            }
+            emitter.emit(body, out_view, count);
             if body.len() < self.config.max_body_len {
                 let interner = &emitter.extended.interner;
                 let deeper: Vec<usize> = cands[pos + 1..]
@@ -475,6 +513,26 @@ struct RuleEmitter<'a> {
     head_profit: Vec<f64>,
     touched: Vec<HeadId>,
     rules: Vec<Rule>,
+    /// Candidates abandoned by the `minsup` early exit in the DFS.
+    /// Accumulated locally (one plain add per pruned candidate) and
+    /// flushed to the global `miner.candidates_pruned` counter when the
+    /// emitter drops, so the hot loop never touches an atomic.
+    pruned: u64,
+    /// Tidset representation changes (dense↔sparse) between a parent
+    /// tidset and the intersection written from it; flushed to
+    /// `miner.tidset_switches` on drop.
+    switches: u64,
+}
+
+impl Drop for RuleEmitter<'_> {
+    fn drop(&mut self) {
+        if self.pruned != 0 {
+            pm_obs::counter("miner.candidates_pruned").add(self.pruned);
+        }
+        if self.switches != 0 {
+            pm_obs::counter("miner.tidset_switches").add(self.switches);
+        }
+    }
 }
 
 impl<'a> RuleEmitter<'a> {
@@ -496,6 +554,8 @@ impl<'a> RuleEmitter<'a> {
             head_profit: vec![0.0; h],
             touched: Vec::with_capacity(h),
             rules: Vec::new(),
+            pruned: 0,
+            switches: 0,
         }
     }
 
@@ -561,8 +621,8 @@ impl<'a> RuleEmitter<'a> {
         std::mem::take(&mut self.rules)
     }
 
-    fn finish(self) -> Vec<Rule> {
-        self.rules
+    fn finish(mut self) -> Vec<Rule> {
+        self.take_rules()
     }
 }
 

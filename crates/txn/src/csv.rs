@@ -35,25 +35,31 @@ use crate::sale::{Sale, Transaction};
 use crate::TransactionSet;
 use std::collections::HashMap;
 
-/// Errors from CSV ingestion.
+/// Errors from CSV ingestion. Messages carry the rejected token (an
+/// operator fixing a point-of-sale export needs to see *what* failed to
+/// parse, not just that something did) and `role` names which of the
+/// two files the line belongs to.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsvError {
-    /// 1-based line number.
+    /// Which file the error is from: `"catalog"` or `"sales"`.
+    pub role: &'static str,
+    /// 1-based line number (0 for whole-file errors).
     pub line: usize,
-    /// What went wrong.
+    /// What went wrong, including the offending field text.
     pub message: String,
 }
 
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "{} line {}: {}", self.role, self.line, self.message)
     }
 }
 
 impl std::error::Error for CsvError {}
 
-fn err(line: usize, message: impl Into<String>) -> CsvError {
+fn err(role: &'static str, line: usize, message: impl Into<String>) -> CsvError {
     CsvError {
+        role,
         line,
         message: message.into(),
     }
@@ -65,10 +71,12 @@ fn fields(line: &str) -> Vec<&str> {
 
 /// Parse a catalog CSV (header required).
 pub fn parse_catalog(text: &str) -> Result<(Catalog, HashMap<String, ItemId>), CsvError> {
+    const ROLE: &str = "catalog";
+    let err = |line, message: String| err(ROLE, line, message);
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| err(1, "empty file"))?;
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty file".into()))?;
     if fields(header) != vec!["item", "role", "price", "cost", "pack"] {
-        return Err(err(1, "header must be item,role,price,cost,pack"));
+        return Err(err(1, "header must be item,role,price,cost,pack".into()));
     }
     let mut catalog = Catalog::new();
     let mut by_name: HashMap<String, ItemId> = HashMap::new();
@@ -92,11 +100,26 @@ pub fn parse_catalog(text: &str) -> Result<(Catalog, HashMap<String, ItemId>), C
                 ))
             }
         };
-        let price: f64 = f[2].parse().map_err(|_| err(ln, "bad price"))?;
-        let cost: f64 = f[3].parse().map_err(|_| err(ln, "bad cost"))?;
-        let pack: u32 = f[4].parse().map_err(|_| err(ln, "bad pack"))?;
+        let price: f64 = f[2]
+            .parse()
+            .map_err(|_| err(ln, format!("bad price {:?}", f[2])))?;
+        let cost: f64 = f[3]
+            .parse()
+            .map_err(|_| err(ln, format!("bad cost {:?}", f[3])))?;
+        let pack: u32 = f[4]
+            .parse()
+            .map_err(|_| err(ln, format!("bad pack {:?}", f[4])))?;
+        // `"inf".parse::<f64>()` succeeds, and a negative price or cost
+        // is always a data error in a point-of-sale export — reject both
+        // here rather than panicking later in the Money constructor.
+        if !price.is_finite() || price < 0.0 {
+            return Err(err(ln, format!("price must be ≥ 0, got {:?}", f[2])));
+        }
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(err(ln, format!("cost must be ≥ 0, got {:?}", f[3])));
+        }
         if pack == 0 {
-            return Err(err(ln, "pack must be ≥ 1"));
+            return Err(err(ln, format!("pack must be ≥ 1, got {:?}", f[4])));
         }
         let code = PromotionCode::packed(
             Money::from_dollars_f64(price),
@@ -135,10 +158,12 @@ pub fn parse_sales(
     catalog: Catalog,
     by_name: &HashMap<String, ItemId>,
 ) -> Result<TransactionSet, CsvError> {
+    const ROLE: &str = "sales";
+    let err = |line, message: String| err(ROLE, line, message);
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| err(1, "empty file"))?;
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty file".into()))?;
     if fields(header) != vec!["txn", "item", "code", "qty"] {
-        return Err(err(1, "header must be txn,item,code,qty"));
+        return Err(err(1, "header must be txn,item,code,qty".into()));
     }
     // txn key → (non-target sales, target sale + its line number)
     type Group = (Vec<Sale>, Option<(Sale, usize)>);
@@ -155,9 +180,16 @@ pub fn parse_sales(
         }
         let item = *by_name
             .get(f[1])
-            .ok_or_else(|| err(ln, format!("unknown item {:?}", f[1])))?;
-        let code: u16 = f[2].parse().map_err(|_| err(ln, "bad code"))?;
-        let qty: u32 = f[3].parse().map_err(|_| err(ln, "bad qty"))?;
+            .ok_or_else(|| err(ln, format!("unknown item {:?} (not in the catalog)", f[1])))?;
+        let code: u16 = f[2]
+            .parse()
+            .map_err(|_| err(ln, format!("bad code {:?}", f[2])))?;
+        let qty: u32 = f[3]
+            .parse()
+            .map_err(|_| err(ln, format!("bad qty {:?}", f[3])))?;
+        if qty == 0 {
+            return Err(err(ln, format!("qty must be ≥ 1, got {:?}", f[3])));
+        }
         let sale = Sale::new(item, CodeId(code), qty);
         let entry = groups.entry(f[0].to_string()).or_insert_with(|| {
             order.push(f[0].to_string());
@@ -304,6 +336,48 @@ txn,item,code,qty
             .unwrap_err()
             .message
             .contains("validation"));
+    }
+
+    /// Errors must carry the rejected token and the file role — the
+    /// satellite fix for the old bare "bad price" messages.
+    #[test]
+    fn errors_carry_token_and_role() {
+        // Negative price.
+        let e = parse_catalog("item,role,price,cost,pack\nX,target,-1.50,1,1\n").unwrap_err();
+        assert_eq!(e.role, "catalog");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("\"-1.50\""), "{e}");
+        assert!(e.to_string().starts_with("catalog line 2:"), "{e}");
+        // Negative cost.
+        let e = parse_catalog("item,role,price,cost,pack\nX,target,1,-0.25,1\n").unwrap_err();
+        assert!(
+            e.message.contains("cost") && e.message.contains("\"-0.25\""),
+            "{e}"
+        );
+        // Non-numeric price still names the token.
+        let e = parse_catalog("item,role,price,cost,pack\nX,target,abc,1,1\n").unwrap_err();
+        assert!(e.message.contains("\"abc\""), "{e}");
+        // Non-finite price parses as f64 but is rejected (it used to
+        // panic inside Money::from_dollars_f64).
+        let e = parse_catalog("item,role,price,cost,pack\nX,target,inf,1,1\n").unwrap_err();
+        assert!(e.message.contains("price"), "{e}");
+
+        let (catalog, names) = parse_catalog(CATALOG).unwrap();
+        // qty = 0.
+        let e = parse_sales(
+            "txn,item,code,qty\n1,Bread,0,0\n1,2%-Milk,0,1\n",
+            catalog.clone(),
+            &names,
+        )
+        .unwrap_err();
+        assert_eq!(e.role, "sales");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("qty must be ≥ 1"), "{e}");
+        // Sale referencing an item missing from the catalog.
+        let e = parse_sales("txn,item,code,qty\n1,Ghost,0,1\n", catalog, &names).unwrap_err();
+        assert_eq!(e.role, "sales");
+        assert!(e.message.contains("\"Ghost\""), "{e}");
+        assert!(e.message.contains("catalog"), "{e}");
     }
 
     #[test]

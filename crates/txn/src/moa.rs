@@ -478,6 +478,62 @@ mod tests {
         assert!((p - 1.2).abs() < 1e-12);
     }
 
+    /// The documented buying-MOA free-promotion fallback: a zero-price
+    /// head cannot credit `spending / 0` quantity, so `accepted_quantity`
+    /// keeps the saving quantity instead.
+    #[test]
+    fn buying_free_promotion_keeps_saving_quantity() {
+        let mut cat = Catalog::new();
+        cat.push(ItemDef {
+            name: "milk".into(),
+            codes: vec![
+                PromotionCode::unit(Money::from_cents(200), Money::from_cents(100)),
+                // Free promotion: price $0, cost 25¢.
+                PromotionCode::unit(Money::ZERO, Money::from_cents(25)),
+            ],
+            is_target: true,
+        });
+        let moa = moa_of(cat, Hierarchy::flat(1), true);
+        let t = Sale::new(ItemId(0), CodeId(0), 3); // 3 units at $2
+        let buying = moa
+            .head_profit(ItemId(0), CodeId(1), &t, QuantityModel::Buying)
+            .unwrap();
+        let saving = moa
+            .head_profit(ItemId(0), CodeId(1), &t, QuantityModel::Saving)
+            .unwrap();
+        // Fallback: Q stays 3 (not spending/0 = ∞), margin = −$0.25.
+        assert!((buying - (-0.25 * 3.0)).abs() < 1e-12);
+        assert_eq!(buying, saving);
+        assert!(buying.is_finite());
+    }
+
+    /// Same fallback with `pack_qty > 1` on both the recorded code and
+    /// the free head: the quantity converts through base units.
+    #[test]
+    fn buying_free_promotion_mixed_packing() {
+        let mut cat = Catalog::new();
+        cat.push(ItemDef {
+            name: "milk".into(),
+            codes: vec![
+                PromotionCode::packed(Money::from_cents(320), Money::from_cents(200), 4),
+                // Free 8-pack (price $0 ≤ $3.20, pack 8 ≥ 4 ⇒ favorable).
+                PromotionCode::packed(Money::ZERO, Money::from_cents(50), 8),
+            ],
+            is_target: true,
+        });
+        let moa = moa_of(cat, Hierarchy::flat(1), true);
+        let t = Sale::new(ItemId(0), CodeId(0), 2); // 2 × 4-pack = 8 base units
+        let buying = moa
+            .head_profit(ItemId(0), CodeId(1), &t, QuantityModel::Buying)
+            .unwrap();
+        // 8 base units = 1 package of 8; margin = −$0.50 ⇒ profit −0.5.
+        assert!((buying - (-0.5)).abs() < 1e-12);
+        let saving = moa
+            .head_profit(ItemId(0), CodeId(1), &t, QuantityModel::Saving)
+            .unwrap();
+        assert_eq!(buying, saving);
+    }
+
     #[test]
     fn precomputed_ancestors_match_hierarchy() {
         let (cat, h) = example2();

@@ -26,8 +26,17 @@ impl Money {
     }
 
     /// From whole dollars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dollars * 100` overflows the cent range — the same
+    /// contract as [`Money::from_dollars_f64`]. (The unchecked `* 100`
+    /// this replaces wrapped silently in release builds.)
     pub const fn from_dollars(dollars: i64) -> Self {
-        Money(dollars * 100)
+        match dollars.checked_mul(100) {
+            Some(cents) => Money(cents),
+            None => panic!("money overflow: dollar amount exceeds the cent range"),
+        }
     }
 
     /// From a float dollar amount, rounded to the nearest cent.
@@ -201,6 +210,28 @@ mod tests {
     #[should_panic]
     fn multiplication_overflow_panics() {
         let _ = Money::from_cents(i64::MAX).times(2);
+    }
+
+    /// `from_dollars` must panic on overflow, not wrap: before the
+    /// `checked_mul` fix, `i64::MAX / 2 * 100` wrapped silently in
+    /// release builds and produced a garbage (negative) amount.
+    #[test]
+    #[should_panic(expected = "money overflow")]
+    fn from_dollars_overflow_panics() {
+        let _ = Money::from_dollars(i64::MAX / 2);
+    }
+
+    #[test]
+    fn from_dollars_handles_extremes_within_range() {
+        assert_eq!(
+            Money::from_dollars(i64::MAX / 100).cents(),
+            i64::MAX / 100 * 100
+        );
+        assert_eq!(
+            Money::from_dollars(i64::MIN / 100).cents(),
+            i64::MIN / 100 * 100
+        );
+        assert_eq!(Money::from_dollars(-3), Money::from_cents(-300));
     }
 
     #[test]
