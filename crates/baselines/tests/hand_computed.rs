@@ -1,0 +1,157 @@
+//! Hand-computed expectations for the baseline recommenders on a
+//! five-transaction fixture, plus a determinism check across thread counts.
+//!
+//! Fixture (items A, B non-target; targets T1 margin $1, T2 margin $3):
+//!
+//! | tid | basket  | target |
+//! |-----|---------|--------|
+//! | 0   | {A}     | T1     |
+//! | 1   | {A}     | T1     |
+//! | 2   | {A, B}  | T2     |
+//! | 3   | {B}     | T2     |
+//! | 4   | {B}     | T2     |
+//!
+//! With `idf = false` every feature weight is exactly 1.0, so the cosine
+//! similarities below are exact by hand: `sim(q, t) = |q ∩ t| / (|q|·|t|)^½`.
+
+use pm_baselines::{Knn, KnnConfig, KnnProfit, MostProfitableItem};
+use pm_txn::{CatalogBuilder, CodeId, Hierarchy, ItemId, Sale, Transaction, TransactionSet};
+use profit_core::Recommender;
+
+const A: ItemId = ItemId(0);
+const B: ItemId = ItemId(1);
+const T1: ItemId = ItemId(2);
+const T2: ItemId = ItemId(3);
+const C0: CodeId = CodeId(0);
+
+fn fixture() -> TransactionSet {
+    let mut b = CatalogBuilder::new();
+    b.non_target("A").unit_code(1.0, 0.5);
+    b.non_target("B").unit_code(1.0, 0.5);
+    b.target("T1").unit_code(2.0, 1.0); // margin $1
+    b.target("T2").unit_code(6.0, 3.0); // margin $3
+    let catalog = b.build().unwrap();
+    let hierarchy = Hierarchy::flat(catalog.len());
+    let s = |i: ItemId| Sale::new(i, C0, 1);
+    let txns = vec![
+        Transaction::new(vec![s(A)], s(T1)),
+        Transaction::new(vec![s(A)], s(T1)),
+        Transaction::new(vec![s(A), s(B)], s(T2)),
+        Transaction::new(vec![s(B)], s(T2)),
+        Transaction::new(vec![s(B)], s(T2)),
+    ];
+    TransactionSet::new(catalog, hierarchy, txns).unwrap()
+}
+
+fn sale(i: ItemId) -> Sale {
+    Sale::new(i, C0, 1)
+}
+
+/// MPI: T1 totals 2 × $1 = $2, T2 totals 3 × $3 = $9 → T2 wins with
+/// expected profit 9/5 = $1.80 and confidence 3/5.
+#[test]
+fn mpi_picks_highest_total_profit_pair() {
+    let mpi = MostProfitableItem::fit(&fixture());
+    assert_eq!(mpi.best_pair(), (T2, C0));
+    assert!((mpi.best_profit() - 9.0).abs() < 1e-12);
+    let rec = mpi.recommend(&[sale(A)]);
+    assert_eq!((rec.item, rec.code), (T2, C0));
+    assert!((rec.expected_profit - 1.8).abs() < 1e-12);
+    assert!((rec.confidence - 0.6).abs() < 1e-12);
+}
+
+/// Query {A}, k = 2: transactions 0 and 1 have cosine exactly 1.0 and win
+/// the tid tie-break over transaction 2 (cosine 1/√2). Both vote (T1, c0),
+/// so the vote is unanimous.
+#[test]
+fn knn_neighbors_and_vote_by_hand() {
+    let knn = Knn::fit(&fixture(), KnnConfig { k: 2, idf: false });
+    let neighbors = knn.neighbors(&[sale(A)]);
+    assert_eq!(
+        neighbors.iter().map(|&(tid, _)| tid).collect::<Vec<_>>(),
+        vec![0, 1]
+    );
+    assert!(neighbors.iter().all(|&(_, sim)| (sim - 1.0).abs() < 1e-6));
+    let rec = knn.recommend(&[sale(A)]);
+    assert_eq!((rec.item, rec.code), (T1, C0));
+    assert!((rec.confidence - 1.0).abs() < 1e-6, "unanimous vote");
+
+    // Mirror image: query {B} matches transactions 3 and 4 → T2.
+    let rec = knn.recommend(&[sale(B)]);
+    assert_eq!((rec.item, rec.code), (T2, C0));
+}
+
+/// Query {A, B}, k = 3: neighbors are transaction 2 (cosine 1.0) and
+/// transactions 0 and 1 (cosine 1/√2 each, tid tie-break). The vote is
+/// T1 = 2/√2 ≈ 1.414 vs T2 = 1.0, so vote-kNN recommends T1 — but the
+/// recorded profit among the same neighbors is T1 = $2 vs T2 = $3, so the
+/// profit post-processing variant flips to T2.
+#[test]
+fn knn_profit_variant_flips_the_vote() {
+    let cfg = KnnConfig { k: 3, idf: false };
+    let q = [sale(A), sale(B)];
+
+    let vote = Knn::fit(&fixture(), cfg);
+    let neighbors = vote.neighbors(&q);
+    assert_eq!(
+        neighbors.iter().map(|&(tid, _)| tid).collect::<Vec<_>>(),
+        vec![2, 0, 1]
+    );
+    let rec = vote.recommend(&q);
+    assert_eq!((rec.item, rec.code), (T1, C0), "similarity vote picks T1");
+
+    let rec = KnnProfit::fit(&fixture(), cfg).recommend(&q);
+    assert_eq!((rec.item, rec.code), (T2, C0), "recorded profit picks T2");
+}
+
+/// An empty query has no features: both kNN variants fall back to the
+/// globally most recorded pair (T2, 3 of 5 transactions).
+#[test]
+fn empty_query_uses_global_fallback() {
+    let rec = Knn::fit(&fixture(), KnnConfig::default()).recommend(&[]);
+    assert_eq!((rec.item, rec.code), (T2, C0));
+    assert_eq!(rec.confidence, 0.0);
+    let rec = KnnProfit::fit(&fixture(), KnnConfig::default()).recommend(&[]);
+    assert_eq!((rec.item, rec.code), (T2, C0));
+}
+
+/// Fitting and serving from any number of threads must give bit-identical
+/// recommendations — the baselines hold no global state and iterate in
+/// deterministic orders.
+#[test]
+fn deterministic_across_thread_counts() {
+    let queries: Vec<Vec<Sale>> =
+        vec![vec![], vec![sale(A)], vec![sale(B)], vec![sale(A), sale(B)]];
+    let run = || -> Vec<(ItemId, CodeId, u64, u64)> {
+        let data = fixture();
+        let knn = Knn::fit(&data, KnnConfig { k: 3, idf: true });
+        let prof = KnnProfit::fit(&data, KnnConfig { k: 3, idf: true });
+        let mpi = MostProfitableItem::fit(&data);
+        let mut out = Vec::new();
+        for q in &queries {
+            for rec in [knn.recommend(q), prof.recommend(q), mpi.recommend(q)] {
+                out.push((
+                    rec.item,
+                    rec.code,
+                    rec.expected_profit.to_bits(),
+                    rec.confidence.to_bits(),
+                ));
+            }
+        }
+        out
+    };
+    let reference = run();
+    for n_threads in [1usize, 4] {
+        let results: Vec<_> = std::thread::scope(|s| {
+            (0..n_threads)
+                .map(|_| s.spawn(run))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        for r in results {
+            assert_eq!(r, reference, "thread count {n_threads} diverged");
+        }
+    }
+}

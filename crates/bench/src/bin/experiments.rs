@@ -265,7 +265,8 @@ fn bench_mining(opts: &Options) {
     if let Some(dir) = &opts.out {
         std::fs::create_dir_all(dir).expect("create output dir");
         let path = dir.join("BENCH_mining.json");
-        std::fs::write(&path, &json).expect("write BENCH_mining.json");
+        // POSIX text files end in a newline; `jq`/`cat` users expect one.
+        std::fs::write(&path, format!("{json}\n")).expect("write BENCH_mining.json");
         eprintln!("[wrote {}]", path.display());
     } else {
         println!("{json}");

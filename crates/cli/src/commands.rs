@@ -30,7 +30,10 @@ fn load_data(args: &ArgMap) -> Result<TransactionSet, CliError> {
 /// never change a command's primary output or any written model bytes.
 fn dump_metrics(args: &ArgMap) -> Result<(), CliError> {
     if let Some(path) = args.get("--metrics") {
-        write(path, &pm_obs::registry().dump_json())?;
+        // POSIX text files end in exactly one newline; `jq`/`cat` users
+        // expect it regardless of how the registry renders its dump.
+        let json = pm_obs::registry().dump_json();
+        write(path, &format!("{}\n", json.trim_end()))?;
         pm_obs::info!("cli.metrics_written", path = path);
     }
     Ok(())

@@ -1,0 +1,82 @@
+//! The `--metrics` dump must be a well-formed JSON text file: parseable
+//! (checked with the workspace's vendored `serde_json`) and ending in
+//! exactly one trailing newline.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_profit-mining")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pm-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run(args: &[&str]) {
+    let out = Command::new(bin()).args(args).output().expect("spawn CLI");
+    assert!(
+        out.status.success(),
+        "profit-mining {args:?} failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn metrics_file_is_parseable_json_with_trailing_newline() {
+    let dir = tmp_dir("metrics");
+    let data = dir.join("data.json");
+    let model = dir.join("model.json");
+    let metrics = dir.join("metrics.json");
+    run(&[
+        "gen",
+        "--out",
+        data.to_str().unwrap(),
+        "--txns",
+        "80",
+        "--items",
+        "12",
+        "--seed",
+        "7",
+    ]);
+    run(&[
+        "fit",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--minsup",
+        "0.05",
+        "--threads",
+        "1",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(
+        text.ends_with('\n') && !text.ends_with("\n\n"),
+        "metrics dump must end in exactly one newline"
+    );
+    let parsed: serde::Value = serde_json::from_str(&text).expect("metrics dump must be JSON");
+    match parsed {
+        serde::Value::Map(entries) => {
+            let keys: Vec<_> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            for expected in ["phases", "counters"] {
+                assert!(keys.contains(&expected), "missing {expected:?} in {keys:?}");
+            }
+        }
+        other => panic!("metrics dump must be a JSON object, got {other:?}"),
+    }
+
+    // The model written alongside must also be a newline-agnostic valid
+    // JSON document (guards the primary output while we are here).
+    let model_text = std::fs::read_to_string(&model).expect("model written");
+    serde_json::from_str::<serde::Value>(&model_text).expect("model must be JSON");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -41,4 +41,7 @@ pub use cut::CutResult;
 pub use model::{Matcher, ModelRule, Recommendation, Recommender, RuleModel, SavedModel};
 pub use pessimistic::ProjectedProfit;
 pub use pipeline::{BuildStats, CutConfig, ProfitMiner};
-pub use rank::mpf_cmp;
+pub use rank::{mpf_cmp, ranked_rules, sort_by_rank_desc};
+
+#[doc(hidden)]
+pub use rank::test_hooks;

@@ -10,14 +10,47 @@
 //! Confidence is not a criterion — it is already factored into `Prof_re`
 //! (and under [`ProfitMode::Confidence`] `Prof_re` *is* confidence).
 
-use pm_rules::{ProfitMode, Rule};
+use pm_rules::{MinedRules, ProfitMode, Rule};
 use std::cmp::Ordering;
+
+/// Test-only fault injection for the differential oracle harness.
+///
+/// The harness must be able to prove it *would* catch a ranking bug; this
+/// hook lets a test deliberately break the §3.2 tie-chain (swapping the
+/// support and body-size criteria) without touching production code paths.
+/// It is process-global — tests that enable it must run in their own
+/// integration-test binary.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SWAP_SUPPORT_BODY_TIE: AtomicBool = AtomicBool::new(false);
+
+    /// Enable or disable the swapped support/body-size tie-break.
+    pub fn set_swap_support_body_tie(on: bool) {
+        SWAP_SUPPORT_BODY_TIE.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the swapped tie-break is active.
+    pub fn swap_support_body_tie() -> bool {
+        SWAP_SUPPORT_BODY_TIE.load(Ordering::Relaxed)
+    }
+}
 
 /// Compare two rules by MPF rank under `mode`.
 /// `Ordering::Greater` means `a` is ranked **higher** than `b`.
 pub fn mpf_cmp(a: &Rule, b: &Rule, mode: ProfitMode) -> Ordering {
-    a.recommendation_profit(mode)
-        .total_cmp(&b.recommendation_profit(mode))
+    let primary = a
+        .recommendation_profit(mode)
+        .total_cmp(&b.recommendation_profit(mode));
+    if test_hooks::swap_support_body_tie() {
+        // Injected bug (tests only): simplicity before generality.
+        return primary
+            .then_with(|| b.body_len().cmp(&a.body_len()))
+            .then_with(|| a.support_count().cmp(&b.support_count()))
+            .then_with(|| b.gen_index.cmp(&a.gen_index));
+    }
+    primary
         // Generality: larger support ranks higher.
         .then_with(|| a.support_count().cmp(&b.support_count()))
         // Simplicity: smaller body ranks higher.
@@ -29,6 +62,18 @@ pub fn mpf_cmp(a: &Rule, b: &Rule, mode: ProfitMode) -> Ordering {
 /// Sort rule indices into descending MPF rank (highest rank first).
 pub fn sort_by_rank_desc(rules: &mut [Rule], mode: ProfitMode) {
     rules.sort_by(|a, b| mpf_cmp(b, a, mode));
+}
+
+/// The complete MPF-ranked rule list of a mining run: every mined rule
+/// plus the default rule, highest rank first. This is the list §3.2's
+/// recommender conceptually walks; the covering-tree build consumes the
+/// same order, so it is the natural surface for differential comparison
+/// against a reference implementation.
+pub fn ranked_rules(mined: &MinedRules, mode: ProfitMode) -> Vec<Rule> {
+    let mut rules = mined.rules().to_vec();
+    rules.push(mined.default_rule(mode));
+    sort_by_rank_desc(&mut rules, mode);
+    rules
 }
 
 #[cfg(test)]

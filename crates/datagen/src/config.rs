@@ -91,6 +91,31 @@ impl DatasetConfig {
         }
     }
 
+    /// A **tiny** configuration for exhaustive and differential testing:
+    /// `n_transactions` transactions (≤ 64) over `n_items` non-target
+    /// items (≤ 10) with `n_prices` promotion codes per item (2–4), the
+    /// Dataset-I pair of target items, and small baskets — sized so that
+    /// a brute-force reference implementation (`pm-oracle`) stays
+    /// tractable while every code path (favorability chains, multi-code
+    /// heads, basket→target coupling) is still exercised.
+    pub fn tiny(n_transactions: usize, n_items: usize, n_prices: usize) -> Self {
+        assert!(
+            (1..=64).contains(&n_transactions),
+            "tiny means ≤ 64 transactions"
+        );
+        assert!((1..=10).contains(&n_items), "tiny means ≤ 10 items");
+        assert!((2..=4).contains(&n_prices), "tiny means 2–4 codes");
+        let mut cfg = Self::dataset_i()
+            .with_transactions(n_transactions)
+            .with_items(n_items);
+        cfg.quest.avg_txn_size = 3.0;
+        cfg.quest.avg_pattern_size = 2.0;
+        cfg.pricing.max_cost = 20.0;
+        cfg.pricing.n_prices = n_prices;
+        cfg.target_noise = 0.3;
+        cfg
+    }
+
     /// Override the transaction count (builder style).
     pub fn with_transactions(mut self, n: usize) -> Self {
         self.quest.n_transactions = n;
@@ -418,6 +443,23 @@ mod tests {
             let frac = c as f64 / 6000.0;
             assert!(frac > 0.10 && frac < 0.45, "{counts:?}");
         }
+    }
+
+    #[test]
+    fn tiny_preset_is_tiny() {
+        let ds = DatasetConfig::tiny(20, 6, 3).generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.catalog().len(), 8); // 6 non-target + 2 targets
+        for (_, def) in ds.catalog().iter() {
+            assert_eq!(def.codes.len(), 3);
+        }
+        assert!(ds.catalog().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "tiny")]
+    fn tiny_preset_rejects_large_configs() {
+        let _ = DatasetConfig::tiny(1000, 6, 3);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::extend::{ExtendedData, HeadId};
 use crate::interner::{GsId, GsInterner};
 use crate::rule::{ProfitMode, Rule};
 use crate::tidset::{intersect_into, TidPolicy, TidScratch, TidSet, TidView};
-use pm_txn::{CodeId, ItemId, Moa, QuantityModel, TransactionSet};
+use pm_txn::{CodeId, GenSale, ItemId, Moa, QuantityModel, TransactionSet};
 use serde::{Deserialize, Serialize};
 
 /// A minimum-support threshold, as a fraction of the transactions or an
@@ -784,6 +784,27 @@ impl MinedRules {
     /// The `(item, code)` pair of a head.
     pub fn head(&self, h: HeadId) -> (ItemId, CodeId) {
         self.extended.heads[h.index()]
+    }
+
+    /// A rule's body resolved to generalized sales, in the body's stored
+    /// (ascending-id) order.
+    pub fn resolve_body(&self, rule: &Rule) -> Vec<GenSale> {
+        rule.body
+            .iter()
+            .map(|&g| self.extended.interner.resolve(g))
+            .collect()
+    }
+
+    /// Iterate the mined rules with their bodies resolved to generalized
+    /// sales and their heads to `(item, code)` pairs — the public
+    /// comparison surface for differential testing against a reference
+    /// implementation, which has no access to interner or head ids.
+    pub fn resolved_rules(
+        &self,
+    ) -> impl Iterator<Item = (Vec<GenSale>, (ItemId, CodeId), &Rule)> + '_ {
+        self.rules
+            .iter()
+            .map(|r| (self.resolve_body(r), self.head(r.head), r))
     }
 
     /// Singleton tidset of a generalized sale.

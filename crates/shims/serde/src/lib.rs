@@ -99,6 +99,21 @@ pub fn as_seq_n<'v>(v: &'v Value, n: usize, what: &str) -> Result<&'v [Value], E
 
 // ---- Serialize impls for std types ----
 
+// `Value` round-trips through itself, so callers can parse arbitrary
+// JSON (`serde_json::from_str::<serde::Value>(..)`) without committing
+// to a schema — mirroring real serde_json's `Value`.
+impl Serialize for Value {
+    fn ser_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn de_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! ser_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -1,0 +1,59 @@
+//! Property test: a generated dataset survives the CSV export/import
+//! round trip intact — `to_csv` → `parse_catalog`/`parse_sales` rebuilds
+//! the same catalog, the same transactions in the same order, and the
+//! same recorded profit. The CSV form carries prices as `{:.2}` dollars,
+//! which is lossless because all generated prices are cent-aligned.
+
+use pm_datagen::DatasetConfig;
+use pm_txn::csv::{parse_catalog, parse_sales, to_csv};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_dataset_round_trips_through_csv(
+        seed in 0u64..1_000_000,
+        n_txns in 5usize..40,
+        n_items in 3usize..10,
+        n_prices in 2usize..5,
+    ) {
+        // Flat datasets only: the CSV pair has no hierarchy column.
+        let cfg = DatasetConfig::tiny(n_txns, n_items, n_prices);
+        let data = cfg.generate(&mut StdRng::seed_from_u64(seed));
+
+        let (cat_csv, sales_csv) = to_csv(&data);
+        let (catalog2, names) = parse_catalog(&cat_csv)
+            .expect("exported catalog must re-parse");
+        let data2 = parse_sales(&sales_csv, catalog2, &names)
+            .expect("exported sales must re-parse");
+
+        // Catalog: same items, roles, codes, prices (Debug form is a
+        // complete rendering; Catalog has no PartialEq).
+        prop_assert_eq!(
+            format!("{:?}", data2.catalog()),
+            format!("{:?}", data.catalog())
+        );
+        // Transactions: identical sales in identical order.
+        prop_assert_eq!(data2.transactions(), data.transactions());
+        // And therefore identical money totals.
+        prop_assert_eq!(
+            data2.total_recorded_profit(),
+            data.total_recorded_profit()
+        );
+    }
+}
+
+/// The exported CSVs are well-formed text files: exactly one header each
+/// and a trailing newline (tooling like `wc -l`/`tail` depends on it).
+#[test]
+fn exported_csvs_end_with_newline() {
+    let data = DatasetConfig::tiny(10, 4, 2).generate(&mut StdRng::seed_from_u64(3));
+    let (cat_csv, sales_csv) = to_csv(&data);
+    assert!(cat_csv.starts_with("item,role,price,cost,pack\n"));
+    assert!(sales_csv.starts_with("txn,item,code,qty\n"));
+    assert!(cat_csv.ends_with('\n') && !cat_csv.ends_with("\n\n"));
+    assert!(sales_csv.ends_with('\n') && !sales_csv.ends_with("\n\n"));
+}

@@ -1,0 +1,347 @@
+//! Shared comparison engine for the differential oracle harness.
+//!
+//! Each comparison returns `Err(String)` instead of panicking so that the
+//! caller can shrink a diverging dataset before reporting. The engine runs
+//! the *entire* optimized matrix — `MoaMode × QuantityModel × TidPolicy ×
+//! {1, 4} threads × ProfitMode` — against one `pm-oracle` build per
+//! `(moa, quantity)` pair, comparing:
+//!
+//! * the mined rule set: same rules, same order, same `gen_index`, same
+//!   counts, bit-identical `f64` profits;
+//! * the default rule and the complete MPF-ranked list per profit mode;
+//! * the per-customer recommendation (indexed matcher, linear-scan model
+//!   and oracle ranked-list scan must all pick the same rule).
+
+#![allow(dead_code)]
+
+use pm_oracle::{Oracle, OracleConfig, OracleProfitMode, OracleRule};
+use pm_rules::{MinedRules, MinerConfig, MoaMode, ProfitMode, RuleMiner, Support, TidPolicy};
+use pm_txn::{QuantityModel, Sale, TransactionSet};
+use profit_core::{CutConfig, Matcher, RuleModel};
+
+/// The tidset policies the optimized stack is exercised under.
+pub const POLICIES: [TidPolicy; 3] = [TidPolicy::Dense, TidPolicy::Sparse, TidPolicy::Adaptive];
+
+/// Worker-thread counts (sequential and parallel paths).
+pub const THREADS: [usize; 2] = [1, 4];
+
+/// The profit modes, paired with their oracle-side mirror.
+pub const MODES: [(ProfitMode, OracleProfitMode); 2] = [
+    (ProfitMode::Profit, OracleProfitMode::Profit),
+    (ProfitMode::Confidence, OracleProfitMode::Confidence),
+];
+
+fn miner_config(minsup: u32, max_body_len: usize, moa_on: bool, qm: QuantityModel) -> MinerConfig {
+    MinerConfig {
+        min_support: Support::Count(minsup),
+        max_body_len,
+        moa: if moa_on {
+            MoaMode::Enabled
+        } else {
+            MoaMode::Disabled
+        },
+        quantity: qm,
+        min_confidence: None,
+        min_rule_profit: None,
+        // The oracle enumerates the raw rule universe; the default-
+        // dominance prefilter is a serving-side optimization the
+        // comparison must not inherit.
+        prune_default_dominated: false,
+    }
+}
+
+/// Run the full differential matrix over one dataset. `Ok(())` when the
+/// optimized stack matches the oracle everywhere; `Err` describes the
+/// first divergence, prefixed with the matrix cell it occurred in.
+pub fn compare_dataset(
+    data: &TransactionSet,
+    minsup: u32,
+    max_body_len: usize,
+) -> Result<(), String> {
+    for moa_on in [true, false] {
+        for qm in [QuantityModel::Saving, QuantityModel::Buying] {
+            let oracle = Oracle::build(
+                data,
+                OracleConfig {
+                    min_support_count: minsup,
+                    max_body_len,
+                    moa: moa_on,
+                    quantity: qm,
+                },
+            );
+            for policy in POLICIES {
+                for threads in THREADS {
+                    let ctx = format!("moa={moa_on} qm={qm:?} policy={policy:?} threads={threads}");
+                    let mined = RuleMiner::new(miner_config(minsup, max_body_len, moa_on, qm))
+                        .with_threads(threads)
+                        .with_tidset(policy)
+                        .mine(data);
+                    compare_rule_sets(&oracle, &mined).map_err(|e| format!("[{ctx}] {e}"))?;
+                    for (mode, omode) in MODES {
+                        compare_ranked(&oracle, &mined, mode, omode)
+                            .map_err(|e| format!("[{ctx} mode={mode:?}] {e}"))?;
+                        compare_recommendations(data, &oracle, &mined, mode, omode)
+                            .map_err(|e| format!("[{ctx} mode={mode:?}] {e}"))?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The mined rule set must equal the oracle's at-or-above-minsup subset,
+/// rule for rule, in generation order.
+fn compare_rule_sets(oracle: &Oracle, mined: &MinedRules) -> Result<(), String> {
+    let of = oracle.frequent_rules();
+    if mined.rules().len() != of.len() {
+        return Err(format!(
+            "rule count: optimized {} vs oracle {} (oracle enumerated {} incl. below-minsup)",
+            mined.rules().len(),
+            of.len(),
+            oracle.all_rules().len()
+        ));
+    }
+    for (i, ((body, (item, code), rule), orule)) in
+        mined.resolved_rules().zip(of.iter()).enumerate()
+    {
+        if body != orule.body {
+            return Err(format!(
+                "rule {i} body: {body:?} vs oracle {:?}",
+                orule.body
+            ));
+        }
+        if (item, code) != (orule.item, orule.code) {
+            return Err(format!(
+                "rule {i} head: ({item:?},{code:?}) vs oracle ({:?},{:?})",
+                orule.item, orule.code
+            ));
+        }
+        if rule.body_count != orule.body_count || rule.hits != orule.hits {
+            return Err(format!(
+                "rule {i} counts: N={} hits={} vs oracle N={} hits={}",
+                rule.body_count, rule.hits, orule.body_count, orule.hits
+            ));
+        }
+        if rule.profit.to_bits() != orule.profit.to_bits() {
+            return Err(format!(
+                "rule {i} profit bits: {} vs oracle {}",
+                rule.profit, orule.profit
+            ));
+        }
+        if rule.gen_index != i as u32 || orule.gen_index != i as u32 {
+            return Err(format!(
+                "rule {i} gen_index: optimized {} oracle {}",
+                rule.gen_index, orule.gen_index
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The complete MPF-ranked lists (mined rules + default rule) must agree
+/// element-wise, including the order itself.
+fn compare_ranked(
+    oracle: &Oracle,
+    mined: &MinedRules,
+    mode: ProfitMode,
+    omode: OracleProfitMode,
+) -> Result<(), String> {
+    let opt = profit_core::ranked_rules(mined, mode);
+    let orc = oracle.ranked_rules(omode);
+    if opt.len() != orc.len() {
+        return Err(format!(
+            "ranked length: optimized {} vs oracle {}",
+            opt.len(),
+            orc.len()
+        ));
+    }
+    for (pos, (rule, orule)) in opt.iter().zip(orc.iter()).enumerate() {
+        let body = mined.resolve_body(rule);
+        let (item, code) = mined.head(rule.head);
+        let same = body == orule.body
+            && (item, code) == (orule.item, orule.code)
+            && rule.body_count == orule.body_count
+            && rule.hits == orule.hits
+            && rule.profit.to_bits() == orule.profit.to_bits()
+            && rule.gen_index == orule.gen_index;
+        if !same {
+            return Err(format!(
+                "ranked position {pos}: optimized gen={} body={body:?} head=({item:?},{code:?}) \
+                 N={} hits={} profit={} vs oracle gen={} body={:?} head=({:?},{:?}) N={} hits={} \
+                 profit={}",
+                rule.gen_index,
+                rule.body_count,
+                rule.hits,
+                rule.profit,
+                orule.gen_index,
+                orule.body,
+                orule.item,
+                orule.code,
+                orule.body_count,
+                orule.hits,
+                orule.profit
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Pick the oracle's recommendation from a precomputed ranked list.
+fn oracle_recommend<'a>(
+    oracle: &Oracle,
+    ranked: &'a [OracleRule],
+    sales: &[Sale],
+) -> &'a OracleRule {
+    ranked
+        .iter()
+        .find(|r| oracle.body_matches(&r.body, sales))
+        .expect("the default rule matches every customer")
+}
+
+/// For every training basket (plus the empty basket), the serving model —
+/// indexed matcher and linear scan — must select the same rule the oracle
+/// selects from its complete ranked list. Rule *identity* is compared
+/// (body, head, counts, profit bits), not list position: the optimized
+/// model has dominance-removed rules the oracle keeps, which §4.1 proves
+/// can never be selected.
+fn compare_recommendations(
+    data: &TransactionSet,
+    oracle: &Oracle,
+    mined: &MinedRules,
+    mode: ProfitMode,
+    omode: OracleProfitMode,
+) -> Result<(), String> {
+    let model = RuleModel::build(
+        mined,
+        &CutConfig {
+            profit_mode: mode,
+            prune: false,
+            ..CutConfig::default()
+        },
+    );
+    let matcher = Matcher::new(&model);
+    let ranked = oracle.ranked_rules(omode);
+    let empty: Vec<Sale> = Vec::new();
+    let baskets = std::iter::once(empty.as_slice())
+        .chain(data.transactions().iter().map(|t| t.non_target_sales()));
+    for (ci, sales) in baskets.enumerate() {
+        let idx = matcher.rule_for(sales);
+        if idx != model.recommendation_rule(sales) {
+            return Err(format!(
+                "customer {ci}: matcher picked rule {idx}, linear scan {}",
+                model.recommendation_rule(sales)
+            ));
+        }
+        let mr = &model.rules()[idx];
+        let orule = oracle_recommend(oracle, &ranked, sales);
+        let mut mbody = mr.body.clone();
+        mbody.sort();
+        let mut obody = orule.body.clone();
+        obody.sort();
+        let same = (mr.item, mr.code) == (orule.item, orule.code)
+            && mbody == obody
+            && mr.body_count == orule.body_count
+            && mr.support_count == orule.hits
+            && mr.profit.to_bits() == orule.profit.to_bits()
+            && mr.prof_re.to_bits() == orule.recommendation_profit(omode).to_bits()
+            && mr.is_default == (orule.gen_index == u32::MAX);
+        if !same {
+            return Err(format!(
+                "customer {ci}: model rule body={:?} head=({:?},{:?}) N={} s={} profit={} \
+                 prof_re={} default={} vs oracle body={:?} head=({:?},{:?}) N={} s={} profit={} \
+                 prof_re={} default={}",
+                mr.body,
+                mr.item,
+                mr.code,
+                mr.body_count,
+                mr.support_count,
+                mr.profit,
+                mr.prof_re,
+                mr.is_default,
+                orule.body,
+                orule.item,
+                orule.code,
+                orule.body_count,
+                orule.hits,
+                orule.profit,
+                orule.recommendation_profit(omode),
+                orule.gen_index == u32::MAX
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Greedily shrink a diverging dataset: repeatedly drop whole transactions,
+/// then individual non-target sales, keeping each removal that preserves
+/// the divergence. Quadratic and restartable — fine at oracle scale.
+pub fn shrink(data: &TransactionSet, minsup: u32, max_body_len: usize) -> TransactionSet {
+    let rebuild = |txns: Vec<pm_txn::Transaction>| -> Option<TransactionSet> {
+        TransactionSet::new(data.catalog().clone(), data.hierarchy().clone(), txns).ok()
+    };
+    let diverges = |ds: &TransactionSet| compare_dataset(ds, minsup, max_body_len).is_err();
+    let mut current = data.transactions().to_vec();
+    // Pass 1: drop transactions.
+    let mut i = 0;
+    while current.len() > 1 && i < current.len() {
+        let mut candidate = current.clone();
+        candidate.remove(i);
+        match rebuild(candidate) {
+            Some(ds) if diverges(&ds) => {
+                current = ds.transactions().to_vec();
+                // A removal can re-enable earlier removals: restart.
+                i = 0;
+            }
+            _ => i += 1,
+        }
+    }
+    // Pass 2: drop non-target sales within transactions.
+    let mut ti = 0;
+    while ti < current.len() {
+        let mut si = 0;
+        while si < current[ti].non_target_sales().len() {
+            let mut candidate = current.clone();
+            let t = &candidate[ti];
+            let mut nts = t.non_target_sales().to_vec();
+            nts.remove(si);
+            candidate[ti] = pm_txn::Transaction::new(nts, *t.target_sale());
+            match rebuild(candidate) {
+                Some(ds) if diverges(&ds) => {
+                    current = ds.transactions().to_vec();
+                }
+                _ => si += 1,
+            }
+        }
+        ti += 1;
+    }
+    rebuild(current).expect("shrunk dataset stays valid")
+}
+
+/// Shrink the diverging dataset and abort the test with a replayable
+/// counterexample: the catalog/sales CSV pair (see the README's
+/// "Replaying a counterexample") plus, for non-flat hierarchies the CSV
+/// form cannot carry, the dataset JSON.
+pub fn report_divergence(data: &TransactionSet, minsup: u32, max_body_len: usize, msg: &str) -> ! {
+    let minimal = shrink(data, minsup, max_body_len);
+    let final_msg = compare_dataset(&minimal, minsup, max_body_len)
+        .err()
+        .unwrap_or_else(|| msg.to_string());
+    let (catalog_csv, sales_csv) = pm_txn::csv::to_csv(&minimal);
+    let hierarchy_note = if minimal.hierarchy().n_concepts() > 0 {
+        format!(
+            "\nNOTE: dataset uses a {}-concept hierarchy the CSVs cannot carry; replay JSON:\n{}\n",
+            minimal.hierarchy().n_concepts(),
+            minimal.to_json()
+        )
+    } else {
+        String::new()
+    };
+    panic!(
+        "differential divergence (minsup={minsup}, max_body_len={max_body_len}): {final_msg}\n\
+         first seen as: {msg}\n\
+         shrunk to {} transaction(s); replayable counterexample below\n\
+         --- catalog.csv ---\n{catalog_csv}--- sales.csv ---\n{sales_csv}{hierarchy_note}",
+        minimal.len()
+    );
+}
