@@ -42,13 +42,20 @@ impl ArgMap {
                 return Err(CliError::Usage(format!("unexpected argument {flag:?}")));
             }
             if SWITCHES.contains(&flag.as_str()) {
+                if map.switches.iter().any(|s| s == flag) {
+                    return Err(CliError::Usage(format!("{flag} given more than once")));
+                }
                 map.switches.push(flag.clone());
             } else {
                 i += 1;
                 let value = args
                     .get(i)
                     .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
-                map.values.insert(flag.clone(), value.clone());
+                // A silently-winning later duplicate hides typos in long
+                // invocations (`--seed 1 … --seed 2`); reject instead.
+                if map.values.insert(flag.clone(), value.clone()).is_some() {
+                    return Err(CliError::Usage(format!("{flag} given more than once")));
+                }
             }
             i += 1;
         }
@@ -109,5 +116,19 @@ mod tests {
         let a = ArgMap::parse(&v(&["--txns", "abc"])).unwrap();
         assert!(a.get_or("--txns", 0usize).is_err());
         assert!(a.require("--missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_not_overwritten() {
+        let err = ArgMap::parse(&v(&["--seed", "1", "--txns", "5", "--seed", "2"])).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("expected a usage error");
+        };
+        assert!(msg.contains("--seed"), "{msg}");
+        assert!(msg.contains("more than once"), "{msg}");
+        // Repeated switches are rejected too.
+        assert!(ArgMap::parse(&v(&["--all", "--all"])).is_err());
+        // Distinct flags still parse.
+        assert!(ArgMap::parse(&v(&["--seed", "1", "--txns", "5"])).is_ok());
     }
 }

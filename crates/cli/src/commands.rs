@@ -6,9 +6,7 @@ use pm_datagen::DatasetConfig;
 use pm_eval::runner::{run_sweep, EvalConfig};
 use pm_rules::{MinerConfig, MoaMode, ProfitMode, Support, TidPolicy};
 use pm_txn::{QuantityModel, Sale, TransactionSet};
-use profit_core::{
-    CutConfig, Matcher, ProfitMiner, Recommendation, Recommender, RuleModel, SavedModel,
-};
+use profit_core::{CutConfig, Matcher, ProfitMiner, Recommendation, Recommender, RuleModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,8 +14,11 @@ fn read(path: &str) -> Result<String, CliError> {
     std::fs::read_to_string(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))
 }
 
+/// All CLI file output goes through the crash-safe writer: a kill or
+/// power cut mid-command leaves either the old file or the new one,
+/// never a truncated hybrid.
 fn write(path: &str, contents: &str) -> Result<(), CliError> {
-    std::fs::write(path, contents).map_err(|e| CliError::Runtime(format!("{path}: {e}")))
+    pm_store::write_atomic_str(path, contents).map_err(|e| CliError::Runtime(e.to_string()))
 }
 
 fn load_data(args: &ArgMap) -> Result<TransactionSet, CliError> {
@@ -41,9 +42,15 @@ fn dump_metrics(args: &ArgMap) -> Result<(), CliError> {
 
 fn load_model(args: &ArgMap) -> Result<RuleModel, CliError> {
     let path = args.require("--model")?;
-    let saved: SavedModel = serde_json::from_str(&read(path)?)
-        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
-    Ok(RuleModel::load(saved))
+    // The store validates the envelope (magic, version, length, CRC)
+    // before any deserialization; legacy raw-JSON model files still load.
+    pm_serve::load_model(path).map_err(|e| match e {
+        pm_serve::ServeError::Store(se @ pm_store::StoreError::Io { .. }) => {
+            CliError::Runtime(se.to_string())
+        }
+        pm_serve::ServeError::Store(se) => CliError::Runtime(format!("{path}: {se}")),
+        other => CliError::Runtime(other.to_string()),
+    })
 }
 
 /// `--threads N`: worker threads (0 = all cores, 1 = sequential). The
@@ -157,10 +164,13 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
         .with_tidset(tidset(args)?)
         .fit(&data);
     let stats = *model.stats();
-    write(
-        out,
-        &serde_json::to_string(&model.save()).map_err(|e| CliError::Runtime(e.to_string()))?,
-    )?;
+    let payload =
+        serde_json::to_string(&model.save()).map_err(|e| CliError::Runtime(e.to_string()))?;
+    // Models are written sealed: a checksummed, versioned envelope over
+    // the JSON payload, atomically renamed into place. Truncated or
+    // bit-flipped files are rejected at load instead of deserializing
+    // into a silently-wrong recommender.
+    pm_store::save_sealed(out, payload.as_bytes()).map_err(|e| CliError::Runtime(e.to_string()))?;
     dump_metrics(args)?;
     Ok(format!(
         "wrote {} — {} ({} rules; mined {}, after dominance {}, projected profit {:.2})",
@@ -355,6 +365,36 @@ pub fn export(args: &ArgMap) -> Result<String, CliError> {
     write(catalog_path, &cat_csv)?;
     write(sales_path, &sales_csv)?;
     Ok(format!("wrote {catalog_path} and {sales_path}"))
+}
+
+/// `serve`: run the fault-tolerant recommendation daemon until a client
+/// sends `{"op":"shutdown"}`. Blocks; the returned string is the final
+/// serving summary.
+pub fn serve(args: &ArgMap) -> Result<String, CliError> {
+    use std::time::Duration;
+    let model_path = args.require("--model")?;
+    let addr = args.get("--addr").unwrap_or("127.0.0.1:7878");
+    let cfg = pm_serve::ServeConfig {
+        workers: args.get_or("--workers", 4usize)?.max(1),
+        queue: args.get_or("--queue", 64usize)?.max(1),
+        read_timeout: Duration::from_millis(args.get_or("--read-timeout-ms", 10_000u64)?.max(1)),
+        write_timeout: Duration::from_millis(args.get_or("--write-timeout-ms", 10_000u64)?.max(1)),
+        deadline: Duration::from_millis(args.get_or("--deadline-ms", 250u64)?.max(1)),
+        max_line: args.get_or("--max-line", 64 * 1024usize)?.max(256),
+    };
+    let server = pm_serve::Server::start(addr, model_path, cfg)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let bound = server.addr();
+    // `--addr-file` publishes the bound address (atomically, so a reader
+    // never sees a partial line) — with `--addr host:0` this is how
+    // scripts and tests learn the ephemeral port.
+    if let Some(path) = args.get("--addr-file") {
+        pm_store::write_atomic_str(path, &format!("{bound}\n"))
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+    }
+    let summary = server.join();
+    dump_metrics(args)?;
+    Ok(format!("{bound}: {summary}"))
 }
 
 /// `stats`: summarize a dataset.

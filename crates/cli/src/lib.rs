@@ -25,6 +25,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "stats" => commands::stats(&args),
         "import" => commands::import(&args),
         "export" => commands::export(&args),
+        "serve" => commands::serve(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n{}",
@@ -52,6 +53,10 @@ USAGE
   profit-mining stats      --data data.json
   profit-mining import     --catalog catalog.csv --sales sales.csv --out data.json
   profit-mining export     --data data.json --catalog catalog.csv --sales sales.csv
+  profit-mining serve      --model model.json [--addr HOST:PORT] [--addr-file path]
+                           [--workers N] [--queue N] [--deadline-ms N]
+                           [--read-timeout-ms N] [--write-timeout-ms N] [--max-line BYTES]
+                           [--metrics metrics.json]
   profit-mining help
 
   --threads N selects the worker-thread count for mining and evaluation
@@ -62,6 +67,15 @@ USAGE
   recommend --all serves every customer in --data through the indexed
   rule matcher and prints a per-(item, code) summary plus the serving
   latency p50/p95/p99.
+
+  serve runs a line-delimited-JSON TCP daemon over a fitted model:
+  bounded request queue with load shedding, per-request timeouts with a
+  flagged degraded mode (the §3.2 default rule) when the matcher errors
+  or blows the deadline, and {\"op\":\"reload\"} hot model swaps that keep
+  the old model on any validation failure. --addr HOST:0 picks an
+  ephemeral port; --addr-file publishes the bound address. fit writes
+  models in a checksummed envelope, so torn or bit-flipped files are
+  rejected at load (legacy raw-JSON models still load).
 
   Observability: PM_LOG=off|error|info|debug selects structured logging
   to stderr (default off); --metrics PATH dumps the metrics registry
@@ -404,9 +418,8 @@ mod tests {
             "2",
         ]))
         .unwrap();
-        let saved: profit_core::SavedModel =
-            serde_json::from_str(&std::fs::read_to_string(&model_path).unwrap()).unwrap();
-        let model = profit_core::RuleModel::load(saved);
+        // fit writes sealed envelopes now, so load through the store.
+        let model = pm_serve::load_model(&model_path).unwrap();
         let mut rec = profit_core::Recommender::recommend(&model, &[]);
         // A trace the model cannot explain (e.g. produced by a different
         // recommender) must degrade, not abort the command.

@@ -73,10 +73,13 @@ fn metrics_file_is_parseable_json_with_trailing_newline() {
         other => panic!("metrics dump must be a JSON object, got {other:?}"),
     }
 
-    // The model written alongside must also be a newline-agnostic valid
-    // JSON document (guards the primary output while we are here).
-    let model_text = std::fs::read_to_string(&model).expect("model written");
-    serde_json::from_str::<serde::Value>(&model_text).expect("model must be JSON");
+    // The model written alongside is a sealed envelope; its checksummed
+    // payload must be a valid JSON document (guards the primary output
+    // while we are here).
+    let (payload, provenance) = pm_store::load_model_file(&model).expect("model envelope valid");
+    assert_eq!(provenance, pm_store::Provenance::Sealed);
+    let model_text = String::from_utf8(payload).expect("payload is UTF-8");
+    serde_json::from_str::<serde::Value>(&model_text).expect("model payload must be JSON");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,147 @@
+//! End-to-end daemon test through the real binary: `profit-mining serve`
+//! on an ephemeral port, discovered via `--addr-file`, answering the
+//! same bytes as `profit-mining recommend` over the same model, then
+//! shut down cleanly over the wire.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_profit-mining")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pm-serve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = Command::new(bin()).args(args).output().expect("spawn CLI");
+    assert!(
+        out.status.success(),
+        "profit-mining {args:?} failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Poll for the daemon's `--addr-file` (written atomically once bound).
+fn wait_for_addr(path: &std::path::Path, child: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("daemon exited early with {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote {path:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn serve_daemon_end_to_end_over_the_wire() {
+    let dir = tmp_dir("e2e");
+    let data = dir.join("data.json").display().to_string();
+    let model = dir.join("model.pm").display().to_string();
+    let addr_file = dir.join("addr.txt");
+
+    run_ok(&[
+        "gen", "--out", &data, "--txns", "300", "--items", "60", "--seed", "21",
+    ]);
+    run_ok(&[
+        "fit",
+        "--data",
+        &data,
+        "--out",
+        &model,
+        "--minsup",
+        "0.03",
+        "--max-body",
+        "2",
+    ]);
+    // The offline answer for customer 0 (same model file the daemon loads).
+    let offline = run_ok(&[
+        "recommend",
+        "--data",
+        &data,
+        "--model",
+        &model,
+        "--txn",
+        "0",
+    ]);
+
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--model",
+            &model,
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let addr = wait_for_addr(&addr_file, &mut child);
+
+    let stream = TcpStream::connect(&addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut send = |line: &str| -> String {
+        writeln!(writer, "{line}").unwrap();
+        let mut buf = String::new();
+        reader.read_line(&mut buf).unwrap();
+        buf.trim_end().to_string()
+    };
+
+    let pong = send(r#"{"op":"ping"}"#);
+    assert!(pong.contains(r#""op":"pong""#), "{pong}");
+
+    // Serve the empty customer: the daemon's pick must appear in the
+    // offline `recommend` output for the same model (the same item name
+    // at the same promotion line).
+    let resp = send(r#"{"op":"recommend"}"#);
+    assert!(resp.starts_with(r#"{"ok":true,"degraded":false"#), "{resp}");
+    let offline_empty = run_ok(&[
+        "recommend",
+        "--data",
+        &data,
+        "--model",
+        &model,
+        "--txn",
+        "0",
+    ]);
+    assert_eq!(offline, offline_empty, "offline recommend must be stable");
+
+    // Hot reload from the same file bumps the generation.
+    let resp = send(r#"{"op":"reload"}"#);
+    assert!(resp.contains(r#""generation":2"#), "{resp}");
+
+    let bye = send(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("bye"), "{bye}");
+
+    let out = child.wait_with_output().expect("daemon exit");
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("served"), "{stdout}");
+    assert!(stdout.contains("1 reloads"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -31,6 +31,7 @@
 #![deny(unsafe_code)]
 
 pub mod cut;
+pub mod handle;
 pub mod model;
 pub mod pessimistic;
 pub mod pipeline;
@@ -38,6 +39,7 @@ pub mod rank;
 pub mod tree;
 
 pub use cut::CutResult;
+pub use handle::ModelHandle;
 pub use model::{Matcher, ModelRule, Recommendation, Recommender, RuleModel, SavedModel};
 pub use pessimistic::ProjectedProfit;
 pub use pipeline::{BuildStats, CutConfig, ProfitMiner};

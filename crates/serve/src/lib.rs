@@ -1,0 +1,759 @@
+//! `pm-serve` — a fault-tolerant, long-running recommendation daemon.
+//!
+//! The paper's recommender answers the live question "for a future
+//! customer, recommend one (target item, promotion code) pair" (§3.2,
+//! §4.1); this crate serves that question over TCP, std-only, built to
+//! degrade instead of crash:
+//!
+//! * **line-delimited JSON protocol** ([`protocol`]) — one request
+//!   object per line, one response object per line, over plain TCP, so
+//!   `netcat` is a complete client;
+//! * **bounded queue + load shedding** — the acceptor queues at most
+//!   `queue` pending connections; beyond that clients get an immediate
+//!   `{"ok":false,"error":"overloaded"}` instead of an unbounded
+//!   backlog;
+//! * **per-request timeouts** — socket read/write timeouts bound slow
+//!   and dead clients (an idle or half-open connection is closed, never
+//!   parked on a worker forever), a request-line byte cap bounds parse
+//!   memory, and a compute deadline bounds matching;
+//! * **degraded mode** — when the matcher panics or the deadline is
+//!   blown, the daemon answers with the §3.2 default rule `∅ → g`
+//!   (always applicable, byte-deterministic), flags the response
+//!   `"degraded":true`, and counts it in `pm-obs` — a wrong-shaped
+//!   request or a slow rule index can make answers *worse*, never wrong
+//!   or absent;
+//! * **hot reload** — the `reload` op validates a new model envelope
+//!   off the serving path (a dedicated thread, unwind-isolated) and
+//!   atomically swaps it into the shared [`ModelHandle`]; on any
+//!   failure — missing file, torn envelope, checksum mismatch, parse
+//!   error, panic — the old model keeps serving.
+//!
+//! Fault injection for all of the above lives in `pm_store::faults`;
+//! the integration tests drive every fault class through a live daemon.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod protocol;
+
+use pm_store::StoreError;
+use profit_core::{Matcher, ModelHandle, Recommendation, Recommender, RuleModel, SavedModel};
+use protocol::{error_line, obj, parse_request, rec_value, render, validate_sales, Request};
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the daemon. The defaults suit tests and small
+/// deployments; the CLI exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded pending-connection queue; beyond this, shed load.
+    pub queue: usize,
+    /// Socket read timeout — a client that sends nothing for this long
+    /// is disconnected.
+    pub read_timeout: Duration,
+    /// Socket write timeout — a client that won't drain its responses
+    /// is disconnected.
+    pub write_timeout: Duration,
+    /// Compute deadline per request; blown deadlines answer degraded.
+    pub deadline: Duration,
+    /// Maximum request line length in bytes (parse-memory bound).
+    pub max_line: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            deadline: Duration::from_millis(250),
+            max_line: 64 * 1024,
+        }
+    }
+}
+
+/// Why the daemon could not start or load a model.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Reading or validating a stored model file failed.
+    Store(StoreError),
+    /// The model payload was readable but not a valid saved model.
+    Model {
+        /// The file involved.
+        path: String,
+        /// The parse failure.
+        err: String,
+    },
+    /// Binding or configuring the listening socket failed.
+    Net {
+        /// What was being bound or configured.
+        what: String,
+        /// The OS error text.
+        err: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Store(e) => write!(f, "{e}"),
+            ServeError::Model { path, err } => write!(f, "{path}: invalid model payload: {err}"),
+            ServeError::Net { what, err } => write!(f, "{what}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Load a model file through the crash-safe store: enveloped files are
+/// checksum-verified, legacy raw-JSON files still load. Every failure —
+/// I/O, torn envelope, bit flip, version skew, JSON parse — comes back
+/// as a typed, printable [`ServeError`]; corrupt bytes are never
+/// deserialized into a partially-built model.
+pub fn load_model(path: impl AsRef<Path>) -> Result<RuleModel, ServeError> {
+    let path = path.as_ref();
+    let (payload, provenance) = pm_store::load_model_file(path)?;
+    let text = String::from_utf8(payload).map_err(|e| ServeError::Model {
+        path: path.display().to_string(),
+        err: format!("payload is not UTF-8: {e}"),
+    })?;
+    let saved: SavedModel = serde_json::from_str(&text).map_err(|e| ServeError::Model {
+        path: path.display().to_string(),
+        err: e.to_string(),
+    })?;
+    if provenance == pm_store::Provenance::LegacyRaw {
+        pm_obs::counter("serve.legacy_model_loads").inc();
+        pm_obs::info!("serve.legacy_model", path = path.display());
+    }
+    Ok(RuleModel::load(saved))
+}
+
+/// One serving counter: a per-daemon tally (exact, reported by `stats`
+/// and [`ServeSummary`]) mirrored into the process-global `pm-obs`
+/// registry (where `--metrics` dumps pick it up).
+struct ServeCounter {
+    local: std::sync::atomic::AtomicU64,
+    obs: pm_obs::Counter,
+}
+
+impl ServeCounter {
+    fn new(name: &'static str) -> ServeCounter {
+        ServeCounter {
+            local: std::sync::atomic::AtomicU64::new(0),
+            obs: pm_obs::counter(name),
+        }
+    }
+
+    fn inc(&self) {
+        self.local.fetch_add(1, Ordering::Relaxed);
+        self.obs.inc();
+    }
+
+    fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+}
+
+/// Serving signals, resolved once so the request path pays a couple of
+/// relaxed atomic ops per event.
+struct Metrics {
+    requests: ServeCounter,
+    recommends: ServeCounter,
+    degraded: ServeCounter,
+    shed: ServeCounter,
+    read_timeouts: ServeCounter,
+    oversized: ServeCounter,
+    parse_errors: ServeCounter,
+    reloads: ServeCounter,
+    reload_failures: ServeCounter,
+    connections: ServeCounter,
+    latency: pm_obs::LatencyHistogram,
+    queue_depth_gauge: pm_obs::Gauge,
+    generation_gauge: pm_obs::Gauge,
+}
+
+impl Metrics {
+    fn resolve() -> Metrics {
+        Metrics {
+            requests: ServeCounter::new("serve.requests"),
+            recommends: ServeCounter::new("serve.recommends"),
+            degraded: ServeCounter::new("serve.degraded"),
+            shed: ServeCounter::new("serve.shed"),
+            read_timeouts: ServeCounter::new("serve.read_timeouts"),
+            oversized: ServeCounter::new("serve.oversized_requests"),
+            parse_errors: ServeCounter::new("serve.parse_errors"),
+            reloads: ServeCounter::new("serve.reloads"),
+            reload_failures: ServeCounter::new("serve.reload_failures"),
+            connections: ServeCounter::new("serve.connections"),
+            latency: pm_obs::latency("serve.request_ns"),
+            queue_depth_gauge: pm_obs::gauge("serve.queue_depth"),
+            generation_gauge: pm_obs::gauge("serve.model_generation"),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the [`Server`] handle.
+struct Shared {
+    cfg: ServeConfig,
+    handle: ModelHandle,
+    model_path: Mutex<PathBuf>,
+    shutdown: AtomicBool,
+    queue_depth: AtomicI64,
+    metrics: Metrics,
+}
+
+impl Shared {
+    fn note_queue_depth(&self, delta: i64) {
+        let now = self.queue_depth.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.metrics.queue_depth_gauge.set(now);
+    }
+}
+
+/// Final tallies returned by [`Server::join`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSummary {
+    /// Requests parsed and answered (all ops).
+    pub requests: u64,
+    /// Degraded (default-rule) recommendation responses.
+    pub degraded: u64,
+    /// Connections shed because the queue was full.
+    pub shed: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Successful hot reloads.
+    pub reloads: u64,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {} requests over {} connections ({} degraded, {} shed, {} reloads)",
+            self.requests, self.connections, self.degraded, self.shed, self.reloads
+        )
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop it; call
+/// [`Server::join`] (blocks until a `shutdown` request arrives or
+/// [`Server::request_shutdown`] was called).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Load the model at `model_path` and start serving on `addr`
+    /// (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn start(
+        addr: &str,
+        model_path: impl AsRef<Path>,
+        cfg: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        let model = load_model(model_path.as_ref())?;
+        Server::start_with_model(addr, model, model_path.as_ref().to_path_buf(), cfg)
+    }
+
+    /// Start serving an already-built model. `model_path` is what a
+    /// parameterless `reload` re-reads.
+    pub fn start_with_model(
+        addr: &str,
+        model: RuleModel,
+        model_path: PathBuf,
+        cfg: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::Net {
+            what: format!("bind {addr}"),
+            err: e.to_string(),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Net {
+                what: "set_nonblocking".into(),
+                err: e.to_string(),
+            })?;
+        let local = listener.local_addr().map_err(|e| ServeError::Net {
+            what: "local_addr".into(),
+            err: e.to_string(),
+        })?;
+
+        let metrics = Metrics::resolve();
+        metrics.generation_gauge.set(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            handle: ModelHandle::new(model),
+            model_path: Mutex::new(model_path),
+            shutdown: AtomicBool::new(false),
+            queue_depth: AtomicI64::new(0),
+            metrics,
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.cfg.queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
+
+        for w in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pm-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .map_err(|e| ServeError::Net {
+                        what: "spawn worker".into(),
+                        err: e.to_string(),
+                    })?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pm-serve-acceptor".into())
+                    .spawn(move || acceptor_loop(&shared, listener, tx))
+                    .map_err(|e| ServeError::Net {
+                        what: "spawn acceptor".into(),
+                        err: e.to_string(),
+                    })?,
+            );
+        }
+
+        pm_obs::info!("serve.listening", addr = local);
+        Ok(Server {
+            shared,
+            addr: local,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves the port when started with `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current model generation (1 at startup, +1 per reload).
+    pub fn generation(&self) -> u64 {
+        self.shared.handle.generation()
+    }
+
+    /// Ask the daemon to stop (same effect as a `shutdown` request).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Block until the daemon stops, then return the final counters.
+    pub fn join(self) -> ServeSummary {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let m = &self.shared.metrics;
+        ServeSummary {
+            requests: m.requests.get(),
+            degraded: m.degraded.get(),
+            shed: m.shed.get(),
+            connections: m.connections.get(),
+            reloads: m.reloads.get(),
+        }
+    }
+}
+
+/// Accept connections and hand them to the bounded queue; shed with an
+/// immediate error line when the queue is full.
+fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Dropping `tx` wakes every idle worker with a disconnect.
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                shared.metrics.connections.inc();
+                pm_obs::debug!("serve.accept", peer = peer);
+                match tx.try_send(stream) {
+                    Ok(()) => shared.note_queue_depth(1),
+                    Err(TrySendError::Full(stream)) => {
+                        shared.metrics.shed.inc();
+                        pm_obs::error!("serve.shed", peer = peer);
+                        shed_connection(shared, stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                pm_obs::error!("serve.accept_error", err = e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Tell an over-queue client it was shed, best-effort, and close.
+fn shed_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout.min(Duration::from_secs(1))));
+    let mut stream = stream;
+    let _ = writeln!(
+        stream,
+        "{}",
+        error_line("overloaded: request queue is full, retry later")
+    );
+}
+
+/// Pull connections off the queue until the acceptor hangs up.
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the lock only for the dequeue itself.
+        let next = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok(stream) => {
+                shared.note_queue_depth(-1);
+                handle_connection(shared, stream);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Outcome of reading one request line.
+enum ReadOutcome {
+    Line(String),
+    Eof,
+    Timeout,
+    Oversized,
+    Broken,
+}
+
+/// Read one `\n`-terminated line, bounded at `max` bytes. A final
+/// unterminated line (client sent a request and half-closed) is still
+/// served.
+fn read_line_bounded(reader: &mut BufReader<TcpStream>, max: usize) -> ReadOutcome {
+    let mut buf = String::new();
+    let mut limited = Read::take(reader, max as u64);
+    match limited.read_line(&mut buf) {
+        Ok(0) => ReadOutcome::Eof,
+        Ok(n) => {
+            if !buf.ends_with('\n') && n >= max {
+                ReadOutcome::Oversized
+            } else {
+                ReadOutcome::Line(buf)
+            }
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            ReadOutcome::Timeout
+        }
+        Err(_) => ReadOutcome::Broken,
+    }
+}
+
+/// Serve one connection: read request lines, answer each with one
+/// response line. The matcher is rebuilt whenever the model generation
+/// changes (hot reload) or after a compute panic poisoned its scratch.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            pm_obs::error!("serve.clone_error", err = e);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+
+    'model: loop {
+        let generation = shared.handle.generation();
+        let model = shared.handle.current();
+        let matcher = Matcher::new(&model);
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if shared.handle.generation() != generation {
+                continue 'model; // re-snapshot and re-index
+            }
+            let line = match read_line_bounded(&mut reader, shared.cfg.max_line) {
+                ReadOutcome::Line(line) => line,
+                ReadOutcome::Eof | ReadOutcome::Broken => return,
+                ReadOutcome::Timeout => {
+                    shared.metrics.read_timeouts.inc();
+                    pm_obs::debug!("serve.read_timeout");
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        error_line("read timeout: closing idle connection")
+                    );
+                    return;
+                }
+                ReadOutcome::Oversized => {
+                    shared.metrics.oversized.inc();
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        error_line(&format!(
+                            "request line exceeds {} bytes: closing connection",
+                            shared.cfg.max_line
+                        ))
+                    );
+                    return;
+                }
+            };
+            if line.trim().is_empty() {
+                continue; // blank keep-alive lines are free
+            }
+            let _timer = shared.metrics.latency.time();
+            let (response, action) = handle_request(shared, &model, &matcher, &line);
+            if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+                return; // client gone or write timeout: drop the connection
+            }
+            match action {
+                Action::Continue => {}
+                Action::Close => return,
+                Action::Rebuild => continue 'model,
+            }
+        }
+    }
+}
+
+/// What the connection loop should do after a response.
+enum Action {
+    Continue,
+    Close,
+    Rebuild,
+}
+
+fn handle_request(
+    shared: &Shared,
+    model: &RuleModel,
+    matcher: &Matcher<'_>,
+    line: &str,
+) -> (String, Action) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.metrics.parse_errors.inc();
+            pm_obs::debug!("serve.parse_error", msg = msg);
+            return (error_line(&msg), Action::Continue);
+        }
+    };
+    shared.metrics.requests.inc();
+    match request {
+        Request::Ping => (
+            render(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", Value::Str("pong".into())),
+                ("generation", Value::U64(shared.handle.generation())),
+                ("rules", Value::U64(model.rules().len() as u64)),
+            ])),
+            Action::Continue,
+        ),
+        Request::Stats => (render(&stats_value(shared, model)), Action::Continue),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            pm_obs::info!("serve.shutdown_requested");
+            (
+                render(&obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", Value::Str("bye".into())),
+                ])),
+                Action::Close,
+            )
+        }
+        Request::Reload { path } => handle_reload(shared, path),
+        Request::Recommend { sales, top } => {
+            shared.metrics.recommends.inc();
+            if let Err(msg) = validate_sales(model, &sales) {
+                return (error_line(&msg), Action::Continue);
+            }
+            recommend_with_degradation(shared, model, matcher, &sales, top)
+        }
+    }
+}
+
+/// The compute section: matcher under a deadline, unwind-isolated.
+/// Panics and blown deadlines degrade to the §3.2 default rule — the
+/// daemon answers, flags it, counts it, and stays up.
+fn recommend_with_degradation(
+    shared: &Shared,
+    model: &RuleModel,
+    matcher: &Matcher<'_>,
+    sales: &[pm_txn::Sale],
+    top: usize,
+) -> (String, Action) {
+    let start = Instant::now();
+    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pm_store::faults::apply_compute_panic();
+        pm_store::faults::apply_compute_delay();
+        if top == 1 {
+            vec![matcher.recommend(sales)]
+        } else {
+            model.recommend_top_k(sales, top)
+        }
+    }));
+    let elapsed = start.elapsed();
+
+    let (recs, degraded, reason, action) = match computed {
+        Ok(recs) if elapsed <= shared.cfg.deadline => (recs, false, "", Action::Continue),
+        Ok(_) => {
+            pm_obs::error!("serve.deadline_blown", elapsed_ms = elapsed.as_millis());
+            (default_rule_recs(model), true, "deadline", Action::Continue)
+        }
+        Err(_) => {
+            // The matcher's scratch state is suspect after an unwind;
+            // answer from the default rule and rebuild the index.
+            pm_obs::error!("serve.matcher_panic");
+            (
+                default_rule_recs(model),
+                true,
+                "matcher_panic",
+                Action::Rebuild,
+            )
+        }
+    };
+    if degraded {
+        shared.metrics.degraded.inc();
+    }
+
+    let mut fields = vec![
+        ("ok", Value::Bool(true)),
+        ("degraded", Value::Bool(degraded)),
+    ];
+    if degraded {
+        fields.push(("reason", Value::Str(reason.into())));
+    }
+    fields.push((
+        "recs",
+        Value::Seq(recs.iter().map(|r| rec_value(model, r)).collect()),
+    ));
+    (render(&obj(fields)), action)
+}
+
+/// The degraded-mode answer: the default rule `∅ → g`, which is always
+/// the last rule of a built model and matches every customer.
+fn default_rule_recs(model: &RuleModel) -> Vec<Recommendation> {
+    let idx = model.rules().len() - 1;
+    let r = &model.rules()[idx];
+    debug_assert!(r.is_default, "models end with the default rule");
+    vec![Recommendation {
+        item: r.item,
+        code: r.code,
+        promotion: *model.moa().catalog().code(r.item, r.code),
+        expected_profit: r.prof_re,
+        confidence: r.confidence,
+        rule_index: Some(idx),
+    }]
+}
+
+/// Validate a replacement model off the serving path and swap it in;
+/// any failure keeps the old model.
+fn handle_reload(shared: &Shared, path: Option<String>) -> (String, Action) {
+    let target: PathBuf = match &path {
+        Some(p) => PathBuf::from(p),
+        None => shared
+            .model_path
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone(),
+    };
+    pm_obs::info!("serve.reload_start", path = target.display());
+    // Dedicated thread: model validation is unwind-isolated, so a
+    // panicking deserializer degrades to a reload failure, not a dead
+    // worker.
+    let loaded = std::thread::Builder::new()
+        .name("pm-serve-reload".into())
+        .spawn({
+            let target = target.clone();
+            move || load_model(&target)
+        })
+        .map(|h| h.join());
+
+    match loaded {
+        Ok(Ok(Ok(model))) => {
+            let rules = model.rules().len() as u64;
+            let generation = shared.handle.swap(model);
+            *shared.model_path.lock().unwrap_or_else(|e| e.into_inner()) = target.clone();
+            shared.metrics.reloads.inc();
+            shared.metrics.generation_gauge.set(generation as i64);
+            pm_obs::info!(
+                "serve.reloaded",
+                path = target.display(),
+                generation = generation
+            );
+            (
+                render(&obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", Value::Str("reloaded".into())),
+                    ("generation", Value::U64(generation)),
+                    ("rules", Value::U64(rules)),
+                ])),
+                // This worker's own matcher snapshot is now stale.
+                Action::Rebuild,
+            )
+        }
+        Ok(Ok(Err(e))) => {
+            shared.metrics.reload_failures.inc();
+            pm_obs::error!("serve.reload_failed", path = target.display(), err = e);
+            (
+                error_line(&format!("reload failed, keeping current model: {e}")),
+                Action::Continue,
+            )
+        }
+        Ok(Err(_)) | Err(_) => {
+            shared.metrics.reload_failures.inc();
+            pm_obs::error!("serve.reload_panicked", path = target.display());
+            (
+                error_line("reload failed, keeping current model: validation panicked"),
+                Action::Continue,
+            )
+        }
+    }
+}
+
+fn stats_value(shared: &Shared, model: &RuleModel) -> Value {
+    let m = &shared.metrics;
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("generation", Value::U64(shared.handle.generation())),
+        ("rules", Value::U64(model.rules().len() as u64)),
+        ("requests", Value::U64(m.requests.get())),
+        ("recommends", Value::U64(m.recommends.get())),
+        ("degraded", Value::U64(m.degraded.get())),
+        ("shed", Value::U64(m.shed.get())),
+        ("read_timeouts", Value::U64(m.read_timeouts.get())),
+        ("oversized_requests", Value::U64(m.oversized.get())),
+        ("parse_errors", Value::U64(m.parse_errors.get())),
+        ("reloads", Value::U64(m.reloads.get())),
+        ("reload_failures", Value::U64(m.reload_failures.get())),
+        ("connections", Value::U64(m.connections.get())),
+    ])
+}

@@ -1,0 +1,269 @@
+//! The wire protocol: one JSON object per line, both directions.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"recommend","sales":[[item,code,qty],...],"top":K}   // both fields optional
+//! {"op":"reload","model":"/path/to/model.pm"}                // path optional
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`; errors carry `"error"` with a
+//! human-readable message. Recommendation responses carry `"degraded"`
+//! (true when the answer came from the §3.2 default rule because the
+//! matcher errored or the compute deadline was blown) and `"recs"`.
+//! Field order is fixed, so byte-level determinism of responses can be
+//! asserted in tests.
+
+use pm_txn::{CodeId, ItemId, Sale};
+use profit_core::RuleModel;
+use serde::Value;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Recommend for a customer (a set of non-target sales).
+    Recommend {
+        /// The customer's sales as `(item, code, qty)` triples.
+        sales: Vec<Sale>,
+        /// How many distinct `(item, code)` pairs to return (≥ 1).
+        top: usize,
+    },
+    /// Validate and swap in a new model.
+    Reload {
+        /// Path to load; `None` re-reads the path served at startup (or
+        /// the last successful reload).
+        path: Option<String>,
+    },
+    /// Serving counters snapshot.
+    Stats,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+fn get<'v>(map: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::U64(u) => Ok(*u),
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+/// Parse one request line. Errors are complete human-readable messages
+/// (they go straight into the `"error"` field of the response).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
+    let map = match &value {
+        Value::Map(m) => m.as_slice(),
+        _ => return Err("bad request: expected a JSON object".into()),
+    };
+    let op = match get(map, "op") {
+        Some(Value::Str(s)) => s.as_str(),
+        Some(_) => return Err("bad request: \"op\" must be a string".into()),
+        None => return Err("bad request: missing \"op\"".into()),
+    };
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "reload" => {
+            let path = match get(map, "model") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => return Err("bad request: \"model\" must be a string path".into()),
+            };
+            Ok(Request::Reload { path })
+        }
+        "recommend" => {
+            let top = match get(map, "top") {
+                None => 1,
+                Some(v) => {
+                    let t = as_u64(v, "\"top\"")?;
+                    if t == 0 {
+                        return Err("bad request: \"top\" must be ≥ 1".into());
+                    }
+                    t.min(1024) as usize
+                }
+            };
+            let sales = match get(map, "sales") {
+                None => Vec::new(),
+                Some(Value::Seq(items)) => {
+                    let mut sales = Vec::with_capacity(items.len());
+                    for (i, item) in items.iter().enumerate() {
+                        let triple = match item {
+                            Value::Seq(t) if t.len() == 3 => t,
+                            _ => {
+                                return Err(format!(
+                                    "bad request: sales[{i}] must be an [item, code, qty] triple"
+                                ))
+                            }
+                        };
+                        let item_id = as_u64(&triple[0], "sale item")?;
+                        let code_id = as_u64(&triple[1], "sale code")?;
+                        let qty = as_u64(&triple[2], "sale qty")?;
+                        if item_id > u32::MAX as u64 || code_id > u16::MAX as u64 || qty == 0 {
+                            return Err(format!("bad request: sales[{i}] is out of range"));
+                        }
+                        sales.push(Sale::new(
+                            ItemId(item_id as u32),
+                            CodeId(code_id as u16),
+                            qty as u32,
+                        ));
+                    }
+                    sales
+                }
+                Some(_) => return Err("bad request: \"sales\" must be an array".into()),
+            };
+            Ok(Request::Recommend { sales, top })
+        }
+        other => Err(format!(
+            "bad request: unknown op {other:?} (expected ping, recommend, reload, stats, \
+             or shutdown)"
+        )),
+    }
+}
+
+/// Check every sale against the model's catalog before matching, so an
+/// unknown item or code is a clean client error, not a matcher panic.
+pub fn validate_sales(model: &RuleModel, sales: &[Sale]) -> Result<(), String> {
+    let catalog = model.moa().catalog();
+    for s in sales {
+        let Some(def) = catalog.get(s.item) else {
+            return Err(format!(
+                "unknown item {} (catalog holds {} items)",
+                s.item.0,
+                catalog.len()
+            ));
+        };
+        if s.code.0 as usize >= def.codes.len() {
+            return Err(format!(
+                "unknown code {} for item {:?} ({} codes defined)",
+                s.code.0,
+                def.name,
+                def.codes.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Build a JSON object value with fixed key order.
+pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Serialize a response value to its wire line (no trailing newline).
+pub fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("Value serialization is infallible")
+}
+
+/// The error-response line for `msg`.
+pub fn error_line(msg: &str) -> String {
+    render(&obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(msg.to_string())),
+    ]))
+}
+
+/// One recommendation as a JSON value.
+pub fn rec_value(model: &RuleModel, rec: &profit_core::Recommendation) -> Value {
+    let catalog = model.moa().catalog();
+    obj(vec![
+        ("item", Value::U64(rec.item.0 as u64)),
+        ("name", Value::Str(catalog.item(rec.item).name.clone())),
+        ("code", Value::U64(rec.code.0 as u64)),
+        ("price", Value::Str(rec.promotion.to_string())),
+        ("expected_profit", Value::F64(rec.expected_profit)),
+        ("confidence", Value::F64(rec.confidence)),
+        (
+            "rule",
+            match rec.rule_index {
+                Some(i) => Value::U64(i as u64),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"reload"}"#).unwrap(),
+            Request::Reload { path: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"reload","model":"/tmp/m.pm"}"#).unwrap(),
+            Request::Reload {
+                path: Some("/tmp/m.pm".into())
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"recommend","sales":[[0,0,1],[2,1,3]],"top":2}"#).unwrap(),
+            Request::Recommend {
+                sales: vec![
+                    Sale::new(ItemId(0), CodeId(0), 1),
+                    Sale::new(ItemId(2), CodeId(1), 3)
+                ],
+                top: 2
+            }
+        );
+        // Both recommend fields are optional.
+        assert_eq!(
+            parse_request(r#"{"op":"recommend"}"#).unwrap(),
+            Request::Recommend {
+                sales: vec![],
+                top: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_clear_messages() {
+        for (line, needle) in [
+            ("not json", "bad request"),
+            ("[1,2]", "JSON object"),
+            (r#"{"no_op":1}"#, "missing \"op\""),
+            (r#"{"op":7}"#, "\"op\" must be a string"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"recommend","sales":[[1,2]]}"#, "triple"),
+            (r#"{"op":"recommend","sales":[[1,2,0]]}"#, "out of range"),
+            (r#"{"op":"recommend","sales":3}"#, "must be an array"),
+            (r#"{"op":"recommend","top":0}"#, "≥ 1"),
+            (r#"{"op":"reload","model":9}"#, "string path"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn error_line_is_json() {
+        let line = error_line("boom \"quoted\"");
+        let v: Value = serde_json::from_str(&line).unwrap();
+        let Value::Map(m) = v else { panic!() };
+        assert_eq!(m[0].0, "ok");
+        assert_eq!(m[0].1, Value::Bool(false));
+    }
+}

@@ -1,0 +1,476 @@
+//! Daemon smoke tests: a live `pm-serve` on an ephemeral port, driven
+//! over real TCP, through every fault class the ISSUE names — slow
+//! clients, oversized and malformed requests, overload, matcher panics,
+//! blown deadlines, corrupt reloads — asserting the daemon stays up and
+//! every answer is either correct or explicitly flagged degraded.
+//!
+//! Fault-injecting tests serialize on `pm_store::faults::test_lock()`;
+//! the rest run concurrently, each against its own daemon.
+
+use pm_datagen::DatasetConfig;
+use pm_rules::{MinerConfig, Support};
+use pm_serve::protocol::{obj, rec_value, render};
+use pm_serve::{ServeConfig, Server};
+use pm_store::faults;
+use pm_txn::{Sale, TransactionSet};
+use profit_core::{CutConfig, Matcher, ProfitMiner, Recommender, RuleModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct Fixture {
+    /// Saved-model JSON payload (what `fit` seals into the model file).
+    json: String,
+    model: RuleModel,
+    customers: Vec<Vec<Sale>>,
+}
+
+fn build_fixture(seed: u64) -> Fixture {
+    let data: TransactionSet = DatasetConfig::dataset_i()
+        .with_transactions(300)
+        .with_items(60)
+        .generate(&mut StdRng::seed_from_u64(seed));
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::Fraction(0.03),
+        max_body_len: 2,
+        ..MinerConfig::default()
+    })
+    .with_cut(CutConfig::default())
+    .fit(&data);
+    let customers = data
+        .transactions()
+        .iter()
+        .take(40)
+        .map(|t| t.non_target_sales().to_vec())
+        .collect();
+    Fixture {
+        json: serde_json::to_string(&model.save()).unwrap(),
+        model,
+        customers,
+    }
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| build_fixture(42))
+}
+
+fn fixture_b() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| build_fixture(1337))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pm-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn sealed_model_file(dir: &std::path::Path, name: &str, fix: &Fixture) -> PathBuf {
+    let p = dir.join(name);
+    pm_store::save_sealed(&p, fix.json.as_bytes()).unwrap();
+    p
+}
+
+/// A line-oriented test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.recv()
+    }
+
+    fn recv(&mut self) -> String {
+        let mut buf = String::new();
+        self.reader.read_line(&mut buf).expect("read response");
+        buf.trim_end().to_string()
+    }
+}
+
+fn recommend_line(customer: &[Sale]) -> String {
+    let sales: Vec<String> = customer
+        .iter()
+        .map(|s| format!("[{},{},{}]", s.item.0, s.code.0, s.qty))
+        .collect();
+    format!(r#"{{"op":"recommend","sales":[{}]}}"#, sales.join(","))
+}
+
+/// The exact response line a healthy daemon must produce for `customer`.
+fn expected_line(model: &RuleModel, customer: &[Sale]) -> String {
+    let matcher = Matcher::new(model);
+    let rec = matcher.recommend(customer);
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("degraded", Value::Bool(false)),
+        ("recs", Value::Seq(vec![rec_value(model, &rec)])),
+    ]))
+}
+
+fn assert_ok(line: &str) {
+    assert!(line.starts_with(r#"{"ok":true"#), "{line}");
+}
+
+#[test]
+fn concurrent_recommends_match_the_offline_matcher_byte_for_byte() {
+    let fix = fixture();
+    let dir = tmp_dir("conc");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    std::thread::scope(|s| {
+        for t in 0..6 {
+            s.spawn(move || {
+                let mut c = Client::connect(addr);
+                for (i, customer) in fix.customers.iter().enumerate() {
+                    if i % 6 != t {
+                        continue;
+                    }
+                    let got = c.send(&recommend_line(customer));
+                    assert_eq!(got, expected_line(&fix.model, customer), "customer {i}");
+                }
+            });
+        }
+    });
+
+    let mut c = Client::connect(addr);
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    let summary = server.join();
+    assert!(summary.requests >= fix.customers.len() as u64);
+    assert_eq!(summary.degraded, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ping_stats_and_protocol_errors_leave_the_connection_usable() {
+    let fix = fixture();
+    let dir = tmp_dir("ping");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+
+    let pong = c.send(r#"{"op":"ping"}"#);
+    assert!(pong.contains(r#""op":"pong""#), "{pong}");
+    assert!(pong.contains(r#""generation":1"#), "{pong}");
+
+    // Malformed requests get an error line, and the connection lives on.
+    for bad in [
+        "not json at all",
+        r#"{"op":"frobnicate"}"#,
+        r#"{"op":"recommend","sales":[[1,2]]}"#,
+        r#"{"op":"recommend","top":0}"#,
+        // Unknown item: a clean client error, not a matcher panic.
+        r#"{"op":"recommend","sales":[[999999,0,1]]}"#,
+    ] {
+        let resp = c.send(bad);
+        assert!(
+            resp.starts_with(r#"{"ok":false,"error":"#),
+            "{bad} → {resp}"
+        );
+    }
+
+    let stats = c.send(r#"{"op":"stats"}"#);
+    assert!(stats.contains(r#""rules":"#), "{stats}");
+    assert!(stats.contains(r#""parse_errors":"#), "{stats}");
+
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_reload_swaps_the_model_atomically() {
+    let fix_a = fixture();
+    let fix_b = fixture_b();
+    let dir = tmp_dir("reload");
+    let path_a = sealed_model_file(&dir, "a.pm", fix_a);
+    let path_b = sealed_model_file(&dir, "b.pm", fix_b);
+
+    let server = Server::start("127.0.0.1:0", &path_a, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+
+    let customer = &fix_a.customers[0];
+    assert_eq!(
+        c.send(&recommend_line(customer)),
+        expected_line(&fix_a.model, customer)
+    );
+
+    let resp = c.send(&format!(
+        r#"{{"op":"reload","model":{}}}"#,
+        serde_json::to_string(&Value::Str(path_b.display().to_string())).unwrap()
+    ));
+    assert!(resp.contains(r#""op":"reloaded""#), "{resp}");
+    assert!(resp.contains(r#""generation":2"#), "{resp}");
+    assert_eq!(server.generation(), 2);
+
+    // The same connection now answers from model B.
+    assert_eq!(
+        c.send(&recommend_line(customer)),
+        expected_line(&fix_b.model, customer)
+    );
+
+    // A parameterless reload re-reads the last successful path (B).
+    let resp = c.send(r#"{"op":"reload"}"#);
+    assert!(resp.contains(r#""generation":3"#), "{resp}");
+
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    let summary = server.join();
+    assert_eq!(summary.reloads, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_reload_keeps_the_old_model_serving() {
+    let _guard = faults::test_lock();
+    let fix = fixture();
+    let dir = tmp_dir("badreload");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+    let customer = &fix.customers[1];
+
+    // 1. Reload target does not exist.
+    let resp = c.send(r#"{"op":"reload","model":"/nonexistent/nope.pm"}"#);
+    assert!(resp.contains("keeping current model"), "{resp}");
+
+    // 2. Reload target exists but its envelope is bit-flipped (fault
+    //    fires inside pm_store::read_file, past the header).
+    faults::set_corrupt_byte_at(Some(pm_store::envelope::HEADER_LEN + 3));
+    let resp = c.send(r#"{"op":"reload"}"#);
+    assert!(resp.contains("keeping current model"), "{resp}");
+    assert!(resp.contains("checksum mismatch"), "{resp}");
+    faults::set_corrupt_byte_at(None);
+
+    // 3. Reload target is truncated mid-payload.
+    faults::set_short_read_at(Some(pm_store::envelope::HEADER_LEN + 9));
+    let resp = c.send(r#"{"op":"reload"}"#);
+    assert!(resp.contains("keeping current model"), "{resp}");
+    assert!(resp.contains("truncated"), "{resp}");
+    faults::set_short_read_at(None);
+
+    // Through all three failures: generation unchanged, answers exact.
+    assert_eq!(server.generation(), 1);
+    assert_eq!(
+        c.send(&recommend_line(customer)),
+        expected_line(&fix.model, customer)
+    );
+
+    // And with the faults cleared, the same reload now succeeds.
+    let resp = c.send(r#"{"op":"reload"}"#);
+    assert!(resp.contains(r#""generation":2"#), "{resp}");
+
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    let summary = server.join();
+    assert_eq!(summary.reloads, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn degraded_answers_are_byte_deterministic_and_flagged() {
+    let _guard = faults::test_lock();
+    let fix = fixture();
+    let dir = tmp_dir("degraded");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let cfg = ServeConfig {
+        deadline: Duration::from_millis(10),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", &path, cfg).unwrap();
+    let mut c = Client::connect(server.addr());
+    let customer = &fix.customers[2];
+
+    // Blown deadline → degraded, reason "deadline".
+    faults::set_compute_delay_ms(50);
+    let first = c.send(&recommend_line(customer));
+    let second = c.send(&recommend_line(customer));
+    assert!(first.contains(r#""degraded":true"#), "{first}");
+    assert!(first.contains(r#""reason":"deadline""#), "{first}");
+    assert_eq!(first, second, "degraded answers must be byte-deterministic");
+    faults::set_compute_delay_ms(0);
+
+    // The degraded answer is the default rule — the model's last rule.
+    let default_idx = fix.model.rules().len() - 1;
+    assert!(
+        first.contains(&format!(r#""rule":{default_idx}"#)),
+        "{first}"
+    );
+
+    // Matcher panic → degraded, reason "matcher_panic", daemon survives.
+    faults::set_compute_panic(true);
+    let resp = c.send(&recommend_line(customer));
+    assert!(resp.contains(r#""degraded":true"#), "{resp}");
+    assert!(resp.contains(r#""reason":"matcher_panic""#), "{resp}");
+    faults::set_compute_panic(false);
+
+    // Fault cleared: the very same connection serves exact answers again.
+    assert_eq!(
+        c.send(&recommend_line(customer)),
+        expected_line(&fix.model, customer)
+    );
+
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    let summary = server.join();
+    assert_eq!(summary.degraded, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overload_sheds_with_an_error_line_instead_of_queueing_forever() {
+    let _guard = faults::test_lock();
+    let fix = fixture();
+    let dir = tmp_dir("shed");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let cfg = ServeConfig {
+        workers: 1,
+        queue: 1,
+        deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", &path, cfg).unwrap();
+    let addr = server.addr();
+
+    // Pin the single worker inside a slow request.
+    faults::set_compute_delay_ms(400);
+    let mut busy = Client::connect(addr);
+    writeln!(busy.writer, "{}", recommend_line(&fix.customers[0])).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Fill the one queue slot.
+    let queued = Client::connect(addr);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The next connection must be shed immediately with an error line.
+    let mut extra = Client::connect(addr);
+    let resp = extra.recv();
+    assert!(resp.contains("overloaded"), "{resp}");
+
+    // The busy request still completes (slowly, but within deadline).
+    let resp = busy.recv();
+    assert!(resp.starts_with(r#"{"ok":true"#), "{resp}");
+    faults::set_compute_delay_ms(0);
+    drop(busy);
+    drop(queued);
+
+    std::thread::sleep(Duration::from_millis(100));
+    server.request_shutdown();
+    let summary = server.join();
+    assert!(summary.shed >= 1, "expected at least one shed connection");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slow_and_oversized_clients_are_disconnected_not_leaked() {
+    let fix = fixture();
+    let dir = tmp_dir("slow");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let cfg = ServeConfig {
+        read_timeout: Duration::from_millis(150),
+        max_line: 512,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", &path, cfg).unwrap();
+    let addr = server.addr();
+
+    // A client that connects and never speaks is told why and dropped.
+    let mut mute = Client::connect(addr);
+    let resp = mute.recv();
+    assert!(resp.contains("read timeout"), "{resp}");
+    let mut rest = String::new();
+    assert_eq!(mute.reader.read_to_string(&mut rest).unwrap(), 0, "{rest}");
+
+    // A request line beyond max_line is refused and the connection cut.
+    let mut bloated = Client::connect(addr);
+    let huge = format!(
+        r#"{{"op":"recommend","sales":[{}]}}"#,
+        "[0,0,1],".repeat(200)
+    );
+    writeln!(bloated.writer, "{huge}").unwrap();
+    let resp = bloated.recv();
+    assert!(resp.contains("exceeds 512 bytes"), "{resp}");
+    let mut rest = String::new();
+    assert_eq!(bloated.reader.read_to_string(&mut rest).unwrap(), 0);
+
+    // The daemon is unharmed: a well-behaved client gets exact answers.
+    let mut c = Client::connect(addr);
+    let customer = &fix.customers[3];
+    assert_eq!(
+        c.send(&recommend_line(customer)),
+        expected_line(&fix.model, customer)
+    );
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_raw_json_model_files_still_serve() {
+    let fix = fixture();
+    let dir = tmp_dir("legacy");
+    let path = dir.join("legacy-model.json");
+    // A pre-envelope model file: raw JSON straight on disk.
+    std::fs::write(&path, fix.json.as_bytes()).unwrap();
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+    let customer = &fix.customers[4];
+    assert_eq!(
+        c.send(&recommend_line(customer)),
+        expected_line(&fix.model, customer)
+    );
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn top_k_recommendations_match_the_offline_model() {
+    let fix = fixture();
+    let dir = tmp_dir("topk");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+
+    let customer = &fix.customers[5];
+    let sales: Vec<String> = customer
+        .iter()
+        .map(|s| format!("[{},{},{}]", s.item.0, s.code.0, s.qty))
+        .collect();
+    let got = c.send(&format!(
+        r#"{{"op":"recommend","sales":[{}],"top":3}}"#,
+        sales.join(",")
+    ));
+    let recs = fix.model.recommend_top_k(customer, 3);
+    let want = render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("degraded", Value::Bool(false)),
+        (
+            "recs",
+            Value::Seq(recs.iter().map(|r| rec_value(&fix.model, r)).collect()),
+        ),
+    ]));
+    assert_eq!(got, want);
+
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

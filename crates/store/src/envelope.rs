@@ -1,0 +1,206 @@
+//! The checksummed, versioned model envelope.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"PMDL"
+//!      4     4  format version (u32, currently 1)
+//!      8     8  payload length (u64)
+//!     16     4  CRC-32/IEEE of the payload (u32)
+//!     20     …  payload bytes
+//! ```
+//!
+//! [`open`] verifies magic, version, declared length against actual
+//! length (catching both truncation and trailing bytes), and the CRC —
+//! in that order, so the reported error names the *outermost* thing
+//! wrong with the file. Sealing the same payload always produces the
+//! same bytes, so enveloped model files stay byte-deterministic.
+
+use crate::StoreError;
+
+/// The four magic bytes every enveloped file starts with.
+pub const MAGIC: [u8; 4] = *b"PMDL";
+
+/// The envelope format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Total header size in bytes (magic + version + length + CRC).
+pub const HEADER_LEN: usize = 20;
+
+/// CRC-32 (IEEE 802.3, the `cksum`/zlib polynomial), bitwise-reflected
+/// table implementation. Computed over the payload only.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Wrap `payload` in a sealed envelope.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate an envelope and return the payload slice.
+///
+/// Checks, in order: enough bytes for a header, magic, version,
+/// declared-vs-actual payload length (short ⇒ [`StoreError::Truncated`],
+/// long ⇒ [`StoreError::TrailingBytes`]), and finally the CRC.
+pub fn open(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::TooShort { found: bytes.len() });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice"));
+    let payload = &bytes[HEADER_LEN..];
+    let actual = payload.len() as u64;
+    if actual < declared {
+        return Err(StoreError::Truncated {
+            expected: declared,
+            found: actual,
+        });
+    }
+    if actual > declared {
+        return Err(StoreError::TrailingBytes {
+            expected: declared,
+            found: actual,
+        });
+    }
+    let found_crc = crc32(payload);
+    if found_crc != stored_crc {
+        return Err(StoreError::ChecksumMismatch {
+            expected: stored_crc,
+            found: found_crc,
+        });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn seal_open_round_trip_is_byte_deterministic() {
+        for payload in [b"".as_slice(), b"x", b"{\"rules\":[1,2,3]}"] {
+            let sealed = seal(payload);
+            assert_eq!(sealed, seal(payload), "sealing must be deterministic");
+            assert_eq!(open(&sealed).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn header_layout_is_stable() {
+        let sealed = seal(b"abc");
+        assert_eq!(&sealed[0..4], b"PMDL");
+        assert_eq!(u32::from_le_bytes(sealed[4..8].try_into().unwrap()), 1);
+        assert_eq!(u64::from_le_bytes(sealed[8..16].try_into().unwrap()), 3);
+        assert_eq!(sealed.len(), HEADER_LEN + 3);
+    }
+
+    #[test]
+    fn rejects_every_header_corruption() {
+        let sealed = seal(b"payload-bytes");
+        // Too short to even hold a header.
+        assert_eq!(
+            open(&sealed[..HEADER_LEN - 1]).unwrap_err(),
+            StoreError::TooShort {
+                found: HEADER_LEN - 1
+            }
+        );
+        // Wrong magic.
+        let mut bad = sealed.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            open(&bad).unwrap_err(),
+            StoreError::BadMagic { .. }
+        ));
+        // Future (and zero) versions refuse to parse.
+        let mut bad = sealed.clone();
+        bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            open(&bad).unwrap_err(),
+            StoreError::UnsupportedVersion { found: 99 }
+        );
+        let mut bad = sealed.clone();
+        bad[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            open(&bad).unwrap_err(),
+            StoreError::UnsupportedVersion { found: 0 }
+        ));
+        // Truncated payload.
+        assert_eq!(
+            open(&sealed[..sealed.len() - 4]).unwrap_err(),
+            StoreError::Truncated {
+                expected: 13,
+                found: 9
+            }
+        );
+        // Trailing bytes.
+        let mut bad = sealed.clone();
+        bad.push(0);
+        assert_eq!(
+            open(&bad).unwrap_err(),
+            StoreError::TrailingBytes {
+                expected: 13,
+                found: 14
+            }
+        );
+        // Flipped payload bit.
+        let mut bad = sealed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            open(&bad).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic fault injection (test-only hooks).
+//!
+//! Like `profit_core::test_hooks`, these are process-global switches
+//! that default to off and cost one relaxed atomic load on the hot
+//! path. Production code never sets them; integration tests flip one,
+//! exercise a store or serve path, and assert the fault surfaces as the
+//! right typed error or degraded response — deterministically, because
+//! the fault fires at an exact byte offset or request, not at random.
+//!
+//! Hook → injection point:
+//!
+//! * [`set_torn_write_at`] — [`crate::write_atomic`] persists exactly
+//!   `k` payload bytes to the temp file, then fails as if the process
+//!   crashed (the rename never runs);
+//! * [`set_short_read_at`] — [`crate::read_file`] returns only the
+//!   first `k` bytes, as if the file were truncated on disk;
+//! * [`set_corrupt_byte_at`] — [`crate::read_file`] flips the low bit
+//!   of byte `k`, as if the medium decayed;
+//! * [`set_read_delay_ms`] — [`crate::read_file`] sleeps first (slow
+//!   disk / cold NFS), for reload-under-latency tests;
+//! * [`set_compute_delay_ms`] / [`set_compute_panic`] — consulted by
+//!   `pm-serve` inside its per-request compute section, to force the
+//!   deadline-blown and matcher-error degraded paths.
+//!
+//! Because the hooks are process-global, tests that use them must not
+//! run concurrently with each other: take [`test_lock`] first (it also
+//! recovers from a poisoned lock, so one failing test cannot cascade)
+//! and hold the [`FaultGuard`] it returns — all hooks reset when the
+//! guard drops.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Sentinel for "hook disabled" on the byte-offset hooks.
+const OFF: usize = usize::MAX;
+
+static TORN_WRITE_AT: AtomicUsize = AtomicUsize::new(OFF);
+static SHORT_READ_AT: AtomicUsize = AtomicUsize::new(OFF);
+static CORRUPT_BYTE_AT: AtomicUsize = AtomicUsize::new(OFF);
+static READ_DELAY_MS: AtomicU64 = AtomicU64::new(0);
+static COMPUTE_DELAY_MS: AtomicU64 = AtomicU64::new(0);
+static COMPUTE_PANIC: AtomicBool = AtomicBool::new(false);
+
+/// Make the next writes crash after persisting `k` payload bytes.
+pub fn set_torn_write_at(k: Option<usize>) {
+    TORN_WRITE_AT.store(k.unwrap_or(OFF), Ordering::Relaxed);
+}
+
+/// The active torn-write offset, if any.
+pub fn torn_write_at() -> Option<usize> {
+    match TORN_WRITE_AT.load(Ordering::Relaxed) {
+        OFF => None,
+        k => Some(k),
+    }
+}
+
+/// Make reads return only the first `k` bytes.
+pub fn set_short_read_at(k: Option<usize>) {
+    SHORT_READ_AT.store(k.unwrap_or(OFF), Ordering::Relaxed);
+}
+
+/// The active short-read offset, if any.
+pub fn short_read_at() -> Option<usize> {
+    match SHORT_READ_AT.load(Ordering::Relaxed) {
+        OFF => None,
+        k => Some(k),
+    }
+}
+
+/// Make reads flip the low bit of byte `k`.
+pub fn set_corrupt_byte_at(k: Option<usize>) {
+    CORRUPT_BYTE_AT.store(k.unwrap_or(OFF), Ordering::Relaxed);
+}
+
+/// The active corruption offset, if any.
+pub fn corrupt_byte_at() -> Option<usize> {
+    match CORRUPT_BYTE_AT.load(Ordering::Relaxed) {
+        OFF => None,
+        k => Some(k),
+    }
+}
+
+/// Delay every read by `ms` milliseconds (0 = off).
+pub fn set_read_delay_ms(ms: u64) {
+    READ_DELAY_MS.store(ms, Ordering::Relaxed);
+}
+
+/// Sleep for the configured read delay, if any.
+pub fn apply_read_delay() {
+    let ms = READ_DELAY_MS.load(Ordering::Relaxed);
+    if ms > 0 {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Delay every serve-side compute section by `ms` milliseconds (0 = off).
+pub fn set_compute_delay_ms(ms: u64) {
+    COMPUTE_DELAY_MS.store(ms, Ordering::Relaxed);
+}
+
+/// Sleep for the configured compute delay, if any. Called by `pm-serve`
+/// inside the per-request deadline window.
+pub fn apply_compute_delay() {
+    let ms = COMPUTE_DELAY_MS.load(Ordering::Relaxed);
+    if ms > 0 {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Make the serve-side compute section panic (a stand-in for a matcher
+/// bug), to exercise the catch-and-degrade path.
+pub fn set_compute_panic(on: bool) {
+    COMPUTE_PANIC.store(on, Ordering::Relaxed);
+}
+
+/// Panic if the compute-panic fault is armed. Called by `pm-serve`
+/// inside its unwind-isolated compute section.
+pub fn apply_compute_panic() {
+    if COMPUTE_PANIC.load(Ordering::Relaxed) {
+        panic!("injected matcher panic (pm_store::faults::set_compute_panic)");
+    }
+}
+
+/// Reset every hook to off.
+pub fn reset() {
+    set_torn_write_at(None);
+    set_short_read_at(None);
+    set_corrupt_byte_at(None);
+    set_read_delay_ms(0);
+    set_compute_delay_ms(0);
+    set_compute_panic(false);
+}
+
+/// Drop guard from [`test_lock`]: resets all hooks and releases the
+/// inter-test mutex.
+pub struct FaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        reset();
+    }
+}
+
+/// Serialize fault-injecting tests within a process and guarantee the
+/// hooks are clean on entry and reset on exit (even on panic).
+pub fn test_lock() -> FaultGuard {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A test that panicked while holding the lock poisons it; the hooks
+    // are plain atomics, so recovering the guard is safe.
+    let lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    reset();
+    FaultGuard { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_default_off_and_reset() {
+        let _guard = test_lock();
+        assert_eq!(torn_write_at(), None);
+        assert_eq!(short_read_at(), None);
+        assert_eq!(corrupt_byte_at(), None);
+        set_torn_write_at(Some(7));
+        set_short_read_at(Some(3));
+        set_corrupt_byte_at(Some(0));
+        set_compute_delay_ms(5);
+        set_compute_panic(true);
+        assert_eq!(torn_write_at(), Some(7));
+        reset();
+        assert_eq!(torn_write_at(), None);
+        assert_eq!(short_read_at(), None);
+        assert_eq!(corrupt_byte_at(), None);
+        apply_compute_panic(); // must not panic after reset
+    }
+
+    #[test]
+    fn guard_resets_on_drop() {
+        {
+            let _guard = test_lock();
+            set_short_read_at(Some(1));
+        }
+        let _guard = test_lock();
+        assert_eq!(short_read_at(), None);
+    }
+}

@@ -1,0 +1,349 @@
+//! Crash-safe persistence for the profit-mining workspace.
+//!
+//! The serving path (`pm-serve`) and the CLI keep trained models and
+//! datasets on disk; this crate makes those files survive the two
+//! failure modes a long-running daemon actually meets:
+//!
+//! * **torn writes** — a crash (or full disk) halfway through rewriting
+//!   a file must never leave a half-old/half-new target. [`write_atomic`]
+//!   writes to a temp file in the same directory, fsyncs it, renames it
+//!   over the target, and fsyncs the directory, so the target is always
+//!   either the complete old bytes or the complete new bytes;
+//! * **silent corruption** — a truncated or bit-flipped model file must
+//!   be *detected at load* and reported with a typed error, never
+//!   deserialized into garbage. [`envelope`] wraps a payload in a
+//!   `PMDL` header carrying a format version, the payload length, and a
+//!   CRC-32 over the payload; [`envelope::open`] checks all three.
+//!
+//! The [`faults`] module is a deterministic fault-injection layer (all
+//! hooks default to off and cost one relaxed atomic load): tests inject
+//! torn writes at byte `k`, short reads, checksum corruption, and
+//! artificial latency, and assert that every fault class surfaces as the
+//! right [`StoreError`] — see `tests/corruption_matrix.rs` and the
+//! `pm-serve` smoke tests.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod envelope;
+pub mod faults;
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Everything that can go wrong reading or writing a stored file.
+///
+/// Each corruption class gets its own variant so tests (and operators)
+/// can tell a truncated file from a bit-flip from a version skew; the
+/// `Display` messages name the file's actual state, not just "bad file".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open, read, write, rename, sync).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The operation that failed (`open`, `write`, `rename`, ...).
+        op: &'static str,
+        /// The OS error text.
+        err: String,
+    },
+    /// The file is shorter than an envelope header.
+    TooShort {
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The first four bytes are not the `PMDL` magic.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The header declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// The payload is shorter than the header declares (torn write or
+    /// truncation).
+    Truncated {
+        /// Payload bytes the header promised.
+        expected: u64,
+        /// Payload bytes actually present.
+        found: u64,
+    },
+    /// The payload is longer than the header declares (concatenated or
+    /// doubly-written file).
+    TrailingBytes {
+        /// Payload bytes the header promised.
+        expected: u64,
+        /// Payload bytes actually present.
+        found: u64,
+    },
+    /// The payload does not hash to the stored CRC-32 (bit flip).
+    ChecksumMismatch {
+        /// CRC the header recorded at write time.
+        expected: u32,
+        /// CRC of the payload as read.
+        found: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, op, err } => write!(f, "{path}: {op} failed: {err}"),
+            StoreError::TooShort { found } => write!(
+                f,
+                "file holds {found} bytes, shorter than the {} byte envelope header \
+                 — truncated or not a model file",
+                envelope::HEADER_LEN
+            ),
+            StoreError::BadMagic { found } => write!(
+                f,
+                "bad magic {found:?} (expected {:?}) — not an enveloped model file",
+                envelope::MAGIC
+            ),
+            StoreError::UnsupportedVersion { found } => write!(
+                f,
+                "envelope format version {found} is not readable by this build \
+                 (max supported {})",
+                envelope::FORMAT_VERSION
+            ),
+            StoreError::Truncated { expected, found } => write!(
+                f,
+                "payload truncated: header declares {expected} bytes, file holds {found} \
+                 — torn write or partial copy"
+            ),
+            StoreError::TrailingBytes { expected, found } => write!(
+                f,
+                "payload overlong: header declares {expected} bytes, file holds {found} \
+                 — concatenated or corrupted file"
+            ),
+            StoreError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: header records CRC-32 {expected:#010x}, payload hashes \
+                 to {found:#010x} — corrupted file"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    fn io(path: &Path, op: &'static str, err: std::io::Error) -> StoreError {
+        StoreError::Io {
+            path: path.display().to_string(),
+            op,
+            err: err.to_string(),
+        }
+    }
+}
+
+/// Monotonic discriminator for temp-file names, so concurrent writers in
+/// one process can never collide on the same temp path.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to `path` atomically: write-temp → fsync → rename →
+/// fsync-directory. After a crash at any instant, `path` holds either
+/// its complete previous contents or the complete new `bytes` — never a
+/// mixture, never a prefix.
+///
+/// The temp file lives in the target's directory (rename must not cross
+/// filesystems) and is removed on any failure, so an error cannot leave
+/// litter; the target is untouched unless the rename happened.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("pm-store");
+    let temp = path.with_file_name(format!(
+        ".{file_name}.pm-tmp-{}-{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let result = write_temp_then_rename(path, &temp, bytes);
+    if result.is_err() {
+        // Graceful-failure path: never leave temp litter behind an error.
+        let _ = std::fs::remove_file(&temp);
+        return result;
+    }
+
+    // Make the rename itself durable: fsync the containing directory.
+    if let Some(dir) = dir {
+        let d = std::fs::File::open(dir).map_err(|e| StoreError::io(dir, "open dir", e))?;
+        d.sync_all()
+            .map_err(|e| StoreError::io(dir, "sync dir", e))?;
+    }
+    Ok(())
+}
+
+fn write_temp_then_rename(path: &Path, temp: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut f = std::fs::File::create(temp).map_err(|e| StoreError::io(temp, "create", e))?;
+
+    // Deterministic fault: a crash after `k` bytes of the payload hit
+    // the disk. The partial temp write is followed by the injected
+    // failure, exactly as if the process died mid-write — the rename
+    // below never runs, so the target must be untouched.
+    if let Some(k) = faults::torn_write_at() {
+        let k = k.min(bytes.len());
+        f.write_all(&bytes[..k])
+            .map_err(|e| StoreError::io(temp, "write", e))?;
+        let _ = f.sync_all();
+        return Err(StoreError::Io {
+            path: temp.display().to_string(),
+            op: "write",
+            err: format!("injected torn write after {k} bytes"),
+        });
+    }
+
+    f.write_all(bytes)
+        .map_err(|e| StoreError::io(temp, "write", e))?;
+    f.sync_all().map_err(|e| StoreError::io(temp, "sync", e))?;
+    drop(f);
+    std::fs::rename(temp, path).map_err(|e| StoreError::io(path, "rename", e))?;
+    Ok(())
+}
+
+/// [`write_atomic`] for text files.
+pub fn write_atomic_str(path: impl AsRef<Path>, text: &str) -> Result<(), StoreError> {
+    write_atomic(path, text.as_bytes())
+}
+
+/// Read a whole file, honoring the read-side fault hooks (artificial
+/// latency, short read at byte `k`, single-byte corruption).
+pub fn read_file(path: impl AsRef<Path>) -> Result<Vec<u8>, StoreError> {
+    let path = path.as_ref();
+    faults::apply_read_delay();
+    let mut bytes = std::fs::read(path).map_err(|e| StoreError::io(path, "read", e))?;
+    if let Some(k) = faults::short_read_at() {
+        bytes.truncate(k);
+    }
+    if let Some(k) = faults::corrupt_byte_at() {
+        if let Some(b) = bytes.get_mut(k) {
+            *b ^= 0x01;
+        }
+    }
+    Ok(bytes)
+}
+
+/// Where a loaded model file's bytes came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// A `PMDL`-enveloped file; length and checksum were verified.
+    Sealed,
+    /// A pre-envelope raw JSON model file (accepted for compatibility;
+    /// carries no integrity protection).
+    LegacyRaw,
+}
+
+/// Write `payload` to `path` as a sealed envelope, atomically.
+pub fn save_sealed(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), StoreError> {
+    write_atomic(path, &envelope::seal(payload))
+}
+
+/// Load a model file: enveloped files are verified (magic, version,
+/// length, CRC) and unwrapped; files that do not start with the magic
+/// are returned as-is, flagged [`Provenance::LegacyRaw`], so model files
+/// written before the envelope existed keep loading.
+///
+/// A file that *does* start with the magic — or with a truncated prefix
+/// of it, which an envelope torn inside its first four bytes leaves
+/// behind — gets no legacy fallback: it is an error, never silently
+/// reparsed. (No legacy JSON model can begin with a `PMDL` prefix, and
+/// an empty file is valid as neither, so the sniff is unambiguous.)
+pub fn load_model_file(path: impl AsRef<Path>) -> Result<(Vec<u8>, Provenance), StoreError> {
+    let bytes = read_file(path)?;
+    let head = &bytes[..bytes.len().min(envelope::MAGIC.len())];
+    if envelope::MAGIC.starts_with(head) {
+        let payload = envelope::open(&bytes)?;
+        Ok((payload.to_vec(), Provenance::Sealed))
+    } else {
+        Ok((bytes, Provenance::LegacyRaw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pm-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = tmp_dir("rt");
+        let p = dir.join("file.bin");
+        write_atomic(&p, b"hello").unwrap();
+        assert_eq!(read_file(&p).unwrap(), b"hello");
+        // Overwrite is atomic too.
+        write_atomic(&p, b"goodbye").unwrap();
+        assert_eq!(read_file(&p).unwrap(), b"goodbye");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_litter() {
+        let dir = tmp_dir("litter");
+        write_atomic(dir.join("a.json"), b"{}").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.json".to_string()], "{names:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_to_missing_directory_is_io_error() {
+        let err = write_atomic("/nonexistent-dir-pm/file.bin", b"x").unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn sealed_save_and_load() {
+        let dir = tmp_dir("sealed");
+        let p = dir.join("model.pm");
+        save_sealed(&p, b"{\"rules\":[]}").unwrap();
+        let (payload, prov) = load_model_file(&p).unwrap();
+        assert_eq!(payload, b"{\"rules\":[]}");
+        assert_eq!(prov, Provenance::Sealed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_raw_json_still_loads() {
+        let dir = tmp_dir("legacy");
+        let p = dir.join("old-model.json");
+        std::fs::write(&p, b"{\"catalog\":{}}").unwrap();
+        let (payload, prov) = load_model_file(&p).unwrap();
+        assert_eq!(payload, b"{\"catalog\":{}}");
+        assert_eq!(prov, Provenance::LegacyRaw);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_messages_name_the_failure() {
+        let e = StoreError::Truncated {
+            expected: 100,
+            found: 7,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("100") && msg.contains('7') && msg.contains("torn"),
+            "{msg}"
+        );
+        let e = StoreError::ChecksumMismatch {
+            expected: 0xdeadbeef,
+            found: 0x12345678,
+        };
+        assert!(e.to_string().contains("0xdeadbeef"), "{e}");
+    }
+}

@@ -52,7 +52,9 @@ pub use pm_baselines as baselines;
 pub use pm_datagen as datagen;
 pub use pm_eval as eval;
 pub use pm_rules as rules;
+pub use pm_serve as serve;
 pub use pm_stats as stats;
+pub use pm_store as store;
 pub use pm_txn as txn;
 pub use profit_core as core;
 
