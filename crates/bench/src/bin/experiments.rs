@@ -8,7 +8,8 @@
 //!   fig4a fig4b fig4c fig4d fig4e fig4f   Figure 4 (Dataset II)
 //!   post-knn                              §5.3 kNN post-processing
 //!   bench-mining                          per-phase wall times → BENCH_mining.json
-//!   all                                   everything above
+//!   bench-serve                           daemon load test → BENCH_serving.json
+//!   all                                   everything above except bench-serve
 //!
 //! OPTIONS
 //!   --full          paper scale: 100K transactions, 1000 items
@@ -19,7 +20,15 @@
 //!   --seed N        RNG seed (default 2002)
 //!   --threads N     worker threads (default 0 = all cores; 1 = sequential)
 //!   --out DIR       also write CSVs there (default reports/)
+//!   --conns N       bench-serve: sustained connections (default 10000)
+//!   --rps N         bench-serve: open-loop request rate (default 1000)
+//!   --secs N        bench-serve: steady-state duration (default 10)
 //! ```
+//!
+//! `bench-serve` spawns the daemon as a child process (re-invoking this
+//! binary with a hidden panel name) so each side of a 10 000-connection
+//! run stays under the per-process fd limit; it is deliberately not part
+//! of `all`.
 //!
 //! Panels (a), (c), (f) of one figure share a single cross-validated
 //! sweep; requesting any of them runs the sweep once and prints all three.
@@ -39,6 +48,9 @@ struct Options {
     threads: usize,
     out: Option<std::path::PathBuf>,
     panels: BTreeSet<String>,
+    conns: usize,
+    rps: u64,
+    secs: u64,
 }
 
 const ALL_PANELS: [&str; 19] = [
@@ -66,7 +78,8 @@ const ALL_PANELS: [&str; 19] = [
 fn usage() -> String {
     format!(
         "usage: experiments [--full|--quick|--tiny] [--txns N] [--items N] \
-         [--seed N] [--threads N] [--out DIR] <panel>...\npanels: {} all",
+         [--seed N] [--threads N] [--out DIR] \
+         [--conns N] [--rps N] [--secs N] <panel>...\npanels: {} bench-serve all",
         ALL_PANELS.join(" ")
     )
 }
@@ -79,6 +92,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut panels = BTreeSet::new();
     let mut txns: Option<usize> = None;
     let mut items: Option<usize> = None;
+    let mut conns = 10_000usize;
+    let mut rps = 1_000u64;
+    let mut secs = 10u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -120,8 +136,33 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 out = Some(args.get(i).ok_or("--out needs a directory")?.into());
             }
             "--no-out" => out = None,
+            "--conns" => {
+                i += 1;
+                conns = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--conns needs a number")?;
+            }
+            "--rps" => {
+                i += 1;
+                rps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--rps needs a number")?;
+            }
+            "--secs" => {
+                i += 1;
+                secs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--secs needs a number")?;
+            }
             "all" => {
                 panels.extend(ALL_PANELS.iter().map(|s| s.to_string()));
+            }
+            // A two-process load test; deliberately not part of `all`.
+            "bench-serve" => {
+                panels.insert("bench-serve".to_string());
             }
             p if ALL_PANELS.contains(&p) => {
                 panels.insert(p.to_string());
@@ -145,6 +186,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         threads,
         out,
         panels,
+        conns,
+        rps,
+        secs,
     })
 }
 
@@ -327,10 +371,38 @@ fn run(opts: &Options) {
         eprintln!("[bench-mining] per-phase wall times…");
         bench_mining(opts);
     }
+    if opts.panels.contains("bench-serve") {
+        eprintln!(
+            "[bench-serve] {} connections, {} req/s open-loop for {}s…",
+            opts.conns, opts.rps, opts.secs
+        );
+        let load = pm_bench::serveload::LoadOptions {
+            conns: opts.conns,
+            extra: (opts.conns / 33).max(8),
+            rps: opts.rps,
+            duration: std::time::Duration::from_secs(opts.secs),
+            transactions: opts.scale.transactions,
+            items: opts.scale.items,
+            seed: opts.seed,
+            ..pm_bench::serveload::LoadOptions::default()
+        };
+        pm_bench::serveload::run(&load, &opts.out);
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden child panel: `bench-serve` re-invokes this binary to host
+    // the daemon in its own process (fd limits; crash isolation).
+    if args.first().map(String::as_str) == Some("__serve-daemon") {
+        return match pm_bench::serveload::daemon_main(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match parse(&args) {
         Ok(opts) => {
             run(&opts);

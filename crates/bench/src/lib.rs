@@ -6,6 +6,8 @@ use pm_txn::TransactionSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod serveload;
+
 /// A deterministic bench-sized Dataset-I workload.
 pub fn bench_dataset(transactions: usize, items: usize, seed: u64) -> TransactionSet {
     let mut cfg = DatasetConfig::dataset_i()

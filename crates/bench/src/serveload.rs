@@ -1,0 +1,638 @@
+//! `bench-serve`: an open-loop load generator for the `pm-serve` daemon.
+//!
+//! Two processes, because this host caps each process at 20 000 file
+//! descriptors and a 10 000-connection run needs one socket per side:
+//! the daemon runs in a child (re-invoking the current executable with
+//! the hidden `__serve-daemon` panel), the generator multiplexes every
+//! client socket in this process over one [`polling::Poller`].
+//!
+//! The arrival process is open-loop: requests become *due* on a fixed
+//! clock (`rps`), regardless of whether earlier responses have come
+//! back, and each latency sample is measured from the request's due
+//! time — so queueing delay inside the daemon is charged to the daemon,
+//! not silently absorbed by a coordinated client (the classic
+//! coordinated-omission fix).
+//!
+//! The request mix is mostly `recommend` (real compute through the
+//! indexed matcher) with a `ping` every eighth request (inline reactor
+//! path), while a dedicated connection issues `reload` ops throughout
+//! the run to measure hot-swap latency under load.
+
+use pm_rules::{MinerConfig, Support};
+use polling::{Event, Events, Poller};
+use profit_core::{CutConfig, ProfitMiner};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for one load run.
+pub struct LoadOptions {
+    /// Fleet connections to sustain for the whole run.
+    pub conns: usize,
+    /// Extra connection attempts beyond capacity (these must be shed).
+    pub extra: usize,
+    /// Open-loop arrival rate, requests per second across the fleet.
+    pub rps: u64,
+    /// Steady-state duration.
+    pub duration: Duration,
+    /// Daemon compute workers.
+    pub workers: usize,
+    /// Daemon reactor threads.
+    pub io_threads: usize,
+    /// Daemon batch size.
+    pub batch: usize,
+    /// Dataset seed / size for the served model.
+    pub seed: u64,
+    pub transactions: usize,
+    pub items: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            conns: 10_000,
+            extra: 302,
+            rps: 1_000,
+            duration: Duration::from_secs(10),
+            workers: 2,
+            io_threads: 2,
+            batch: 32,
+            seed: 2002,
+            transactions: 2_000,
+            items: 120,
+        }
+    }
+}
+
+/// Latency percentiles, milliseconds.
+#[derive(Serialize)]
+pub struct LatencySummary {
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+/// Reload-under-load latency.
+#[derive(Serialize)]
+pub struct ReloadSummary {
+    pub count: usize,
+    pub p50_ms: f64,
+    pub max_ms: f64,
+}
+
+/// Daemon-side health, observed from outside.
+#[derive(Serialize)]
+pub struct DaemonSummary {
+    pub workers: usize,
+    pub io_threads: usize,
+    pub batch: usize,
+    pub queue: usize,
+    /// Daemon fds right after startup, before any client connected.
+    pub fd_baseline: usize,
+    /// Daemon fds at steady state with the whole fleet connected.
+    pub fd_peak: usize,
+    /// Daemon fds after every fleet connection was closed and reaped.
+    pub fd_after_drain: usize,
+    /// `fd_after_drain − fd_baseline`, minus the two service
+    /// connections still open when sampled. Must be 0.
+    pub fd_leaked: usize,
+    pub worker_panics: u64,
+    pub clean_exit: bool,
+}
+
+/// The `BENCH_serving.json` document.
+#[derive(Serialize)]
+pub struct ServingBench {
+    pub transactions: usize,
+    pub items: usize,
+    pub seed: u64,
+    pub connections_attempted: usize,
+    pub connections_established: usize,
+    pub connections_shed: usize,
+    pub shed_rate: f64,
+    /// Fleet connections still alive when steady state ended.
+    pub concurrent_sustained: usize,
+    pub requests_sent: u64,
+    pub responses_received: u64,
+    pub responses_degraded: u64,
+    /// Requests written but never answered before the drain deadline.
+    pub undelivered: u64,
+    pub duration_secs: f64,
+    pub throughput_rps: f64,
+    pub latency: LatencySummary,
+    pub reload: ReloadSummary,
+    pub daemon: DaemonSummary,
+}
+
+/// Entry point for the hidden `__serve-daemon` child panel: run the
+/// daemon until a client sends `{"op":"shutdown"}`. Argument order is
+/// fixed (this is a private interface between two halves of one
+/// binary): model path, addr file, workers, queue, io-threads, batch.
+pub fn daemon_main(args: &[String]) -> Result<(), String> {
+    let [model, addr_file, workers, queue, io_threads, batch] = args else {
+        return Err("usage: experiments __serve-daemon MODEL ADDR_FILE W Q IO B".into());
+    };
+    let parse = |s: &String| s.parse::<usize>().map_err(|e| format!("{s:?}: {e}"));
+    let cfg = pm_serve::ServeConfig {
+        workers: parse(workers)?,
+        queue: parse(queue)?,
+        io_threads: parse(io_threads)?,
+        batch: parse(batch)?,
+        // The fleet idles between paced requests; don't reap it.
+        read_timeout: Duration::from_secs(120),
+        ..pm_serve::ServeConfig::default()
+    };
+    let server =
+        pm_serve::Server::start("127.0.0.1:0", Path::new(model), cfg).map_err(|e| e.to_string())?;
+    pm_store::write_atomic_str(Path::new(addr_file), &format!("{}\n", server.addr()))
+        .map_err(|e| e.to_string())?;
+    let summary = server.join();
+    eprintln!("[daemon] {summary}");
+    Ok(())
+}
+
+/// One generator-side connection.
+struct LConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Due times of in-flight requests, FIFO (the daemon answers each
+    /// connection strictly in request order).
+    pending: VecDeque<Instant>,
+    shed: bool,
+    dead: bool,
+}
+
+impl LConn {
+    fn new(stream: TcpStream) -> LConn {
+        LConn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            shed: false,
+            dead: false,
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+fn fd_count(pid: u32) -> usize {
+    std::fs::read_dir(format!("/proc/{pid}/fd"))
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Build a model file and a pool of pre-serialized `recommend` lines.
+fn build_workload(opts: &LoadOptions, dir: &Path) -> (PathBuf, Vec<String>) {
+    let data = crate::bench_dataset(opts.transactions, opts.items, opts.seed);
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::Fraction(0.01),
+        max_body_len: 2,
+        ..MinerConfig::default()
+    })
+    .with_cut(CutConfig::default())
+    .fit(&data);
+    let path = dir.join("bench-serve-model.pm");
+    let json = serde_json::to_string(&model.save()).expect("serialize model");
+    pm_store::save_sealed(&path, json.as_bytes()).expect("write model file");
+    let lines: Vec<String> = data
+        .transactions()
+        .iter()
+        .take(256)
+        .map(|t| {
+            let sales: Vec<String> = t
+                .non_target_sales()
+                .iter()
+                .map(|s| format!("[{},{},{}]", s.item.0, s.code.0, s.qty))
+                .collect();
+            format!(r#"{{"op":"recommend","sales":[{}]}}"#, sales.join(","))
+        })
+        .collect();
+    (path, lines)
+}
+
+/// Read everything available from a nonblocking socket into `rbuf`.
+/// Returns false when the peer closed or errored.
+fn slurp(conn: &mut LConn) -> bool {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Flush as much of `wbuf` as the socket accepts right now.
+fn flush(conn: &mut LConn) {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+}
+
+/// Shared tallies mutated while consuming responses.
+#[derive(Default)]
+struct Tally {
+    responses: u64,
+    degraded: u64,
+    shed: usize,
+    latencies_ms: Vec<f64>,
+}
+
+/// Consume complete response lines buffered on `conn`.
+fn consume(conn: &mut LConn, tally: &mut Tally) {
+    let mut start = 0;
+    while let Some(nl) = conn.rbuf[start..].iter().position(|&b| b == b'\n') {
+        let line = &conn.rbuf[start..start + nl];
+        start += nl + 1;
+        if conn.pending.is_empty() {
+            // An unsolicited line is the admission-control verdict.
+            if line.windows(10).any(|w| w == b"overloaded") {
+                conn.shed = true;
+            }
+            continue;
+        }
+        let due = conn.pending.pop_front().expect("non-empty pending");
+        tally.responses += 1;
+        tally.latencies_ms.push(due.elapsed().as_secs_f64() * 1e3);
+        if line.windows(15).any(|w| w == b"\"degraded\":true") {
+            tally.degraded += 1;
+        }
+    }
+    conn.rbuf.drain(..start);
+}
+
+/// Poll once and service every readable connection.
+fn service(
+    poller: &Poller,
+    events: &mut Events,
+    conns: &mut [LConn],
+    tally: &mut Tally,
+    timeout: Duration,
+) {
+    if poller.wait(events, Some(timeout)).is_err() {
+        return;
+    }
+    for ev in events.iter() {
+        let conn = &mut conns[ev.key];
+        if conn.dead {
+            continue;
+        }
+        let open = slurp(conn);
+        consume(conn, tally);
+        if !conn.wbuf.is_empty() {
+            flush(conn);
+        }
+        if !open || conn.shed {
+            conn.dead = true;
+            let _ = poller.delete(&conn.stream);
+            if conn.shed {
+                tally.shed += 1;
+            }
+        }
+    }
+}
+
+/// Run the load against a freshly spawned daemon and summarize.
+pub fn run(opts: &LoadOptions, out: &Option<PathBuf>) -> ServingBench {
+    let dir = std::env::temp_dir().join(format!("pm-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let (model_path, recommend_lines) = build_workload(opts, &dir);
+
+    // Daemon capacity: the fleet plus the two service connections
+    // (control + reload). Everything past that must be shed.
+    let queue = opts.conns + 2;
+    let addr_file = dir.join("addr.txt");
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .arg("__serve-daemon")
+        .arg(&model_path)
+        .arg(&addr_file)
+        .args([
+            opts.workers.to_string(),
+            queue.to_string(),
+            opts.io_threads.to_string(),
+            opts.batch.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon child");
+    let addr = wait_for_addr(&addr_file, &mut child);
+    let fd_baseline = fd_count(child.id());
+
+    // Service connections first, so admission control never sheds them.
+    let control = TcpStream::connect(&addr).expect("control connect");
+    control
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reload_stream = TcpStream::connect(&addr).expect("reload connect");
+    reload_stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Ramp the fleet. Blocking connects self-pace against the accept
+    // loop; drain readiness every so often so early shed verdicts are
+    // seen before the load starts.
+    let poller = Poller::new().expect("poller");
+    let mut events = Events::new();
+    let mut conns: Vec<LConn> = Vec::with_capacity(opts.conns + opts.extra);
+    let mut tally = Tally::default();
+    let attempted = opts.conns + opts.extra;
+    for i in 0..attempted {
+        let stream = TcpStream::connect(&addr).expect("fleet connect");
+        stream.set_nonblocking(true).expect("nonblocking");
+        stream.set_nodelay(true).ok();
+        poller
+            .add(&stream, Event::readable(i))
+            .expect("register fleet conn");
+        conns.push(LConn::new(stream));
+        if i % 512 == 511 {
+            service(&poller, &mut events, &mut conns, &mut tally, Duration::ZERO);
+            eprint!("\r[bench-serve] ramp {}/{attempted}", i + 1);
+        }
+    }
+    // Settle: collect the remaining shed verdicts.
+    let settle_end = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < settle_end {
+        service(
+            &poller,
+            &mut events,
+            &mut conns,
+            &mut tally,
+            Duration::from_millis(50),
+        );
+    }
+    let established = conns.iter().filter(|c| !c.dead).count();
+    eprintln!(
+        "\r[bench-serve] ramp {attempted}/{attempted}: {established} established, {} shed",
+        tally.shed
+    );
+
+    // Reload-under-load, on its own blocking connection.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reload_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(reload_stream.try_clone().unwrap());
+            let mut writer = reload_stream;
+            let mut latencies = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                if writeln!(writer, r#"{{"op":"reload"}}"#).is_err() {
+                    break;
+                }
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_err() || line.is_empty() {
+                    break;
+                }
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            latencies
+        })
+    };
+
+    // Steady state: open-loop arrival over the alive fleet.
+    let interval = Duration::from_nanos(1_000_000_000 / opts.rps.max(1));
+    let start = Instant::now();
+    let mut next_due = start;
+    let mut cursor = 0usize;
+    let mut requests: u64 = 0;
+    let mut fd_peak = 0usize;
+    let mut sampled_peak = false;
+    while start.elapsed() < opts.duration {
+        let now = Instant::now();
+        while next_due <= now {
+            // Next alive connection, round-robin.
+            let mut found = None;
+            for _ in 0..conns.len() {
+                cursor = (cursor + 1) % conns.len();
+                if !conns[cursor].dead {
+                    found = Some(cursor);
+                    break;
+                }
+            }
+            let Some(idx) = found else {
+                // Whole fleet gone; keep the clock moving instead of
+                // spinning.
+                next_due = now + interval;
+                break;
+            };
+            let line = if requests % 8 == 7 {
+                r#"{"op":"ping"}"#
+            } else {
+                &recommend_lines[(requests as usize) % recommend_lines.len()]
+            };
+            let conn = &mut conns[idx];
+            conn.wbuf.extend_from_slice(line.as_bytes());
+            conn.wbuf.push(b'\n');
+            conn.pending.push_back(next_due);
+            flush(conn);
+            requests += 1;
+            next_due += interval;
+        }
+        if !sampled_peak && start.elapsed() > opts.duration / 2 {
+            fd_peak = fd_count(child.id());
+            sampled_peak = true;
+        }
+        let wait = next_due
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(10));
+        service(&poller, &mut events, &mut conns, &mut tally, wait);
+    }
+    let steady_secs = start.elapsed().as_secs_f64();
+    let concurrent_sustained = conns.iter().filter(|c| !c.dead).count();
+
+    // Drain in-flight responses.
+    let drain_end = Instant::now() + Duration::from_secs(10);
+    while conns.iter().any(|c| !c.dead && !c.pending.is_empty()) && Instant::now() < drain_end {
+        service(
+            &poller,
+            &mut events,
+            &mut conns,
+            &mut tally,
+            Duration::from_millis(50),
+        );
+    }
+    let undelivered: u64 = conns.iter().map(|c| c.pending.len() as u64).sum();
+    stop.store(true, Ordering::Relaxed);
+    let reload_latencies = reload_thread.join().expect("reload thread");
+
+    // Close the whole fleet and verify the daemon reaps every fd.
+    for conn in &conns {
+        let _ = poller.delete(&conn.stream);
+    }
+    drop(conns);
+    std::thread::sleep(Duration::from_millis(700));
+    let fd_after_drain = fd_count(child.id());
+    // The two service connections are still open when we sample.
+    let fd_leaked = fd_after_drain.saturating_sub(fd_baseline).saturating_sub(2);
+
+    // Final daemon-side truth, then shutdown over the wire.
+    let mut reader = BufReader::new(control.try_clone().unwrap());
+    let mut writer = control;
+    let stats = {
+        writeln!(writer, r#"{{"op":"stats"}}"#).expect("stats request");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("stats response");
+        line
+    };
+    let worker_panics = json_field_u64(&stats, "worker_panics").unwrap_or(u64::MAX);
+    writeln!(writer, r#"{{"op":"shutdown"}}"#).expect("shutdown request");
+    let mut bye = String::new();
+    reader.read_line(&mut bye).expect("shutdown response");
+    let out_child = child.wait_with_output().expect("daemon exit");
+    let stderr = String::from_utf8_lossy(&out_child.stderr).to_string();
+    let clean_exit = out_child.status.success() && !stderr.contains("panicked");
+    if !clean_exit {
+        eprintln!(
+            "[bench-serve] daemon exited dirty: {}\n{stderr}",
+            out_child.status
+        );
+    }
+
+    let mut sorted = tally.latencies_ms.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mut reload_sorted = reload_latencies.clone();
+    reload_sorted.sort_by(|a, b| a.total_cmp(b));
+    let bench = ServingBench {
+        transactions: opts.transactions,
+        items: opts.items,
+        seed: opts.seed,
+        connections_attempted: attempted,
+        connections_established: established,
+        connections_shed: tally.shed,
+        shed_rate: tally.shed as f64 / attempted as f64,
+        concurrent_sustained,
+        requests_sent: requests,
+        responses_received: tally.responses,
+        responses_degraded: tally.degraded,
+        undelivered,
+        duration_secs: steady_secs,
+        throughput_rps: tally.responses as f64 / steady_secs,
+        latency: LatencySummary {
+            p50_ms: percentile(&sorted, 0.50),
+            p95_ms: percentile(&sorted, 0.95),
+            p99_ms: percentile(&sorted, 0.99),
+            max_ms: sorted.last().copied().unwrap_or(0.0),
+        },
+        reload: ReloadSummary {
+            count: reload_sorted.len(),
+            p50_ms: percentile(&reload_sorted, 0.50),
+            max_ms: reload_sorted.last().copied().unwrap_or(0.0),
+        },
+        daemon: DaemonSummary {
+            workers: opts.workers,
+            io_threads: opts.io_threads,
+            batch: opts.batch,
+            queue,
+            fd_baseline,
+            fd_peak,
+            fd_after_drain,
+            fd_leaked,
+            worker_panics,
+            clean_exit,
+        },
+    };
+
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let path = dir.join("BENCH_serving.json");
+        std::fs::write(&path, format!("{json}\n")).expect("write BENCH_serving.json");
+        eprintln!("[wrote {}]", path.display());
+    } else {
+        println!("{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    bench
+}
+
+fn wait_for_addr(path: &Path, child: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("bench-serve daemon exited early with {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never published an address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Pull an integer field out of a one-line JSON object without a full
+/// parse (the stats line is trusted daemon output).
+fn json_field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.50), 6.0);
+        assert_eq!(percentile(&v, 1.0), 10.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn json_field_extraction() {
+        let line = r#"{"ok":true,"worker_panics":3,"connections":10}"#;
+        assert_eq!(json_field_u64(line, "worker_panics"), Some(3));
+        assert_eq!(json_field_u64(line, "connections"), Some(10));
+        assert_eq!(json_field_u64(line, "missing"), None);
+    }
+}

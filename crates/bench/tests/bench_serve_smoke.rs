@@ -1,0 +1,116 @@
+//! End-to-end smoke test for the `bench-serve` load harness: a short,
+//! small-fleet run through the real `experiments` binary (which spawns
+//! the daemon as its own child), validating the `BENCH_serving.json`
+//! schema and the invariants CI relies on.
+
+use serde::Value;
+use std::process::Command;
+
+fn field<'a>(map: &'a [(String, Value)], key: &str) -> &'a Value {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing field {key:?}"))
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::U64(u) => *u,
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::F64(f) => *f,
+        Value::U64(u) => *u as f64,
+        Value::I64(i) => *i as f64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn short_run_emits_schema_complete_summary_without_leaks() {
+    let dir = std::env::temp_dir().join(format!("pm-bench-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            "--tiny",
+            "--conns",
+            "96",
+            "--rps",
+            "200",
+            "--secs",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+            "bench-serve",
+        ])
+        .output()
+        .expect("run experiments bench-serve");
+    assert!(
+        out.status.success(),
+        "bench-serve failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(dir.join("BENCH_serving.json"))
+        .expect("BENCH_serving.json written");
+    assert!(text.ends_with('\n'), "JSON file must end in a newline");
+    let Value::Map(doc) = serde_json::from_str(&text).expect("valid JSON") else {
+        panic!("top level must be an object");
+    };
+
+    // Fleet accounting: everything attempted is either established or
+    // shed, the target fleet was sustained, and extras were shed.
+    let attempted = as_u64(field(&doc, "connections_attempted"));
+    let established = as_u64(field(&doc, "connections_established"));
+    let shed = as_u64(field(&doc, "connections_shed"));
+    assert_eq!(attempted, established + shed);
+    assert!(established >= 96, "sustained only {established} of 96");
+    assert!(shed >= 1, "the over-capacity extras must be shed");
+    let shed_rate = as_f64(field(&doc, "shed_rate"));
+    assert!(shed_rate > 0.0 && shed_rate < 0.2, "shed_rate {shed_rate}");
+    assert_eq!(
+        as_u64(field(&doc, "concurrent_sustained")),
+        established,
+        "no fleet connection may die mid-run"
+    );
+
+    // Request accounting: open-loop sends all answered, none dropped.
+    let sent = as_u64(field(&doc, "requests_sent"));
+    let received = as_u64(field(&doc, "responses_received"));
+    assert!(sent > 0);
+    assert_eq!(sent, received + as_u64(field(&doc, "undelivered")));
+    assert_eq!(as_u64(field(&doc, "undelivered")), 0);
+    assert!(as_f64(field(&doc, "throughput_rps")) > 0.0);
+
+    // Latency and reload summaries are present and ordered.
+    let Value::Map(lat) = field(&doc, "latency") else {
+        panic!("latency must be an object");
+    };
+    let p50 = as_f64(field(lat, "p50_ms"));
+    let p95 = as_f64(field(lat, "p95_ms"));
+    let p99 = as_f64(field(lat, "p99_ms"));
+    let max = as_f64(field(lat, "max_ms"));
+    assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99 && p99 <= max);
+    let Value::Map(reload) = field(&doc, "reload") else {
+        panic!("reload must be an object");
+    };
+    assert!(as_u64(field(reload, "count")) >= 1, "no reloads ran");
+    assert!(as_f64(field(reload, "p50_ms")) <= as_f64(field(reload, "max_ms")));
+
+    // Daemon health: clean exit, no worker panics, no leaked fds.
+    let Value::Map(daemon) = field(&doc, "daemon") else {
+        panic!("daemon must be an object");
+    };
+    assert_eq!(field(daemon, "clean_exit"), &Value::Bool(true));
+    assert_eq!(as_u64(field(daemon, "worker_panics")), 0);
+    assert_eq!(as_u64(field(daemon, "fd_leaked")), 0);
+    assert!(as_u64(field(daemon, "fd_peak")) > as_u64(field(daemon, "fd_baseline")));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -377,6 +377,8 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
     let cfg = pm_serve::ServeConfig {
         workers: args.get_or("--workers", 4usize)?.max(1),
         queue: args.get_or("--queue", 64usize)?.max(1),
+        io_threads: args.get_or("--io-threads", 2usize)?.max(1),
+        batch: args.get_or("--batch", 32usize)?.max(1),
         read_timeout: Duration::from_millis(args.get_or("--read-timeout-ms", 10_000u64)?.max(1)),
         write_timeout: Duration::from_millis(args.get_or("--write-timeout-ms", 10_000u64)?.max(1)),
         deadline: Duration::from_millis(args.get_or("--deadline-ms", 250u64)?.max(1)),

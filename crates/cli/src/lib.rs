@@ -54,9 +54,9 @@ USAGE
   profit-mining import     --catalog catalog.csv --sales sales.csv --out data.json
   profit-mining export     --data data.json --catalog catalog.csv --sales sales.csv
   profit-mining serve      --model model.json [--addr HOST:PORT] [--addr-file path]
-                           [--workers N] [--queue N] [--deadline-ms N]
-                           [--read-timeout-ms N] [--write-timeout-ms N] [--max-line BYTES]
-                           [--metrics metrics.json]
+                           [--workers N] [--queue N] [--io-threads N] [--batch N]
+                           [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N]
+                           [--max-line BYTES] [--metrics metrics.json]
   profit-mining help
 
   --threads N selects the worker-thread count for mining and evaluation
@@ -69,13 +69,16 @@ USAGE
   latency p50/p95/p99.
 
   serve runs a line-delimited-JSON TCP daemon over a fitted model:
-  bounded request queue with load shedding, per-request timeouts with a
-  flagged degraded mode (the §3.2 default rule) when the matcher errors
-  or blows the deadline, and {\"op\":\"reload\"} hot model swaps that keep
-  the old model on any validation failure. --addr HOST:0 picks an
-  ephemeral port; --addr-file publishes the bound address. fit writes
-  models in a checksummed envelope, so torn or bit-flipped files are
-  rejected at load (legacy raw-JSON models still load).
+  an event-driven readiness loop (--io-threads reactors, epoll with a
+  portable poll fallback) feeding a compute pool (--workers) in batches
+  of up to --batch requests per model snapshot, bounded admission with
+  load shedding, per-request timeouts with a flagged degraded mode (the
+  §3.2 default rule) when the matcher errors or blows the deadline, and
+  {\"op\":\"reload\"} hot model swaps that keep the old model on any
+  validation failure. --addr HOST:0 picks an ephemeral port;
+  --addr-file publishes the bound address. fit writes models in a
+  checksummed envelope, so torn or bit-flipped files are rejected at
+  load (legacy raw-JSON models still load).
 
   Observability: PM_LOG=off|error|info|debug selects structured logging
   to stderr (default off); --metrics PATH dumps the metrics registry

@@ -92,6 +92,10 @@ fn serve_daemon_end_to_end_over_the_wire() {
             addr_file.to_str().unwrap(),
             "--workers",
             "2",
+            "--io-threads",
+            "1",
+            "--batch",
+            "8",
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())

@@ -39,6 +39,23 @@ impl ModelHandle {
         Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// A consistent (generation, model) pair.
+    ///
+    /// [`current`](ModelHandle::current) and
+    /// [`generation`](ModelHandle::generation) read the slot and the
+    /// counter independently, so calling them back to back around a
+    /// concurrent [`swap`](ModelHandle::swap) can pair generation N+1
+    /// with the generation-N model (or vice versa). `snapshot` reads the
+    /// counter while holding the slot's read lock; since `swap` bumps
+    /// the counter while holding the write lock, the pair is always
+    /// coherent. Status endpoints (`ping`/`stats`) that report both
+    /// values must use this.
+    pub fn snapshot(&self) -> (u64, Arc<RuleModel>) {
+        let slot = self.current.read().unwrap_or_else(|e| e.into_inner());
+        let gen = self.generation.load(Ordering::Acquire);
+        (gen, Arc::clone(&slot))
+    }
+
     /// The generation counter: starts at 1, increments on every
     /// [`swap`](ModelHandle::swap). Workers compare this against the
     /// generation of their cached snapshot to decide when to re-index.
@@ -122,6 +139,36 @@ mod tests {
             after.moa().catalog().code(ItemId(1), CodeId(0)).price,
             Money::from_cents(900)
         );
+    }
+
+    #[test]
+    fn snapshot_pairs_generation_with_matching_model() {
+        let handle = Arc::new(ModelHandle::new(tiny_model(500)));
+        // Generation g serves price 500 when g is odd, 900 when even.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = Arc::clone(&handle);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let (gen, model) = h.snapshot();
+                        let price = model.moa().catalog().code(ItemId(1), CodeId(0)).price;
+                        let want = if gen % 2 == 1 { 500 } else { 900 };
+                        assert_eq!(
+                            price,
+                            Money::from_cents(want),
+                            "generation {gen} paired with wrong model"
+                        );
+                    }
+                });
+            }
+            let h = Arc::clone(&handle);
+            s.spawn(move || {
+                for i in 0..50 {
+                    // swap to gen i+2: even generations get 900.
+                    h.swap(tiny_model(if i % 2 == 0 { 900 } else { 500 }));
+                }
+            });
+        });
     }
 
     #[test]

@@ -335,6 +335,9 @@ pub struct Matcher<'a> {
     model: &'a RuleModel,
     postings: std::collections::HashMap<GenSale, Vec<u32>>,
     body_len: Vec<u32>,
+    /// Rules with an empty body (they match every customer and never
+    /// appear in a posting list) — in practice just the default rule.
+    empty_body: Vec<u32>,
     scratch: std::cell::RefCell<MatcherScratch>,
     /// Serving metrics, resolved once at index time so the per-request
     /// path pays one atomic op per signal and no registry lookups.
@@ -350,6 +353,7 @@ struct MatcherScratch {
     count: Vec<u32>,
     gs_buf: Vec<GenSale>,
     gs_set: Vec<GenSale>,
+    matched: Vec<u32>,
 }
 
 impl<'a> Matcher<'a> {
@@ -358,8 +362,12 @@ impl<'a> Matcher<'a> {
         let mut postings: std::collections::HashMap<GenSale, Vec<u32>> =
             std::collections::HashMap::new();
         let mut body_len = Vec::with_capacity(model.rules.len());
+        let mut empty_body = Vec::new();
         for (i, r) in model.rules.iter().enumerate() {
             body_len.push(r.body.len() as u32);
+            if r.body.is_empty() {
+                empty_body.push(i as u32);
+            }
             for &g in &r.body {
                 postings.entry(g).or_default().push(i as u32);
             }
@@ -369,12 +377,14 @@ impl<'a> Matcher<'a> {
             model,
             postings,
             body_len,
+            empty_body,
             scratch: std::cell::RefCell::new(MatcherScratch {
                 stamp: 0,
                 stamp_val: vec![0; n],
                 count: vec![0; n],
                 gs_buf: Vec::new(),
                 gs_set: Vec::new(),
+                matched: Vec::new(),
             }),
             latency: pm_obs::latency("serve.recommend_ns"),
             default_hits: pm_obs::counter("serve.default_rule_hits"),
@@ -432,6 +442,82 @@ impl<'a> Matcher<'a> {
             self.default_hits.inc();
         }
         best
+    }
+
+    /// Indexed equivalent of [`RuleModel::recommend_top_k`]: up to `k`
+    /// distinct `(item, code)` pairs in MPF rank order. Unlike
+    /// [`rule_for`](Matcher::rule_for), which stops counting past the
+    /// current best rule, this collects *every* fully-matched rule (the
+    /// k-th answer can rank below the first), sorts the matches back
+    /// into rank order, and applies the same distinct-pair filter as the
+    /// linear scan — so the output is identical element for element.
+    pub fn recommend_top_k(&self, customer: &[Sale], k: usize) -> Vec<Recommendation> {
+        let _timer = self.latency.time();
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        s.gs_set.clear();
+        for sale in customer {
+            s.gs_buf.clear();
+            self.model
+                .moa
+                .generalizations_of_sale_into(sale, &mut s.gs_buf);
+            for g in &s.gs_buf {
+                if !s.gs_set.contains(g) {
+                    s.gs_set.push(*g);
+                }
+            }
+        }
+        s.stamp += 1;
+        s.matched.clear();
+        s.matched.extend_from_slice(&self.empty_body);
+        let mut touched = 0u64;
+        for g in &s.gs_set {
+            if let Some(list) = self.postings.get(g) {
+                touched += list.len() as u64;
+                for &ri in list {
+                    let i = ri as usize;
+                    if s.stamp_val[i] != s.stamp {
+                        s.stamp_val[i] = s.stamp;
+                        s.count[i] = 0;
+                    }
+                    s.count[i] += 1;
+                    if s.count[i] == self.body_len[i] {
+                        s.matched.push(ri);
+                    }
+                }
+            }
+        }
+        self.postings_touched.add(touched);
+        s.matched.sort_unstable();
+        let mut seen: HashSet<(ItemId, CodeId)> = HashSet::new();
+        let mut out = Vec::new();
+        for &ri in &s.matched {
+            if out.len() >= k {
+                break;
+            }
+            let idx = ri as usize;
+            let r = &self.model.rules[idx];
+            if seen.insert((r.item, r.code)) {
+                out.push(Recommendation {
+                    item: r.item,
+                    code: r.code,
+                    promotion: *self.model.moa.catalog().code(r.item, r.code),
+                    expected_profit: r.prof_re,
+                    confidence: r.confidence,
+                    rule_index: Some(idx),
+                });
+            }
+        }
+        if out
+            .first()
+            .is_some_and(|r| r.rule_index == Some(self.model.rules.len() - 1))
+        {
+            self.default_hits.inc();
+        }
+        out
     }
 }
 

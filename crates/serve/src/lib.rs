@@ -1,32 +1,50 @@
-//! `pm-serve` — a fault-tolerant, long-running recommendation daemon.
+//! `pm-serve` — a fault-tolerant, event-driven recommendation daemon.
 //!
 //! The paper's recommender answers the live question "for a future
 //! customer, recommend one (target item, promotion code) pair" (§3.2,
-//! §4.1); this crate serves that question over TCP, std-only, built to
-//! degrade instead of crash:
+//! §4.1); this crate serves that question over TCP, std-only (plus the
+//! vendored `polling` readiness shim), built to degrade instead of
+//! crash and to hold tens of thousands of concurrent connections:
 //!
 //! * **line-delimited JSON protocol** ([`protocol`]) — one request
 //!   object per line, one response object per line, over plain TCP, so
 //!   `netcat` is a complete client;
-//! * **bounded queue + load shedding** — the acceptor queues at most
-//!   `queue` pending connections; beyond that clients get an immediate
+//! * **event-driven multiplexing** — `io_threads` reactor threads run a
+//!   readiness loop (epoll, with a portable `poll(2)` fallback) over
+//!   non-blocking sockets with per-connection read/write buffers and
+//!   incremental line framing; a parked connection costs a slab slot,
+//!   not a thread;
+//! * **request batching + customer-keyed sharding** — each reactor
+//!   wakeup drains every ready request and ships them to a compute
+//!   worker pool in batches of up to `batch`, sharded by a hash of the
+//!   customer's sales; each worker scores its whole batch against one
+//!   `Arc<RuleModel>` snapshot and one [`Matcher`] index per model
+//!   generation instead of one index per connection;
+//! * **admission control + load shedding** — at most
+//!   `workers + queue` connections are admitted concurrently; beyond
+//!   that clients get an immediate
 //!   `{"ok":false,"error":"overloaded"}` instead of an unbounded
 //!   backlog;
-//! * **per-request timeouts** — socket read/write timeouts bound slow
-//!   and dead clients (an idle or half-open connection is closed, never
-//!   parked on a worker forever), a request-line byte cap bounds parse
-//!   memory, and a compute deadline bounds matching;
+//! * **per-request bounds** — idle-connection read timeouts and
+//!   write-stall timeouts bound slow and dead clients, a request-line
+//!   byte cap bounds parse memory, and a compute deadline bounds
+//!   matching;
 //! * **degraded mode** — when the matcher panics or the deadline is
 //!   blown, the daemon answers with the §3.2 default rule `∅ → g`
 //!   (always applicable, byte-deterministic), flags the response
 //!   `"degraded":true`, and counts it in `pm-obs` — a wrong-shaped
 //!   request or a slow rule index can make answers *worse*, never wrong
 //!   or absent;
+//! * **panic isolation** — per-connection handling and per-request
+//!   compute are both unwind-isolated; a panic closes one connection or
+//!   degrades one answer (counted under `serve.worker_panics`), it
+//!   never kills a serving thread;
 //! * **hot reload** — the `reload` op validates a new model envelope
-//!   off the serving path (a dedicated thread, unwind-isolated) and
-//!   atomically swaps it into the shared [`ModelHandle`]; on any
-//!   failure — missing file, torn envelope, checksum mismatch, parse
-//!   error, panic — the old model keeps serving.
+//!   off the serving path (a dedicated executor thread,
+//!   unwind-isolated) and atomically swaps it into the shared
+//!   [`ModelHandle`]; on any failure — missing file, torn envelope,
+//!   checksum mismatch, parse error, rule-less model, panic — the old
+//!   model keeps serving.
 //!
 //! Fault injection for all of the above lives in `pm_store::faults`;
 //! the integration tests drive every fault class through a live daemon.
@@ -37,14 +55,17 @@
 pub mod protocol;
 
 use pm_store::StoreError;
+use polling::{Event, Events, Poller};
 use profit_core::{Matcher, ModelHandle, Recommendation, Recommender, RuleModel, SavedModel};
 use protocol::{error_line, obj, parse_request, rec_value, render, validate_sales, Request};
 use serde::Value;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -52,20 +73,26 @@ use std::time::{Duration, Instant};
 /// deployments; the CLI exposes each as a flag.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads handling connections.
+    /// Compute worker threads scoring recommendation batches.
     pub workers: usize,
-    /// Bounded pending-connection queue; beyond this, shed load.
+    /// Admission headroom beyond the workers: at most
+    /// `workers + queue` connections are admitted concurrently; beyond
+    /// that, shed load.
     pub queue: usize,
-    /// Socket read timeout — a client that sends nothing for this long
-    /// is disconnected.
+    /// Read timeout — a connection with no outstanding requests that
+    /// sends nothing for this long is disconnected.
     pub read_timeout: Duration,
-    /// Socket write timeout — a client that won't drain its responses
+    /// Write-stall timeout — a client that won't drain its responses
     /// is disconnected.
     pub write_timeout: Duration,
     /// Compute deadline per request; blown deadlines answer degraded.
     pub deadline: Duration,
     /// Maximum request line length in bytes (parse-memory bound).
     pub max_line: usize,
+    /// Reactor (event-loop) threads multiplexing connections.
+    pub io_threads: usize,
+    /// Maximum requests per batch shipped to a compute worker.
+    pub batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +104,8 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             deadline: Duration::from_millis(250),
             max_line: 64 * 1024,
+            io_threads: 2,
+            batch: 32,
         }
     }
 }
@@ -93,6 +122,15 @@ pub enum ServeError {
         /// The parse failure.
         err: String,
     },
+    /// The model parsed but cannot be served: the degraded path and the
+    /// matcher both rely on the §3.2 default rule `∅ → g` being the
+    /// last rule, and this model does not have one.
+    Degenerate {
+        /// The file (or in-memory model) involved.
+        path: String,
+        /// Why the model is unservable.
+        why: String,
+    },
     /// Binding or configuring the listening socket failed.
     Net {
         /// What was being bound or configured.
@@ -107,6 +145,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Store(e) => write!(f, "{e}"),
             ServeError::Model { path, err } => write!(f, "{path}: invalid model payload: {err}"),
+            ServeError::Degenerate { path, why } => {
+                write!(f, "{path}: unservable model: {why}")
+            }
             ServeError::Net { what, err } => write!(f, "{what}: {err}"),
         }
     }
@@ -120,11 +161,26 @@ impl From<StoreError> for ServeError {
     }
 }
 
+/// A model is servable iff it ends with the §3.2 default rule `∅ → g`:
+/// the degraded answer and the matcher's always-matches invariant both
+/// rely on it. Models built by the pipeline always satisfy this, but a
+/// hand-crafted legacy raw-JSON file can violate it — and a rule-less
+/// model used to underflow-panic the degraded path at serve time.
+fn validate_servable(model: &RuleModel) -> Result<(), String> {
+    match model.rules().last() {
+        None => Err("model has no rules, not even the default rule ∅ → g".into()),
+        Some(r) if !r.is_default => Err("model's last rule is not the default rule ∅ → g".into()),
+        Some(_) => Ok(()),
+    }
+}
+
 /// Load a model file through the crash-safe store: enveloped files are
 /// checksum-verified, legacy raw-JSON files still load. Every failure —
-/// I/O, torn envelope, bit flip, version skew, JSON parse — comes back
-/// as a typed, printable [`ServeError`]; corrupt bytes are never
-/// deserialized into a partially-built model.
+/// I/O, torn envelope, bit flip, version skew, JSON parse, a model with
+/// no servable default rule — comes back as a typed, printable
+/// [`ServeError`]; corrupt bytes are never deserialized into a
+/// partially-built model, and an unservable model is rejected here
+/// instead of panicking the degraded path at serve time.
 pub fn load_model(path: impl AsRef<Path>) -> Result<RuleModel, ServeError> {
     let path = path.as_ref();
     let (payload, provenance) = pm_store::load_model_file(path)?;
@@ -140,7 +196,12 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<RuleModel, ServeError> {
         pm_obs::counter("serve.legacy_model_loads").inc();
         pm_obs::info!("serve.legacy_model", path = path.display());
     }
-    Ok(RuleModel::load(saved))
+    let model = RuleModel::load(saved);
+    validate_servable(&model).map_err(|why| ServeError::Degenerate {
+        path: path.display().to_string(),
+        why,
+    })?;
+    Ok(model)
 }
 
 /// One serving counter: a per-daemon tally (exact, reported by `stats`
@@ -181,6 +242,7 @@ struct Metrics {
     parse_errors: ServeCounter,
     reloads: ServeCounter,
     reload_failures: ServeCounter,
+    worker_panics: ServeCounter,
     connections: ServeCounter,
     latency: pm_obs::LatencyHistogram,
     queue_depth_gauge: pm_obs::Gauge,
@@ -199,6 +261,7 @@ impl Metrics {
             parse_errors: ServeCounter::new("serve.parse_errors"),
             reloads: ServeCounter::new("serve.reloads"),
             reload_failures: ServeCounter::new("serve.reload_failures"),
+            worker_panics: ServeCounter::new("serve.worker_panics"),
             connections: ServeCounter::new("serve.connections"),
             latency: pm_obs::latency("serve.request_ns"),
             queue_depth_gauge: pm_obs::gauge("serve.queue_depth"),
@@ -207,14 +270,35 @@ impl Metrics {
     }
 }
 
-/// State shared by the acceptor, the workers, and the [`Server`] handle.
+/// One reactor's mailboxes: the acceptor pushes admitted connections
+/// into `inbox`, compute workers and the reload executor push finished
+/// responses into `completions`; both wake the reactor through its
+/// poller's notify pipe.
+struct ReactorShared {
+    poller: Poller,
+    inbox: Mutex<Vec<TcpStream>>,
+    completions: Mutex<Vec<Completion>>,
+}
+
+impl ReactorShared {
+    fn wake(&self) {
+        let _ = self.poller.notify();
+    }
+}
+
+/// State shared by the acceptor, the reactors, the compute workers, the
+/// reload executor, and the [`Server`] handle.
 struct Shared {
     cfg: ServeConfig,
     handle: ModelHandle,
     model_path: Mutex<PathBuf>,
     shutdown: AtomicBool,
+    /// Admitted (not yet closed) connections, for admission control.
+    live_conns: AtomicI64,
+    /// Requests in flight between a reactor and a worker/executor.
     queue_depth: AtomicI64,
     metrics: Metrics,
+    reactors: Vec<Arc<ReactorShared>>,
 }
 
 impl Shared {
@@ -222,6 +306,39 @@ impl Shared {
         let now = self.queue_depth.fetch_add(delta, Ordering::Relaxed) + delta;
         self.metrics.queue_depth_gauge.set(now);
     }
+
+    fn wake_all_reactors(&self) {
+        for r in &self.reactors {
+            r.wake();
+        }
+    }
+}
+
+/// A recommendation request in flight to a compute worker.
+struct Job {
+    reactor: usize,
+    slot: usize,
+    token: u64,
+    seq: u64,
+    sales: Vec<pm_txn::Sale>,
+    top: usize,
+}
+
+/// A reload request in flight to the reload executor.
+struct ReloadJob {
+    reactor: usize,
+    slot: usize,
+    token: u64,
+    seq: u64,
+    path: Option<String>,
+}
+
+/// A finished response heading back to a reactor.
+struct Completion {
+    slot: usize,
+    token: u64,
+    seq: u64,
+    line: String,
 }
 
 /// Final tallies returned by [`Server::join`].
@@ -278,6 +395,10 @@ impl Server {
         model_path: PathBuf,
         cfg: ServeConfig,
     ) -> Result<Server, ServeError> {
+        validate_servable(&model).map_err(|why| ServeError::Degenerate {
+            path: model_path.display().to_string(),
+            why,
+        })?;
         let listener = TcpListener::bind(addr).map_err(|e| ServeError::Net {
             what: format!("bind {addr}"),
             err: e.to_string(),
@@ -295,42 +416,88 @@ impl Server {
 
         let metrics = Metrics::resolve();
         metrics.generation_gauge.set(1);
+        let io_threads = cfg.io_threads.max(1);
+        let mut reactors = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let poller = Poller::new().map_err(|e| ServeError::Net {
+                what: "create poller".into(),
+                err: e.to_string(),
+            })?;
+            reactors.push(Arc::new(ReactorShared {
+                poller,
+                inbox: Mutex::new(Vec::new()),
+                completions: Mutex::new(Vec::new()),
+            }));
+        }
         let shared = Arc::new(Shared {
             cfg,
             handle: ModelHandle::new(model),
             model_path: Mutex::new(model_path),
             shutdown: AtomicBool::new(false),
+            live_conns: AtomicI64::new(0),
             queue_depth: AtomicI64::new(0),
             metrics,
+            reactors,
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.cfg.queue.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
+        let spawn_err = |e: std::io::Error, what: &str| ServeError::Net {
+            what: what.into(),
+            err: e.to_string(),
+        };
+        let mut threads = Vec::new();
 
-        for w in 0..shared.cfg.workers.max(1) {
+        // Compute workers: the reactors hold the senders; when the
+        // reactors exit at shutdown, the channels disconnect and the
+        // workers drain and stop.
+        let n_workers = shared.cfg.workers.max(1);
+        let mut worker_txs = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let (tx, rx) = std::sync::mpsc::channel::<Vec<Job>>();
+            worker_txs.push(tx);
             let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("pm-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &rx))
-                    .map_err(|e| ServeError::Net {
-                        what: "spawn worker".into(),
-                        err: e.to_string(),
-                    })?,
+                    .spawn(move || compute_worker_loop(&shared, &rx))
+                    .map_err(|e| spawn_err(e, "spawn worker"))?,
             );
         }
+
+        // Reload executor: validates replacement models off the serving
+        // path, one at a time.
+        let (reload_tx, reload_rx) = std::sync::mpsc::channel::<ReloadJob>();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pm-serve-reload".into())
+                    .spawn(move || reload_executor_loop(&shared, &reload_rx))
+                    .map_err(|e| spawn_err(e, "spawn reload executor"))?,
+            );
+        }
+
+        for id in 0..io_threads {
+            let shared = Arc::clone(&shared);
+            let worker_txs = worker_txs.clone();
+            let reload_tx = reload_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pm-serve-io-{id}"))
+                    .spawn(move || Reactor::new(shared, id, worker_txs, reload_tx).run())
+                    .map_err(|e| spawn_err(e, "spawn reactor"))?,
+            );
+        }
+        // The reactors now hold the only long-lived senders.
+        drop(worker_txs);
+        drop(reload_tx);
+
         {
             let shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
                     .name("pm-serve-acceptor".into())
-                    .spawn(move || acceptor_loop(&shared, listener, tx))
-                    .map_err(|e| ServeError::Net {
-                        what: "spawn acceptor".into(),
-                        err: e.to_string(),
-                    })?,
+                    .spawn(move || acceptor_loop(&shared, &listener))
+                    .map_err(|e| spawn_err(e, "spawn acceptor"))?,
             );
         }
 
@@ -355,6 +522,7 @@ impl Server {
     /// Ask the daemon to stop (same effect as a `shutdown` request).
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake_all_reactors();
     }
 
     /// Block until the daemon stops, then return the final counters.
@@ -373,30 +541,37 @@ impl Server {
     }
 }
 
-/// Accept connections and hand them to the bounded queue; shed with an
-/// immediate error line when the queue is full.
-fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
+/// Accept connections, apply admission control, and hand admitted
+/// streams to the reactors round-robin; shed with an immediate error
+/// line when the daemon is at capacity.
+fn acceptor_loop(shared: &Shared, listener: &TcpListener) {
+    let capacity = (shared.cfg.workers.max(1) + shared.cfg.queue) as i64;
+    let mut next = 0usize;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
-            // Dropping `tx` wakes every idle worker with a disconnect.
             return;
         }
         match listener.accept() {
             Ok((stream, peer)) => {
                 shared.metrics.connections.inc();
                 pm_obs::debug!("serve.accept", peer = peer);
-                match tx.try_send(stream) {
-                    Ok(()) => shared.note_queue_depth(1),
-                    Err(TrySendError::Full(stream)) => {
-                        shared.metrics.shed.inc();
-                        pm_obs::error!("serve.shed", peer = peer);
-                        shed_connection(shared, stream);
-                    }
-                    Err(TrySendError::Disconnected(_)) => return,
+                if shared.live_conns.load(Ordering::Relaxed) >= capacity {
+                    shared.metrics.shed.inc();
+                    pm_obs::error!("serve.shed", peer = peer);
+                    shed_connection(shared, stream);
+                } else {
+                    shared.live_conns.fetch_add(1, Ordering::Relaxed);
+                    let r = &shared.reactors[next % shared.reactors.len()];
+                    next = next.wrapping_add(1);
+                    r.inbox
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(stream);
+                    r.wake();
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(Duration::from_millis(1));
             }
             Err(e) => {
                 pm_obs::error!("serve.accept_error", err = e);
@@ -406,7 +581,9 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStrea
     }
 }
 
-/// Tell an over-queue client it was shed, best-effort, and close.
+/// Tell an over-capacity client it was shed, best-effort, and close.
+/// The accepted stream is still blocking here, so a short write timeout
+/// bounds the farewell.
 fn shed_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout.min(Duration::from_secs(1))));
     let mut stream = stream;
@@ -417,187 +594,715 @@ fn shed_connection(shared: &Shared, stream: TcpStream) {
     );
 }
 
-/// Pull connections off the queue until the acceptor hangs up.
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
-    loop {
-        // Hold the lock only for the dequeue itself.
-        let next = {
-            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
-            rx.recv_timeout(Duration::from_millis(50))
-        };
-        match next {
-            Ok(stream) => {
-                shared.note_queue_depth(-1);
-                handle_connection(shared, stream);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
+/// FNV-style hash of a customer's sales, for worker sharding: the same
+/// customer always lands on the same worker, so its matcher scratch
+/// stays warm.
+fn customer_shard(sales: &[pm_txn::Sale]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in sales {
+        for v in [u64::from(s.item.0), u64::from(s.code.0), u64::from(s.qty)] {
+            h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+    h
+}
+
+/// Per-connection pipelining cap: a connection may have at most this
+/// many unanswered requests before the reactor stops reading from it
+/// (resuming once half have drained). Bounds worker-queue memory to
+/// `capacity × MAX_PIPELINE` jobs.
+const MAX_PIPELINE: usize = 256;
+
+/// One multiplexed connection: framing buffers, the ordered response
+/// slot queue, and liveness bookkeeping.
+struct Conn {
+    stream: TcpStream,
+    /// Guards completions against slab-slot reuse.
+    token: u64,
+    /// Unprocessed request bytes.
+    rbuf: Vec<u8>,
+    /// Prefix of `rbuf` already scanned for a newline.
+    scanned: usize,
+    /// Rendered response bytes not yet written.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// One slot per outstanding request, in request order; `None` until
+    /// its response arrives. Responses flush strictly in order.
+    slots: VecDeque<Option<String>>,
+    /// Sequence number of `slots.front()`.
+    base_seq: u64,
+    /// Sequence number the next request will get.
+    next_seq: u64,
+    /// No more reads: close once every slot and buffer has flushed.
+    closing: bool,
+    /// Read interest dropped because the pipeline cap was hit.
+    paused: bool,
+    eof: bool,
+    /// Unrecoverable I/O error: drop without flushing.
+    dead: bool,
+    last_read: Instant,
+    last_progress: Instant,
+    /// Currently registered (readable, writable) interest.
+    interest: (bool, bool),
+}
+
+impl Conn {
+    fn new(stream: TcpStream, token: u64) -> Conn {
+        let now = Instant::now();
+        Conn {
+            stream,
+            token,
+            rbuf: Vec::new(),
+            scanned: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            slots: VecDeque::new(),
+            base_seq: 0,
+            next_seq: 0,
+            closing: false,
+            paused: false,
+            eof: false,
+            dead: false,
+            last_read: now,
+            last_progress: now,
+            interest: (true, false),
+        }
+    }
+
+    /// True when nothing remains to write and nothing can still arrive.
+    fn drained(&self) -> bool {
+        self.slots.is_empty() && self.wpos == self.wbuf.len()
     }
 }
 
-/// Outcome of reading one request line.
-enum ReadOutcome {
-    Line(String),
-    Eof,
-    Timeout,
-    Oversized,
-    Broken,
+/// One event-loop thread: a poller, a connection slab, and the staging
+/// area for outgoing worker batches.
+struct Reactor {
+    shared: Arc<Shared>,
+    rs: Arc<ReactorShared>,
+    id: usize,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_token: u64,
+    workers: Vec<Sender<Vec<Job>>>,
+    /// Per-worker batch under construction during this wakeup.
+    staged: Vec<Vec<Job>>,
+    reload_tx: Sender<ReloadJob>,
+    events: Events,
+    last_sweep: Instant,
 }
 
-/// Read one `\n`-terminated line, bounded at `max` bytes. A final
-/// unterminated line (client sent a request and half-closed) is still
-/// served.
-fn read_line_bounded(reader: &mut BufReader<TcpStream>, max: usize) -> ReadOutcome {
-    let mut buf = String::new();
-    let mut limited = Read::take(reader, max as u64);
-    match limited.read_line(&mut buf) {
-        Ok(0) => ReadOutcome::Eof,
-        Ok(n) => {
-            if !buf.ends_with('\n') && n >= max {
-                ReadOutcome::Oversized
-            } else {
-                ReadOutcome::Line(buf)
-            }
+impl Reactor {
+    fn new(
+        shared: Arc<Shared>,
+        id: usize,
+        workers: Vec<Sender<Vec<Job>>>,
+        reload_tx: Sender<ReloadJob>,
+    ) -> Reactor {
+        let rs = Arc::clone(&shared.reactors[id]);
+        let staged = workers.iter().map(|_| Vec::new()).collect();
+        Reactor {
+            shared,
+            rs,
+            id,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_token: 0,
+            workers,
+            staged,
+            reload_tx,
+            events: Events::new(),
+            last_sweep: Instant::now(),
         }
-        Err(e)
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
-        {
-            ReadOutcome::Timeout
-        }
-        Err(_) => ReadOutcome::Broken,
     }
-}
 
-/// Serve one connection: read request lines, answer each with one
-/// response line. The matcher is rebuilt whenever the model generation
-/// changes (hot reload) or after a compute panic poisoned its scratch.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let reader_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => {
-            pm_obs::error!("serve.clone_error", err = e);
-            return;
-        }
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = stream;
+    /// Timeout-sweep cadence: fine enough that a 150 ms test read
+    /// timeout fires promptly, coarse enough that 10k idle connections
+    /// cost one cheap scan per interval.
+    fn sweep_every(&self) -> Duration {
+        (self.shared.cfg.read_timeout / 4)
+            .clamp(Duration::from_millis(10), Duration::from_millis(100))
+    }
 
-    'model: loop {
-        let generation = shared.handle.generation();
-        let model = shared.handle.current();
-        let matcher = Matcher::new(&model);
+    fn run(mut self) {
         loop {
-            if shared.shutdown.load(Ordering::Acquire) {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                self.drain_and_exit();
                 return;
             }
-            if shared.handle.generation() != generation {
-                continue 'model; // re-snapshot and re-index
+            let timeout = if self.conns.iter().any(Option::is_some) {
+                Some(self.sweep_every())
+            } else {
+                None
+            };
+            self.events.clear();
+            let _ = self.rs.poller.wait(&mut self.events, timeout);
+            self.drain_inbox();
+            self.apply_completions();
+            let ready: Vec<Event> = self.events.iter().collect();
+            for ev in ready {
+                self.on_event(ev);
             }
-            let line = match read_line_bounded(&mut reader, shared.cfg.max_line) {
-                ReadOutcome::Line(line) => line,
-                ReadOutcome::Eof | ReadOutcome::Broken => return,
-                ReadOutcome::Timeout => {
-                    shared.metrics.read_timeouts.inc();
-                    pm_obs::debug!("serve.read_timeout");
-                    let _ = writeln!(
-                        writer,
-                        "{}",
-                        error_line("read timeout: closing idle connection")
-                    );
-                    return;
-                }
-                ReadOutcome::Oversized => {
-                    shared.metrics.oversized.inc();
-                    let _ = writeln!(
-                        writer,
-                        "{}",
-                        error_line(&format!(
-                            "request line exceeds {} bytes: closing connection",
-                            shared.cfg.max_line
-                        ))
-                    );
-                    return;
+            self.sweep_timers();
+            self.flush_staged();
+        }
+    }
+
+    /// Register connections the acceptor handed over.
+    fn drain_inbox(&mut self) {
+        let incoming: Vec<TcpStream> = {
+            let mut inbox = self.rs.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *inbox)
+        };
+        for stream in incoming {
+            let _ = stream.set_nonblocking(true);
+            let _ = stream.set_nodelay(true);
+            let slot = match self.free.pop() {
+                Some(s) => s,
+                None => {
+                    self.conns.push(None);
+                    self.conns.len() - 1
                 }
             };
-            if line.trim().is_empty() {
-                continue; // blank keep-alive lines are free
+            let token = self.next_token;
+            self.next_token += 1;
+            let conn = Conn::new(stream, token);
+            if self
+                .rs
+                .poller
+                .add(&conn.stream, Event::readable(slot))
+                .is_err()
+            {
+                pm_obs::error!("serve.register_failed");
+                self.free.push(slot);
+                self.shared.live_conns.fetch_sub(1, Ordering::Relaxed);
+                continue;
             }
-            let _timer = shared.metrics.latency.time();
-            let (response, action) = handle_request(shared, &model, &matcher, &line);
-            if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
-                return; // client gone or write timeout: drop the connection
+            self.conns[slot] = Some(conn);
+        }
+    }
+
+    /// Fill response slots from finished worker/executor jobs and flush
+    /// the affected connections.
+    fn apply_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut c = self
+                .rs
+                .completions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *c)
+        };
+        for c in done {
+            self.shared.note_queue_depth(-1);
+            let Some(conn) = self.conns.get_mut(c.slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.token != c.token {
+                continue; // the slot was reused; the requester is gone
             }
-            match action {
-                Action::Continue => {}
-                Action::Close => return,
-                Action::Rebuild => continue 'model,
+            let idx = (c.seq - conn.base_seq) as usize;
+            if let Some(s) = conn.slots.get_mut(idx) {
+                *s = Some(c.line);
+            }
+            self.pump(c.slot);
+        }
+    }
+
+    fn on_event(&mut self, ev: Event) {
+        let slot = ev.key;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if ev.readable && !conn.paused && !conn.closing {
+                read_socket(conn, self.shared.cfg.max_line);
+            }
+        }
+        self.pump(slot);
+    }
+
+    /// Drive one connection as far as it can go: extract and handle
+    /// complete request lines (unwind-isolated), move ready responses
+    /// into the write buffer, write, and either re-arm interest or
+    /// close.
+    fn pump(&mut self, slot: usize) {
+        loop {
+            if self.conns.get(slot).is_none_or(Option::is_none) {
+                return;
+            }
+            // A panic in per-connection handling (framing, parsing,
+            // inline ops) costs this one connection, never the reactor.
+            if catch_unwind(AssertUnwindSafe(|| self.extract_lines(slot))).is_err() {
+                self.shared.metrics.worker_panics.inc();
+                pm_obs::error!("serve.connection_panic");
+                self.drop_conn(slot);
+                return;
+            }
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            // Flush responses strictly in request order.
+            while let Some(Some(_)) = conn.slots.front() {
+                let line = conn.slots.pop_front().flatten().expect("checked Some");
+                conn.base_seq += 1;
+                conn.wbuf.extend_from_slice(line.as_bytes());
+                conn.wbuf.push(b'\n');
+            }
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wpos += n;
+                        conn.last_progress = Instant::now();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.wpos == conn.wbuf.len() && !conn.wbuf.is_empty() {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+            }
+            if conn.dead || (conn.closing && conn.drained()) {
+                self.drop_conn(slot);
+                return;
+            }
+            // Resume a pipeline-capped connection once half its slots
+            // have drained; buffered bytes may already hold more lines.
+            if conn.paused && !conn.closing && conn.slots.len() <= MAX_PIPELINE / 2 {
+                conn.paused = false;
+                continue;
+            }
+            let want = (
+                !conn.closing && !conn.paused && !conn.eof,
+                conn.wpos < conn.wbuf.len(),
+            );
+            if want != conn.interest {
+                let ev = Event {
+                    key: slot,
+                    readable: want.0,
+                    writable: want.1,
+                };
+                if self.rs.poller.modify(&conn.stream, ev).is_err() {
+                    self.drop_conn(slot);
+                } else {
+                    conn.interest = want;
+                }
+            }
+            return;
+        }
+    }
+
+    /// Pull complete lines out of the read buffer and handle each,
+    /// respecting the pipeline cap and the line-length bound.
+    fn extract_lines(&mut self, slot: usize) {
+        loop {
+            let max_line = self.shared.cfg.max_line;
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.closing || conn.dead {
+                return;
+            }
+            if conn.slots.len() >= MAX_PIPELINE {
+                conn.paused = true;
+                return;
+            }
+            let limit = conn.rbuf.len().min(max_line);
+            let nl = conn.rbuf[conn.scanned..limit]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| p + conn.scanned);
+            match nl {
+                Some(p) => {
+                    // Take the line (without its newline) off the buffer.
+                    let mut line: Vec<u8> = conn.rbuf.drain(..=p).collect();
+                    line.pop();
+                    conn.scanned = 0;
+                    self.handle_line(slot, &line);
+                }
+                None => {
+                    if conn.rbuf.len() >= max_line {
+                        // Same bound as the old blocking engine: a line
+                        // of up to max_line bytes *including* its
+                        // newline is served; no newline within the
+                        // first max_line bytes is refused.
+                        self.shared.metrics.oversized.inc();
+                        let msg =
+                            format!("request line exceeds {max_line} bytes: closing connection");
+                        self.enqueue_inline(slot, error_line(&msg), true);
+                        return;
+                    }
+                    conn.scanned = conn.rbuf.len();
+                    if conn.eof {
+                        // A final unterminated line (client sent a
+                        // request and half-closed) is still served.
+                        if !conn.rbuf.is_empty() {
+                            let line: Vec<u8> = std::mem::take(&mut conn.rbuf);
+                            conn.scanned = 0;
+                            self.handle_line(slot, &line);
+                        }
+                        if let Some(conn) = self.conns[slot].as_mut() {
+                            conn.closing = true;
+                        }
+                    }
+                    return;
+                }
             }
         }
     }
-}
 
-/// What the connection loop should do after a response.
-enum Action {
-    Continue,
-    Close,
-    Rebuild,
-}
-
-fn handle_request(
-    shared: &Shared,
-    model: &RuleModel,
-    matcher: &Matcher<'_>,
-    line: &str,
-) -> (String, Action) {
-    let request = match parse_request(line) {
-        Ok(r) => r,
-        Err(msg) => {
-            shared.metrics.parse_errors.inc();
-            pm_obs::debug!("serve.parse_error", msg = msg);
-            return (error_line(&msg), Action::Continue);
+    /// Handle one request line: answer inline ops immediately, stage
+    /// recommend jobs for the worker pool, forward reloads to the
+    /// executor.
+    fn handle_line(&mut self, slot: usize, bytes: &[u8]) {
+        pm_store::faults::apply_handle_panic();
+        let Ok(text) = std::str::from_utf8(bytes) else {
+            // Unlike every other malformed input this used to close the
+            // connection silently; answer and count it like any parse
+            // error, then close (binary garbage defeats line framing).
+            self.shared.metrics.parse_errors.inc();
+            pm_obs::debug!("serve.parse_error", msg = "request line is not valid UTF-8");
+            self.enqueue_inline(
+                slot,
+                error_line("bad request: request line is not valid UTF-8: closing connection"),
+                true,
+            );
+            return;
+        };
+        if text.trim().is_empty() {
+            return; // blank keep-alive lines are free
         }
-    };
-    shared.metrics.requests.inc();
-    match request {
-        Request::Ping => (
-            render(&obj(vec![
-                ("ok", Value::Bool(true)),
-                ("op", Value::Str("pong".into())),
-                ("generation", Value::U64(shared.handle.generation())),
-                ("rules", Value::U64(model.rules().len() as u64)),
-            ])),
-            Action::Continue,
-        ),
-        Request::Stats => (render(&stats_value(shared, model)), Action::Continue),
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::Release);
-            pm_obs::info!("serve.shutdown_requested");
-            (
-                render(&obj(vec![
+        let request = match parse_request(text) {
+            Ok(r) => r,
+            Err(msg) => {
+                self.shared.metrics.parse_errors.inc();
+                pm_obs::debug!("serve.parse_error", msg = msg);
+                self.enqueue_inline(slot, error_line(&msg), false);
+                return;
+            }
+        };
+        self.shared.metrics.requests.inc();
+        match request {
+            Request::Ping => {
+                // One snapshot for both fields: generation N is never
+                // paired with generation-M rule counts mid-reload.
+                let (generation, model) = self.shared.handle.snapshot();
+                let line = render(&obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("op", Value::Str("pong".into())),
+                    ("generation", Value::U64(generation)),
+                    ("rules", Value::U64(model.rules().len() as u64)),
+                ]));
+                self.enqueue_inline(slot, line, false);
+            }
+            Request::Stats => {
+                let line = render(&stats_value(&self.shared));
+                self.enqueue_inline(slot, line, false);
+            }
+            Request::Shutdown => {
+                pm_obs::info!("serve.shutdown_requested");
+                let line = render(&obj(vec![
                     ("ok", Value::Bool(true)),
                     ("op", Value::Str("bye".into())),
-                ])),
-                Action::Close,
-            )
-        }
-        Request::Reload { path } => handle_reload(shared, path),
-        Request::Recommend { sales, top } => {
-            shared.metrics.recommends.inc();
-            if let Err(msg) = validate_sales(model, &sales) {
-                return (error_line(&msg), Action::Continue);
+                ]));
+                self.enqueue_inline(slot, line, true);
+                self.shared.shutdown.store(true, Ordering::Release);
+                self.shared.wake_all_reactors();
             }
-            recommend_with_degradation(shared, model, matcher, &sales, top)
+            Request::Reload { path } => {
+                let Some((token, seq)) = self.reserve_slot(slot) else {
+                    return;
+                };
+                self.shared.note_queue_depth(1);
+                let job = ReloadJob {
+                    reactor: self.id,
+                    slot,
+                    token,
+                    seq,
+                    path,
+                };
+                if self.reload_tx.send(job).is_err() {
+                    self.shared.note_queue_depth(-1);
+                    self.fill_slot(
+                        slot,
+                        seq,
+                        error_line("reload failed, keeping current model: daemon is stopping"),
+                    );
+                }
+            }
+            Request::Recommend { sales, top } => {
+                self.shared.metrics.recommends.inc();
+                let Some((token, seq)) = self.reserve_slot(slot) else {
+                    return;
+                };
+                self.shared.note_queue_depth(1);
+                let shard = (customer_shard(&sales) % self.workers.len() as u64) as usize;
+                self.staged[shard].push(Job {
+                    reactor: self.id,
+                    slot,
+                    token,
+                    seq,
+                    sales,
+                    top,
+                });
+                if self.staged[shard].len() >= self.shared.cfg.batch.max(1) {
+                    self.send_batch(shard);
+                }
+            }
         }
     }
+
+    /// Append an already-rendered response in request order.
+    fn enqueue_inline(&mut self, slot: usize, line: String, close: bool) {
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.slots.push_back(Some(line));
+            conn.next_seq += 1;
+            if close {
+                conn.closing = true;
+            }
+        }
+    }
+
+    /// Reserve the next in-order response slot for an async request.
+    fn reserve_slot(&mut self, slot: usize) -> Option<(u64, u64)> {
+        let conn = self.conns[slot].as_mut()?;
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.slots.push_back(None);
+        Some((conn.token, seq))
+    }
+
+    /// Fill a reserved slot locally (used when a channel is gone).
+    fn fill_slot(&mut self, slot: usize, seq: u64, line: String) {
+        if let Some(conn) = self.conns[slot].as_mut() {
+            let idx = (seq - conn.base_seq) as usize;
+            if let Some(s) = conn.slots.get_mut(idx) {
+                *s = Some(line);
+            }
+        }
+    }
+
+    /// Ship one staged batch to its worker.
+    fn send_batch(&mut self, shard: usize) {
+        let batch = std::mem::take(&mut self.staged[shard]);
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as i64;
+        if self.workers[shard].send(batch).is_err() {
+            // Only possible during shutdown; the jobs are abandoned and
+            // the connections close when the reactor drains.
+            self.shared.note_queue_depth(-n);
+        }
+    }
+
+    /// Ship every non-empty staged batch (end of a wakeup cycle).
+    fn flush_staged(&mut self) {
+        for shard in 0..self.staged.len() {
+            self.send_batch(shard);
+        }
+    }
+
+    /// Enforce read and write-stall timeouts, coarsely.
+    fn sweep_timers(&mut self) {
+        if self.last_sweep.elapsed() < self.sweep_every() {
+            return;
+        }
+        self.last_sweep = Instant::now();
+        let read_timeout = self.shared.cfg.read_timeout;
+        let write_timeout = self.shared.cfg.write_timeout;
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            // A client that won't drain its responses is cut loose.
+            if conn.wpos < conn.wbuf.len() && conn.last_progress.elapsed() > write_timeout {
+                conn.dead = true;
+                self.pump(slot);
+                continue;
+            }
+            // Idle timeout only when nothing of the client's is in
+            // flight — a connection waiting on its own slow request is
+            // busy, not idle.
+            if !conn.closing && conn.slots.is_empty() && conn.last_read.elapsed() > read_timeout {
+                self.shared.metrics.read_timeouts.inc();
+                pm_obs::debug!("serve.read_timeout");
+                self.enqueue_inline(
+                    slot,
+                    error_line("read timeout: closing idle connection"),
+                    true,
+                );
+                self.pump(slot);
+            }
+        }
+    }
+
+    /// Close and free one connection.
+    fn drop_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.rs.poller.delete(&conn.stream);
+            self.free.push(slot);
+            self.shared.live_conns.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// On shutdown: give in-flight responses a short grace to flush
+    /// (the `bye` line, late worker completions), then exit. Idle
+    /// connections are dropped unserved, as the blocking engine did.
+    fn drain_and_exit(&mut self) {
+        self.flush_staged();
+        let deadline = Instant::now() + Duration::from_millis(500);
+        loop {
+            self.apply_completions();
+            for slot in 0..self.conns.len() {
+                if self.conns[slot].is_some() {
+                    self.pump(slot);
+                }
+            }
+            let pending = self.conns.iter().flatten().any(|c| !c.drained() && !c.dead);
+            if !pending || Instant::now() > deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Drain the socket into the connection's read buffer. Stops at
+/// `max_line` buffered bytes so one client cannot balloon reactor
+/// memory; level-triggered readiness re-delivers the rest.
+fn read_socket(conn: &mut Conn, max_line: usize) {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if conn.rbuf.len() >= max_line {
+            return;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                return;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                conn.last_read = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Compute worker: receives request batches, scores each batch against
+/// one model snapshot and one matcher index per generation. Rebuilt on
+/// reload (generation bump) and after any compute panic (the matcher's
+/// scratch is suspect after an unwind).
+fn compute_worker_loop(shared: &Arc<Shared>, rx: &Receiver<Vec<Job>>) {
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    let mut touched = vec![false; shared.reactors.len()];
+    'model: loop {
+        let (generation, model) = shared.handle.snapshot();
+        // An index that cannot even be built (a pathological reloaded
+        // model) degrades every answer instead of killing the worker.
+        let matcher = match catch_unwind(AssertUnwindSafe(|| Matcher::new(&model))) {
+            Ok(m) => Some(m),
+            Err(_) => {
+                shared.metrics.worker_panics.inc();
+                pm_obs::error!("serve.index_build_panic", generation = generation);
+                None
+            }
+        };
+        loop {
+            while let Some(job) = pending.pop_front() {
+                let rebuild = run_job(shared, &model, matcher.as_ref(), job, &mut touched);
+                if rebuild {
+                    wake_touched(shared, &mut touched);
+                    continue 'model;
+                }
+            }
+            wake_touched(shared, &mut touched);
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(batch) => {
+                    pending.extend(batch);
+                    if shared.handle.generation() != generation {
+                        continue 'model;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if shared.handle.generation() != generation {
+                        continue 'model;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+/// Wake every reactor that received a completion since the last flush.
+fn wake_touched(shared: &Shared, touched: &mut [bool]) {
+    for (id, t) in touched.iter_mut().enumerate() {
+        if std::mem::take(t) {
+            shared.reactors[id].wake();
+        }
+    }
+}
+
+/// Score one job and send its completion. Returns true when the matcher
+/// must be rebuilt before the next job.
+fn run_job(
+    shared: &Shared,
+    model: &RuleModel,
+    matcher: Option<&Matcher<'_>>,
+    job: Job,
+    touched: &mut [bool],
+) -> bool {
+    let _timer = shared.metrics.latency.time();
+    // Outer isolation: a panic outside the compute section (validation,
+    // rendering) costs one answer, not the worker thread.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Err(msg) = validate_sales(model, &job.sales) {
+            return (error_line(&msg), false);
+        }
+        recommend_with_degradation(shared, model, matcher, &job.sales, job.top)
+    }));
+    let (line, rebuild) = outcome.unwrap_or_else(|_| {
+        shared.metrics.worker_panics.inc();
+        pm_obs::error!("serve.worker_panic");
+        (
+            error_line("internal error: request handling panicked"),
+            true,
+        )
+    });
+    let reactor = &shared.reactors[job.reactor];
+    reactor
+        .completions
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Completion {
+            slot: job.slot,
+            token: job.token,
+            seq: job.seq,
+            line,
+        });
+    touched[job.reactor] = true;
+    rebuild
 }
 
 /// The compute section: matcher under a deadline, unwind-isolated.
@@ -606,38 +1311,34 @@ fn handle_request(
 fn recommend_with_degradation(
     shared: &Shared,
     model: &RuleModel,
-    matcher: &Matcher<'_>,
+    matcher: Option<&Matcher<'_>>,
     sales: &[pm_txn::Sale],
     top: usize,
-) -> (String, Action) {
+) -> (String, bool) {
     let start = Instant::now();
-    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let computed = catch_unwind(AssertUnwindSafe(|| {
         pm_store::faults::apply_compute_panic();
         pm_store::faults::apply_compute_delay();
+        let m = matcher.expect("index build panicked; degrading");
         if top == 1 {
-            vec![matcher.recommend(sales)]
+            vec![m.recommend(sales)]
         } else {
-            model.recommend_top_k(sales, top)
+            m.recommend_top_k(sales, top)
         }
     }));
     let elapsed = start.elapsed();
 
-    let (recs, degraded, reason, action) = match computed {
-        Ok(recs) if elapsed <= shared.cfg.deadline => (recs, false, "", Action::Continue),
+    let (recs, degraded, reason, rebuild) = match computed {
+        Ok(recs) if elapsed <= shared.cfg.deadline => (recs, false, "", false),
         Ok(_) => {
             pm_obs::error!("serve.deadline_blown", elapsed_ms = elapsed.as_millis());
-            (default_rule_recs(model), true, "deadline", Action::Continue)
+            (default_rule_recs(model), true, "deadline", false)
         }
         Err(_) => {
             // The matcher's scratch state is suspect after an unwind;
             // answer from the default rule and rebuild the index.
             pm_obs::error!("serve.matcher_panic");
-            (
-                default_rule_recs(model),
-                true,
-                "matcher_panic",
-                Action::Rebuild,
-            )
+            (default_rule_recs(model), true, "matcher_panic", true)
         }
     };
     if degraded {
@@ -655,15 +1356,20 @@ fn recommend_with_degradation(
         "recs",
         Value::Seq(recs.iter().map(|r| rec_value(model, r)).collect()),
     ));
-    (render(&obj(fields)), action)
+    (render(&obj(fields)), rebuild)
 }
 
 /// The degraded-mode answer: the default rule `∅ → g`, which is always
-/// the last rule of a built model and matches every customer.
+/// the last rule of a servable model and matches every customer.
+/// Infallible by construction — [`validate_servable`] rejects rule-less
+/// models at load time, and even if one slipped through, the answer is
+/// an empty recommendation list, not an underflow panic.
 fn default_rule_recs(model: &RuleModel) -> Vec<Recommendation> {
-    let idx = model.rules().len() - 1;
+    let Some(idx) = model.rules().len().checked_sub(1) else {
+        return Vec::new();
+    };
     let r = &model.rules()[idx];
-    debug_assert!(r.is_default, "models end with the default rule");
+    debug_assert!(r.is_default, "servable models end with the default rule");
     vec![Recommendation {
         item: r.item,
         code: r.code,
@@ -674,9 +1380,39 @@ fn default_rule_recs(model: &RuleModel) -> Vec<Recommendation> {
     }]
 }
 
+/// Reload executor: validates replacement models off the serving path,
+/// serially, and swaps them into the shared handle.
+fn reload_executor_loop(shared: &Arc<Shared>, rx: &Receiver<ReloadJob>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => {
+                let line = handle_reload(shared, job.path);
+                let reactor = &shared.reactors[job.reactor];
+                reactor
+                    .completions
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Completion {
+                        slot: job.slot,
+                        token: job.token,
+                        seq: job.seq,
+                        line,
+                    });
+                reactor.wake();
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
 /// Validate a replacement model off the serving path and swap it in;
 /// any failure keeps the old model.
-fn handle_reload(shared: &Shared, path: Option<String>) -> (String, Action) {
+fn handle_reload(shared: &Shared, path: Option<String>) -> String {
     let target: PathBuf = match &path {
         Some(p) => PathBuf::from(p),
         None => shared
@@ -688,9 +1424,9 @@ fn handle_reload(shared: &Shared, path: Option<String>) -> (String, Action) {
     pm_obs::info!("serve.reload_start", path = target.display());
     // Dedicated thread: model validation is unwind-isolated, so a
     // panicking deserializer degrades to a reload failure, not a dead
-    // worker.
+    // executor.
     let loaded = std::thread::Builder::new()
-        .name("pm-serve-reload".into())
+        .name("pm-serve-reload-validate".into())
         .spawn({
             let target = target.clone();
             move || load_model(&target)
@@ -709,41 +1445,34 @@ fn handle_reload(shared: &Shared, path: Option<String>) -> (String, Action) {
                 path = target.display(),
                 generation = generation
             );
-            (
-                render(&obj(vec![
-                    ("ok", Value::Bool(true)),
-                    ("op", Value::Str("reloaded".into())),
-                    ("generation", Value::U64(generation)),
-                    ("rules", Value::U64(rules)),
-                ])),
-                // This worker's own matcher snapshot is now stale.
-                Action::Rebuild,
-            )
+            render(&obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", Value::Str("reloaded".into())),
+                ("generation", Value::U64(generation)),
+                ("rules", Value::U64(rules)),
+            ]))
         }
         Ok(Ok(Err(e))) => {
             shared.metrics.reload_failures.inc();
             pm_obs::error!("serve.reload_failed", path = target.display(), err = e);
-            (
-                error_line(&format!("reload failed, keeping current model: {e}")),
-                Action::Continue,
-            )
+            error_line(&format!("reload failed, keeping current model: {e}"))
         }
         Ok(Err(_)) | Err(_) => {
             shared.metrics.reload_failures.inc();
             pm_obs::error!("serve.reload_panicked", path = target.display());
-            (
-                error_line("reload failed, keeping current model: validation panicked"),
-                Action::Continue,
-            )
+            error_line("reload failed, keeping current model: validation panicked")
         }
     }
 }
 
-fn stats_value(shared: &Shared, model: &RuleModel) -> Value {
+fn stats_value(shared: &Shared) -> Value {
     let m = &shared.metrics;
+    // One snapshot for generation and rules: during a reload window a
+    // client never sees generation N+1 paired with generation-N counts.
+    let (generation, model) = shared.handle.snapshot();
     obj(vec![
         ("ok", Value::Bool(true)),
-        ("generation", Value::U64(shared.handle.generation())),
+        ("generation", Value::U64(generation)),
         ("rules", Value::U64(model.rules().len() as u64)),
         ("requests", Value::U64(m.requests.get())),
         ("recommends", Value::U64(m.recommends.get())),
@@ -754,6 +1483,7 @@ fn stats_value(shared: &Shared, model: &RuleModel) -> Value {
         ("parse_errors", Value::U64(m.parse_errors.get())),
         ("reloads", Value::U64(m.reloads.get())),
         ("reload_failures", Value::U64(m.reload_failures.get())),
+        ("worker_panics", Value::U64(m.worker_panics.get())),
         ("connections", Value::U64(m.connections.get())),
     ])
 }

@@ -1,0 +1,410 @@
+//! Regression tests for the event-driven engine and the degraded-path
+//! panic-safety sweep: rule-less model rejection, per-connection panic
+//! isolation, consistent (generation, rules) reporting under reload,
+//! non-UTF-8 request handling, response ordering under pipelining, and
+//! the portable poll(2) fallback backend.
+//!
+//! Every test takes `pm_store::faults::test_lock()` so that the
+//! process-global fault hooks (and the backend env var) never leak
+//! between concurrently scheduled tests in this binary.
+
+use pm_datagen::DatasetConfig;
+use pm_rules::{MinerConfig, Support};
+use pm_serve::protocol::{obj, rec_value, render};
+use pm_serve::{ServeConfig, Server};
+use pm_store::faults;
+use pm_txn::{Sale, TransactionSet};
+use profit_core::{CutConfig, Matcher, ProfitMiner, Recommender, RuleModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct Fixture {
+    json: String,
+    model: RuleModel,
+    customers: Vec<Vec<Sale>>,
+}
+
+fn build_fixture(seed: u64) -> Fixture {
+    let data: TransactionSet = DatasetConfig::dataset_i()
+        .with_transactions(300)
+        .with_items(60)
+        .generate(&mut StdRng::seed_from_u64(seed));
+    let model = ProfitMiner::new(MinerConfig {
+        min_support: Support::Fraction(0.03),
+        max_body_len: 2,
+        ..MinerConfig::default()
+    })
+    .with_cut(CutConfig::default())
+    .fit(&data);
+    let customers = data
+        .transactions()
+        .iter()
+        .take(10)
+        .map(|t| t.non_target_sales().to_vec())
+        .collect();
+    Fixture {
+        json: serde_json::to_string(&model.save()).unwrap(),
+        model,
+        customers,
+    }
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| build_fixture(7))
+}
+
+fn fixture_b() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| build_fixture(4242))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pm-reactor-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn sealed_model_file(dir: &std::path::Path, name: &str, fix: &Fixture) -> PathBuf {
+    let p = dir.join(name);
+    pm_store::save_sealed(&p, fix.json.as_bytes()).unwrap();
+    p
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.recv()
+    }
+
+    fn recv(&mut self) -> String {
+        let mut buf = String::new();
+        self.reader.read_line(&mut buf).expect("read response");
+        buf.trim_end().to_string()
+    }
+}
+
+fn recommend_line(customer: &[Sale]) -> String {
+    let sales: Vec<String> = customer
+        .iter()
+        .map(|s| format!("[{},{},{}]", s.item.0, s.code.0, s.qty))
+        .collect();
+    format!(r#"{{"op":"recommend","sales":[{}]}}"#, sales.join(","))
+}
+
+fn expected_line(model: &RuleModel, customer: &[Sale]) -> String {
+    let matcher = Matcher::new(model);
+    let rec = matcher.recommend(customer);
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("degraded", Value::Bool(false)),
+        ("recs", Value::Seq(vec![rec_value(model, &rec)])),
+    ]))
+}
+
+fn json_u64(line: &str, key: &str) -> u64 {
+    let v: Value = serde_json::from_str(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    let Value::Map(m) = v else { panic!("{line}") };
+    match m.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        Some(Value::U64(u)) => *u,
+        other => panic!("no u64 {key} in {line}: {other:?}"),
+    }
+}
+
+/// The old engine computed `rules().len() - 1` on the degraded path, so
+/// a hand-crafted rule-less legacy file underflow-panicked a worker at
+/// serve time. Now such models are rejected with a typed error at
+/// startup and at reload, and the old model keeps serving.
+#[test]
+fn rule_less_models_are_rejected_at_startup_and_reload() {
+    let _guard = faults::test_lock();
+    let fix = fixture();
+    let dir = tmp_dir("ruleless");
+
+    // A legacy raw-JSON model file with zero rules.
+    let mut saved: profit_core::SavedModel = serde_json::from_str(&fix.json).unwrap();
+    saved.rules.clear();
+    let empty_path = dir.join("empty.json");
+    std::fs::write(&empty_path, serde_json::to_string(&saved).unwrap()).unwrap();
+
+    // And one whose last rule is not the default rule (fixture_b has
+    // plenty of non-default rules to keep).
+    let mut saved: profit_core::SavedModel = serde_json::from_str(&fixture_b().json).unwrap();
+    saved.rules.retain(|r| !r.is_default);
+    assert!(!saved.rules.is_empty(), "fixture needs non-default rules");
+    let no_default_path = dir.join("no-default.json");
+    std::fs::write(&no_default_path, serde_json::to_string(&saved).unwrap()).unwrap();
+
+    // Startup refuses both, with a typed, printable error.
+    for (path, needle) in [
+        (&empty_path, "no rules"),
+        (&no_default_path, "not the default rule"),
+    ] {
+        let err = Server::start("127.0.0.1:0", path, ServeConfig::default())
+            .err()
+            .expect("unservable model must be rejected");
+        assert!(
+            matches!(err, pm_serve::ServeError::Degenerate { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("unservable model"), "{err}");
+        assert!(err.to_string().contains(needle), "{err}");
+    }
+
+    // A reload pointing at the rule-less file fails cleanly and the old
+    // model keeps serving exact answers on the same connection.
+    let good = sealed_model_file(&dir, "good.pm", fix);
+    let server = Server::start("127.0.0.1:0", &good, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+    let resp = c.send(&format!(
+        r#"{{"op":"reload","model":{}}}"#,
+        serde_json::to_string(&Value::Str(empty_path.display().to_string())).unwrap()
+    ));
+    assert!(resp.contains("keeping current model"), "{resp}");
+    assert!(resp.contains("unservable model"), "{resp}");
+    assert_eq!(server.generation(), 1);
+    let customer = &fix.customers[0];
+    assert_eq!(
+        c.send(&recommend_line(customer)),
+        expected_line(&fix.model, customer)
+    );
+    assert!(c.send(r#"{"op":"shutdown"}"#).contains("bye"));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A panic in per-connection handling outside the compute section used
+/// to unwind through `worker_loop` and kill the thread silently,
+/// permanently shrinking capacity. Now it costs the one connection, is
+/// counted under `serve.worker_panics`, and the daemon keeps answering.
+#[test]
+fn injected_handle_panic_is_isolated_counted_and_survivable() {
+    let _guard = faults::test_lock();
+    let fix = fixture();
+    let dir = tmp_dir("panic");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    // One worker: on the old engine this panic would have left zero
+    // serving capacity.
+    let cfg = ServeConfig {
+        workers: 1,
+        io_threads: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", &path, cfg).unwrap();
+
+    let mut victim = Client::connect(server.addr());
+    faults::set_handle_panic(true);
+    writeln!(victim.writer, r#"{{"op":"ping"}}"#).unwrap();
+    // The panicking connection is dropped without an answer.
+    let mut rest = String::new();
+    assert_eq!(
+        victim.reader.read_to_string(&mut rest).unwrap(),
+        0,
+        "victim connection must be closed, got {rest:?}"
+    );
+
+    // The daemon still answers — including real compute — and admits to
+    // the panic in its stats.
+    let mut c = Client::connect(server.addr());
+    let pong = c.send(r#"{"op":"ping"}"#);
+    assert!(pong.contains(r#""op":"pong""#), "{pong}");
+    let customer = &fix.customers[1];
+    assert_eq!(
+        c.send(&recommend_line(customer)),
+        expected_line(&fix.model, customer)
+    );
+    let stats = c.send(r#"{"op":"stats"}"#);
+    assert_eq!(json_u64(&stats, "worker_panics"), 1, "{stats}");
+
+    assert!(c.send(r#"{"op":"shutdown"}"#).contains("bye"));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `ping` and `stats` used to pair a *live* `handle.generation()` with
+/// the connection's *stale* snapshot's rule count, so during a reload
+/// window a client saw generation N+1 with generation-N rules. Both now
+/// report one coherent snapshot pair.
+#[test]
+fn ping_reports_consistent_generation_rules_pair_during_reload() {
+    let _guard = faults::test_lock();
+    let fix_a = fixture();
+    let fix_b = fixture_b();
+    let rules_a = fix_a.model.rules().len() as u64;
+    let rules_b = fix_b.model.rules().len() as u64;
+    assert_ne!(
+        rules_a, rules_b,
+        "fixtures must differ in rule count for this test to bite"
+    );
+    let dir = tmp_dir("genrace");
+    let path_a = sealed_model_file(&dir, "a.pm", fix_a);
+    let path_b = sealed_model_file(&dir, "b.pm", fix_b);
+
+    let server = Server::start("127.0.0.1:0", &path_a, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // One connection reloads A↔B as fast as it can; others ping and
+    // assert every observed (generation, rules) pair is coherent:
+    // generation 1, 3, 5, … serve model A; 2, 4, 6, … serve model B.
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut c = Client::connect(addr);
+            for i in 0..30 {
+                let target = if i % 2 == 0 { &path_b } else { &path_a };
+                let resp = c.send(&format!(
+                    r#"{{"op":"reload","model":{}}}"#,
+                    serde_json::to_string(&Value::Str(target.display().to_string())).unwrap()
+                ));
+                assert!(resp.contains(r#""op":"reloaded""#), "{resp}");
+            }
+        });
+        for _ in 0..2 {
+            s.spawn(|| {
+                let mut c = Client::connect(addr);
+                for _ in 0..200 {
+                    for op in [r#"{"op":"ping"}"#, r#"{"op":"stats"}"#] {
+                        let resp = c.send(op);
+                        let generation = json_u64(&resp, "generation");
+                        let rules = json_u64(&resp, "rules");
+                        let want = if generation % 2 == 1 {
+                            rules_a
+                        } else {
+                            rules_b
+                        };
+                        assert_eq!(
+                            rules, want,
+                            "generation {generation} paired with wrong rule count: {resp}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let mut c = Client::connect(addr);
+    assert!(c.send(r#"{"op":"shutdown"}"#).contains("bye"));
+    let summary = server.join();
+    assert_eq!(summary.reloads, 30);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Non-UTF-8 request bytes used to surface as `InvalidData`, classified
+/// `Broken`, and the connection closed silently — no error line, no
+/// counter. Now the client gets a `bad request` line, the event is
+/// counted under `serve.parse_errors`, and the connection is closed
+/// cleanly.
+#[test]
+fn non_utf8_request_bytes_get_an_error_line_and_are_counted() {
+    let _guard = faults::test_lock();
+    let fix = fixture();
+    let dir = tmp_dir("utf8");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+
+    // A raw-bytes client: invalid UTF-8, newline-terminated.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    raw.write_all(b"\xff\xfe{\"op\":\"ping\"}\n").unwrap();
+    let mut resp = String::new();
+    BufReader::new(raw.try_clone().unwrap())
+        .read_line(&mut resp)
+        .unwrap();
+    assert!(resp.starts_with(r#"{"ok":false,"error":"#), "{resp}");
+    assert!(resp.contains("not valid UTF-8"), "{resp}");
+    // …and then a clean EOF, not a hang.
+    let mut rest = String::new();
+    assert_eq!(
+        BufReader::new(raw).read_to_string(&mut rest).unwrap(),
+        0,
+        "{rest}"
+    );
+
+    let mut c = Client::connect(server.addr());
+    let stats = c.send(r#"{"op":"stats"}"#);
+    assert_eq!(json_u64(&stats, "parse_errors"), 1, "{stats}");
+    assert!(c.send(r#"{"op":"shutdown"}"#).contains("bye"));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Pipelined clients get responses strictly in request order, even when
+/// inline ops (ping) interleave with pool-computed recommendations.
+#[test]
+fn pipelined_requests_flush_in_request_order() {
+    let _guard = faults::test_lock();
+    let fix = fixture();
+    let dir = tmp_dir("pipeline");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+
+    // Fire a burst without reading: recommend/ping alternating.
+    let mut expected = Vec::new();
+    for round in 0..50 {
+        let customer = &fix.customers[round % fix.customers.len()];
+        writeln!(c.writer, "{}", recommend_line(customer)).unwrap();
+        expected.push(expected_line(&fix.model, customer));
+        writeln!(c.writer, r#"{{"op":"ping"}}"#).unwrap();
+        expected.push("ping".to_string());
+    }
+    for (i, want) in expected.iter().enumerate() {
+        let got = c.recv();
+        if want == "ping" {
+            assert!(got.contains(r#""op":"pong""#), "response {i}: {got}");
+        } else {
+            assert_eq!(&got, want, "response {i}");
+        }
+    }
+
+    assert!(c.send(r#"{"op":"shutdown"}"#).contains("bye"));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The portable poll(2) fallback backend serves the same bytes as the
+/// epoll backend (`PM_POLL_BACKEND=poll` forces it).
+#[test]
+fn poll_fallback_backend_serves_identically() {
+    let _guard = faults::test_lock();
+    std::env::set_var("PM_POLL_BACKEND", "poll");
+    let fix = fixture();
+    let dir = tmp_dir("pollback");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+    for customer in &fix.customers {
+        assert_eq!(
+            c.send(&recommend_line(customer)),
+            expected_line(&fix.model, customer)
+        );
+    }
+    let pong = c.send(r#"{"op":"ping"}"#);
+    assert!(pong.contains(r#""generation":1"#), "{pong}");
+    assert!(c.send(r#"{"op":"shutdown"}"#).contains("bye"));
+    server.join();
+    std::env::remove_var("PM_POLL_BACKEND");
+    std::fs::remove_dir_all(&dir).ok();
+}

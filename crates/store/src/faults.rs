@@ -20,7 +20,11 @@
 //!   disk / cold NFS), for reload-under-latency tests;
 //! * [`set_compute_delay_ms`] / [`set_compute_panic`] — consulted by
 //!   `pm-serve` inside its per-request compute section, to force the
-//!   deadline-blown and matcher-error degraded paths.
+//!   deadline-blown and matcher-error degraded paths;
+//! * [`set_handle_panic`] — consulted by `pm-serve` in its
+//!   per-connection handling *outside* the compute section, to prove
+//!   that a panic there is unwind-isolated (counted, logged, connection
+//!   dropped) instead of killing the worker thread.
 //!
 //! Because the hooks are process-global, tests that use them must not
 //! run concurrently with each other: take [`test_lock`] first (it also
@@ -41,6 +45,7 @@ static CORRUPT_BYTE_AT: AtomicUsize = AtomicUsize::new(OFF);
 static READ_DELAY_MS: AtomicU64 = AtomicU64::new(0);
 static COMPUTE_DELAY_MS: AtomicU64 = AtomicU64::new(0);
 static COMPUTE_PANIC: AtomicBool = AtomicBool::new(false);
+static HANDLE_PANIC: AtomicBool = AtomicBool::new(false);
 
 /// Make the next writes crash after persisting `k` payload bytes.
 pub fn set_torn_write_at(k: Option<usize>) {
@@ -122,6 +127,23 @@ pub fn apply_compute_panic() {
     }
 }
 
+/// Make `pm-serve`'s per-connection handling panic *outside* the
+/// unwind-isolated compute section — a stand-in for a bug anywhere in
+/// the request path — to exercise the connection-level panic isolation.
+/// One-shot: the hook disarms itself when it fires, so the daemon can be
+/// shown to keep answering afterwards.
+pub fn set_handle_panic(on: bool) {
+    HANDLE_PANIC.store(on, Ordering::Relaxed);
+}
+
+/// Panic (once) if the handle-panic fault is armed. Called by `pm-serve`
+/// in per-connection handling, outside the compute section.
+pub fn apply_handle_panic() {
+    if HANDLE_PANIC.swap(false, Ordering::Relaxed) {
+        panic!("injected connection-handling panic (pm_store::faults::set_handle_panic)");
+    }
+}
+
 /// Reset every hook to off.
 pub fn reset() {
     set_torn_write_at(None);
@@ -130,6 +152,7 @@ pub fn reset() {
     set_read_delay_ms(0);
     set_compute_delay_ms(0);
     set_compute_panic(false);
+    set_handle_panic(false);
 }
 
 /// Drop guard from [`test_lock`]: resets all hooks and releases the
@@ -170,12 +193,23 @@ mod tests {
         set_corrupt_byte_at(Some(0));
         set_compute_delay_ms(5);
         set_compute_panic(true);
+        set_handle_panic(true);
         assert_eq!(torn_write_at(), Some(7));
         reset();
         assert_eq!(torn_write_at(), None);
         assert_eq!(short_read_at(), None);
         assert_eq!(corrupt_byte_at(), None);
         apply_compute_panic(); // must not panic after reset
+        apply_handle_panic(); // must not panic after reset
+    }
+
+    #[test]
+    fn handle_panic_is_one_shot() {
+        let _guard = test_lock();
+        set_handle_panic(true);
+        assert!(std::panic::catch_unwind(apply_handle_panic).is_err());
+        // The hook disarmed itself on firing.
+        apply_handle_panic();
     }
 
     #[test]
