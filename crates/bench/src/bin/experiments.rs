@@ -35,7 +35,7 @@
 
 use pm_eval::experiments::{self, Dataset, Scale};
 use pm_eval::Table;
-use pm_rules::{ExtendedData, MinerConfig, MoaMode, RuleMiner, Support, TidPolicy};
+use pm_rules::{ExtendedData, MinerConfig, MoaMode, PrunePolicy, RuleMiner, Support, TidPolicy};
 use pm_txn::Moa;
 use profit_core::{CutConfig, Matcher, Recommender, RuleModel};
 use serde::Serialize;
@@ -209,6 +209,21 @@ struct PhaseTime {
     millis: f64,
 }
 
+/// The upper-bound pruning cell of `BENCH_mining.json`: the mine phase
+/// with `PrunePolicy::Off` vs `Upper` on the low-minsup Quest preset,
+/// plus the pruning counters the run accumulated.
+#[derive(Serialize)]
+struct PruneBench {
+    transactions: usize,
+    minsup: f64,
+    rules: usize,
+    mine_off_millis: f64,
+    mine_upper_millis: f64,
+    speedup: f64,
+    ub_evaluated: u64,
+    ub_pruned: u64,
+}
+
 /// The `BENCH_mining.json` document.
 #[derive(Serialize)]
 struct MiningBench {
@@ -219,6 +234,7 @@ struct MiningBench {
     rules: usize,
     customers_served: usize,
     phases: Vec<PhaseTime>,
+    prune_low_minsup: PruneBench,
 }
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -296,6 +312,68 @@ fn bench_mining(opts: &Options) {
     record("serve-linear", t);
     assert_eq!(indexed, linear, "indexed and linear serving disagree");
 
+    // Upper-bound pruning cell: mine the single-target low-minsup Quest
+    // preset — the regime where most of the candidate lattice is
+    // marginally frequent but dominated by the default rule — with
+    // pruning off and on, under the CLI's default emission filters
+    // (min-conf 0.5, dominance prefilter), and prove the outputs equal.
+    let low_minsup = 0.001;
+    let low_cfg = MinerConfig {
+        min_support: Support::Fraction(low_minsup),
+        max_body_len: 4,
+        min_confidence: Some(0.5),
+        // The ranked list's admission floor: only rules whose total
+        // profit reaches the top region are kept, which is what the
+        // transaction-level margin bound prunes against (the HUIM
+        // minutil analogue; see DESIGN.md §14). 150 keeps the top few
+        // thousand of ~1.4M frequent rules at this scale.
+        min_rule_profit: Some(150.0),
+        prune_default_dominated: true,
+        ..MinerConfig::default()
+    };
+    use rand::SeedableRng;
+    let (low_data, t) = timed(|| {
+        pm_datagen::DatasetConfig::quest_low_minsup()
+            .with_transactions(opts.scale.transactions)
+            .generate(&mut rand::rngs::StdRng::seed_from_u64(opts.seed))
+    });
+    record("generate-lowminsup", t);
+    let low_moa = || Moa::new(low_data.catalog_arc(), low_data.hierarchy_arc(), true);
+    let (low_ext, t) = timed(|| ExtendedData::build(&low_data, &low_moa(), low_cfg.quantity));
+    record("extend-lowminsup", t);
+    let low_miner = |prune| {
+        RuleMiner::new(low_cfg)
+            .with_threads(opts.threads)
+            .with_prune(prune)
+    };
+    let ub_evaluated = pm_obs::counter("mine.ub_evaluated").get();
+    let ub_pruned = pm_obs::counter("mine.ub_pruned").get();
+    let (off, t_off) =
+        timed(|| low_miner(PrunePolicy::Off).mine_extended(low_ext.clone(), low_moa()));
+    record("mine-lowminsup-off", t_off);
+    let (upper, t_upper) =
+        timed(|| low_miner(PrunePolicy::Upper).mine_extended(low_ext, low_moa()));
+    record("mine-lowminsup-upper", t_upper);
+    assert_eq!(
+        off.rules(),
+        upper.rules(),
+        "pruning changed the mined rule set"
+    );
+    let prune_low_minsup = PruneBench {
+        transactions: opts.scale.transactions,
+        minsup: low_minsup,
+        rules: upper.rules().len(),
+        mine_off_millis: t_off,
+        mine_upper_millis: t_upper,
+        speedup: t_off / t_upper,
+        ub_evaluated: pm_obs::counter("mine.ub_evaluated").get() - ub_evaluated,
+        ub_pruned: pm_obs::counter("mine.ub_pruned").get() - ub_pruned,
+    };
+    eprintln!(
+        "  prune speedup   {:9.2}x ({} of {} subtrees cut)",
+        prune_low_minsup.speedup, prune_low_minsup.ub_pruned, prune_low_minsup.ub_evaluated
+    );
+
     let doc = MiningBench {
         transactions: opts.scale.transactions,
         items: opts.scale.items,
@@ -304,6 +382,7 @@ fn bench_mining(opts: &Options) {
         rules: model.rules().len(),
         customers_served: customers.len(),
         phases,
+        prune_low_minsup,
     };
     let json = serde_json::to_string_pretty(&doc).expect("serialize bench summary");
     if let Some(dir) = &opts.out {

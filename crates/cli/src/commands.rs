@@ -4,7 +4,7 @@ use crate::args::{ArgMap, CliError};
 use pm_baselines::MostProfitableItem;
 use pm_datagen::DatasetConfig;
 use pm_eval::runner::{run_sweep, EvalConfig};
-use pm_rules::{MinerConfig, MoaMode, ProfitMode, Support, TidPolicy};
+use pm_rules::{MinerConfig, MoaMode, ProfitMode, PrunePolicy, Support, TidPolicy};
 use pm_txn::{QuantityModel, Sale, TransactionSet};
 use profit_core::{CutConfig, Matcher, ProfitMiner, Recommendation, Recommender, RuleModel};
 use rand::rngs::StdRng;
@@ -74,6 +74,21 @@ fn tidset(args: &ArgMap) -> Result<TidPolicy, CliError> {
     }
 }
 
+/// `--prune auto|off|upper`: the miner's profit upper-bound pruning
+/// policy (default `auto`, which honors `PM_PRUNE`). Mined models are
+/// byte-identical at every setting — pruning only skips DFS subtrees
+/// that provably emit nothing.
+fn prune(args: &ArgMap) -> Result<PrunePolicy, CliError> {
+    match args.get("--prune") {
+        None | Some("auto") => Ok(PrunePolicy::Auto),
+        Some("off") => Ok(PrunePolicy::Off),
+        Some("upper") => Ok(PrunePolicy::Upper),
+        Some(other) => Err(CliError::Usage(format!(
+            "--prune must be auto, off, or upper, got {other:?}"
+        ))),
+    }
+}
+
 fn miner_config(args: &ArgMap) -> Result<MinerConfig, CliError> {
     let minsup: f64 = args.get_or("--minsup", 0.001)?;
     if !(0.0..=1.0).contains(&minsup) || minsup == 0.0 {
@@ -101,7 +116,15 @@ fn miner_config(args: &ArgMap) -> Result<MinerConfig, CliError> {
                 (f > 0.0).then_some(f)
             }
         },
-        min_rule_profit: None,
+        min_rule_profit: match args.get("--min-profit") {
+            None => None,
+            Some(v) => {
+                let f: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage("--min-profit: bad number".into()))?;
+                (f > 0.0).then_some(f)
+            }
+        },
         prune_default_dominated: true,
     })
 }
@@ -162,6 +185,7 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
         .with_cut(cut)
         .with_threads(threads(args)?)
         .with_tidset(tidset(args)?)
+        .with_prune(prune(args)?)
         .fit(&data);
     let stats = *model.stats();
     let payload =

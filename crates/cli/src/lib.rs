@@ -42,9 +42,9 @@ profit-mining — build profit-maximizing item/price recommenders (EDBT 2002)
 USAGE
   profit-mining gen        --out data.json [--dataset i|ii] [--txns N] [--items N] [--seed N]
   profit-mining fit        --data data.json --out model.json [--minsup F] [--max-body N]
-                           [--no-moa] [--conf] [--no-prune] [--min-conf F] [--buying]
-                           [--threads N] [--tidset auto|dense|adaptive|sparse]
-                           [--metrics metrics.json]
+                           [--no-moa] [--conf] [--no-prune] [--min-conf F] [--min-profit F]
+                           [--buying] [--threads N] [--tidset auto|dense|adaptive|sparse]
+                           [--prune auto|off|upper] [--metrics metrics.json]
   profit-mining recommend  --data data.json --model model.json [--txn N] [--top K] [--all]
                            [--metrics metrics.json]
   profit-mining rules      --model model.json [--top N]
@@ -61,8 +61,11 @@ USAGE
 
   --threads N selects the worker-thread count for mining and evaluation
   (0 = all cores, the default; 1 = sequential). --tidset selects the
-  miner's tidset representation (auto honors the PM_TIDSET env var).
-  Output is bit-identical at every setting of either.
+  miner's tidset representation (auto honors the PM_TIDSET env var),
+  and --prune the profit upper-bound pruning policy (auto honors
+  PM_PRUNE; anything but \"off\" enables). Output is bit-identical at
+  every setting of any of them. --min-profit F admits only rules with
+  body profit ≥ F — the absolute floor the pruner cuts hardest against.
 
   recommend --all serves every customer in --data through the indexed
   rule matcher and prints a per-(item, code) summary plus the serving

@@ -4,6 +4,7 @@
 //! profit-mining gen        --out data.json [--dataset i|ii] [--txns N] [--items N] [--seed N]
 //! profit-mining fit        --data data.json --out model.json [--minsup F] [--max-body N]
 //!                          [--no-moa] [--conf] [--no-prune] [--min-conf F]
+//!                          [--min-profit F] [--prune auto|off|upper]
 //! profit-mining recommend  --data data.json --model model.json [--txn N | --items a,b,c]
 //! profit-mining rules      --model model.json [--top N]
 //! profit-mining eval       --data data.json [--minsup F] [--folds N] [--buying] [--seed N]

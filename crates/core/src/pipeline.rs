@@ -1,7 +1,7 @@
 //! One-call pipeline: mine → rank → prune → recommender.
 
 use crate::model::RuleModel;
-use pm_rules::{MinerConfig, ProfitMode, RuleMiner, Support, TidPolicy};
+use pm_rules::{MinerConfig, ProfitMode, PrunePolicy, RuleMiner, Support, TidPolicy};
 use pm_txn::TransactionSet;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +54,7 @@ pub struct ProfitMiner {
     cut: CutConfig,
     threads: usize,
     tidset: TidPolicy,
+    prune: PrunePolicy,
 }
 
 impl ProfitMiner {
@@ -66,6 +67,7 @@ impl ProfitMiner {
             cut: CutConfig::default(),
             threads: 0,
             tidset: TidPolicy::Auto,
+            prune: PrunePolicy::Auto,
         }
     }
 
@@ -100,6 +102,20 @@ impl ProfitMiner {
         self.tidset
     }
 
+    /// Set the miner's upper-bound pruning policy (default
+    /// [`PrunePolicy::Auto`], honoring `PM_PRUNE`). The fitted model is
+    /// byte-identical under every policy — the bound only cuts DFS
+    /// subtrees that provably emit nothing.
+    pub fn with_prune(mut self, prune: PrunePolicy) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// The configured pruning policy.
+    pub fn prune(&self) -> PrunePolicy {
+        self.prune
+    }
+
     /// The mining configuration.
     pub fn miner_config(&self) -> &MinerConfig {
         &self.miner
@@ -122,6 +138,7 @@ impl ProfitMiner {
             RuleMiner::new(self.miner)
                 .with_threads(self.threads)
                 .with_tidset(self.tidset)
+                .with_prune(self.prune)
                 .mine(data)
         };
         let _span = pm_obs::span("fit.build");
@@ -215,6 +232,30 @@ mod tests {
         for threads in [2usize, 8] {
             assert_eq!(sequential, fit_json(threads), "threads {threads}");
         }
+    }
+
+    /// End-to-end determinism across pruning policies: the upper bound
+    /// only cuts subtrees that provably emit nothing, so the serialized
+    /// model bytes must match with pruning off and on — including under
+    /// the default confidence/dominance filters the CLI uses.
+    #[test]
+    fn prune_policy_is_invisible_in_the_fitted_model() {
+        let ds = DatasetConfig::dataset_i()
+            .with_transactions(400)
+            .with_items(100)
+            .generate(&mut StdRng::seed_from_u64(11));
+        let fit_json = |prune: PrunePolicy| {
+            let model = ProfitMiner::new(MinerConfig {
+                min_support: Support::Fraction(0.03),
+                max_body_len: 3,
+                min_confidence: Some(0.5),
+                ..MinerConfig::default()
+            })
+            .with_prune(prune)
+            .fit(&ds);
+            serde_json::to_string(&model.save()).unwrap()
+        };
+        assert_eq!(fit_json(PrunePolicy::Off), fit_json(PrunePolicy::Upper));
     }
 
     #[test]

@@ -51,7 +51,7 @@ proptest! {
                 );
                 let matcher = Matcher::new(&model);
 
-                let mut check = |c: &[Sale]| -> Result<(), String> {
+                let check = |c: &[Sale]| -> Result<(), String> {
                     for k in [0usize, 1, 2, 3, 5, 10, 100] {
                         prop_assert_eq!(
                             &matcher.recommend_top_k(c, k),

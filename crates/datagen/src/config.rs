@@ -116,6 +116,25 @@ impl DatasetConfig {
         cfg
     }
 
+    /// A **low-minsup pruning benchmark** preset: a single target item
+    /// over a wide, pattern-rich Quest universe. At minsup fractions
+    /// around 0.2–0.5% the body lattice is dominated by
+    /// marginally-frequent bodies whose heads cannot beat the default
+    /// rule's admission floor — exactly the region the miner's profit
+    /// upper bound prunes (a single target saturates the floor's
+    /// confidence arm, so admission hinges on profit alone; see
+    /// DESIGN.md §14). Scale with [`Self::with_transactions`]; avoid
+    /// [`Self::with_items`], which would clamp the pattern table.
+    pub fn quest_low_minsup() -> Self {
+        let mut cfg = Self::dataset_i();
+        cfg.targets = TargetSpec::custom(vec![5.0], vec![1.0]);
+        cfg.quest.n_items = 500;
+        cfg.quest.n_patterns = 800;
+        cfg.quest.avg_txn_size = 8.0;
+        cfg.quest.avg_pattern_size = 3.0;
+        cfg
+    }
+
     /// Override the transaction count (builder style).
     pub fn with_transactions(mut self, n: usize) -> Self {
         self.quest.n_transactions = n;
@@ -460,6 +479,25 @@ mod tests {
     #[should_panic(expected = "tiny")]
     fn tiny_preset_rejects_large_configs() {
         let _ = DatasetConfig::tiny(1000, 6, 3);
+    }
+
+    #[test]
+    fn quest_low_minsup_layout() {
+        let cfg = DatasetConfig::quest_low_minsup();
+        assert_eq!(cfg.quest.n_items, 500);
+        assert_eq!(cfg.quest.n_patterns, 800);
+        let ds = cfg
+            .with_transactions(600)
+            .generate(&mut StdRng::seed_from_u64(8));
+        assert_eq!(ds.len(), 600);
+        // A single target item: the dominance floor's confidence arm
+        // saturates, which is what makes the preset a pruning benchmark.
+        assert_eq!(ds.catalog().target_items().len(), 1);
+        assert_eq!(ds.catalog().len(), 501);
+        let t = ds.catalog().item(ItemId(500));
+        assert!(t.is_target);
+        assert_eq!(t.codes[0].cost, pm_txn::Money::from_dollars(5));
+        assert!(ds.catalog().validate().is_ok());
     }
 
     #[test]

@@ -19,6 +19,10 @@ fn configs() -> Vec<(&'static str, DatasetConfig)> {
         ),
         ("tiny", DatasetConfig::tiny(24, 6, 3)),
         (
+            "quest_low_minsup",
+            DatasetConfig::quest_low_minsup().with_transactions(200),
+        ),
+        (
             "hierarchical",
             DatasetConfig::dataset_i()
                 .with_transactions(150)

@@ -44,6 +44,32 @@ pub struct ExtendedData {
     /// Per-transaction recorded target profit (dollars) — the gain
     /// denominator.
     pub recorded_profit: Vec<f64>,
+    /// Per-transaction maximum attainable margin: the largest positive
+    /// part of any head's `p(r, t)` on this transaction (0 when no head
+    /// generalizes it). The TWU-style transaction weight of the miner's
+    /// profit upper bound: summed over a body's tidset it dominates every
+    /// per-head profit sum any descendant body can accumulate, term by
+    /// term, so left-to-right f64 summation keeps the dominance at the
+    /// bit level (see DESIGN.md §14).
+    pub txn_max_margin: Vec<f64>,
+    /// Every head profit in `txn_heads` is `≥ 0.0` (in particular, none
+    /// is NaN). The common case for real catalogs (prices above cost),
+    /// and a fast path for the pruning emitter: positive-part profit
+    /// sums then equal the plain profit sums bit for bit, so no separate
+    /// accumulator is needed.
+    pub nonneg_margins: bool,
+}
+
+/// The positive part of a head profit, for upper-bound accumulation.
+/// NaN maps to `+∞`: a NaN profit passes every emission threshold (all
+/// its comparisons are false), so the bound must never cut it.
+#[inline]
+pub(crate) fn pos_part(p: f64) -> f64 {
+    if p.is_nan() {
+        f64::INFINITY
+    } else {
+        p.max(0.0)
+    }
 }
 
 impl ExtendedData {
@@ -66,6 +92,8 @@ impl ExtendedData {
         let mut txn_gs = Vec::with_capacity(data.len());
         let mut txn_heads = Vec::with_capacity(data.len());
         let mut recorded_profit = Vec::with_capacity(data.len());
+        let mut txn_max_margin = Vec::with_capacity(data.len());
+        let mut nonneg_margins = true;
         for t in data.transactions() {
             let mut gs: Vec<GsId> = Vec::new();
             for s in t.non_target_sales() {
@@ -89,6 +117,9 @@ impl ExtendedData {
                 })
                 .collect();
             hs.sort_by_key(|(h, _)| *h);
+            // NaN compares false, so it correctly clears the flag.
+            nonneg_margins &= hs.iter().all(|&(_, p)| p >= 0.0);
+            txn_max_margin.push(hs.iter().map(|&(_, p)| pos_part(p)).fold(0.0f64, f64::max));
             txn_heads.push(hs);
             recorded_profit.push(target.profit(catalog).as_dollars());
         }
@@ -99,6 +130,8 @@ impl ExtendedData {
             heads,
             txn_heads,
             recorded_profit,
+            txn_max_margin,
+            nonneg_margins,
         }
     }
 
@@ -228,6 +261,30 @@ mod tests {
         assert_eq!(ext.head_profit_on(1, h0), Some(2.0));
         // Recorded profits: $3×2 = 6 and $2×1 = 2.
         assert_eq!(ext.recorded_profit, vec![6.0, 2.0]);
+        // Max attainable margin per transaction: the largest head profit.
+        assert_eq!(ext.txn_max_margin, vec![6.0, 2.0]);
+    }
+
+    /// The per-transaction margin bound dominates every head's profit and
+    /// is 0 exactly when no head generalizes the target sale.
+    #[test]
+    fn txn_max_margin_dominates_head_profits() {
+        let ds = dataset();
+        for moa_on in [true, false] {
+            let moa = Moa::new(ds.catalog_arc(), ds.hierarchy_arc(), moa_on);
+            for qm in [QuantityModel::Saving, QuantityModel::Buying] {
+                let ext = ExtendedData::build(&ds, &moa, qm);
+                for (tid, heads) in ext.txn_heads.iter().enumerate() {
+                    let ub = ext.txn_max_margin[tid];
+                    assert!(heads.iter().all(|&(_, p)| p.max(0.0) <= ub));
+                    if heads.is_empty() {
+                        assert_eq!(ub, 0.0);
+                    } else {
+                        assert!(heads.iter().any(|&(_, p)| p.max(0.0) == ub));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod tidset;
 pub use bitset::BitSet;
 pub use extend::{ExtendedData, HeadId};
 pub use interner::{GsId, GsInterner};
-pub use miner::{MinedRules, MinerConfig, MoaMode, RuleMiner, Support};
+pub use miner::{MinedRules, MinerConfig, MoaMode, PrunePolicy, RuleMiner, Support};
 pub use rule::{ProfitMode, Rule};
 pub use tidset::{intersect_into, TidBuf, TidPolicy, TidScratch, TidSet, TidView};
 

@@ -7,7 +7,7 @@
 //! paper's multi-level miner produces, modulo the optional confidence and
 //! rule-profit thresholds.
 
-use crate::extend::{ExtendedData, HeadId};
+use crate::extend::{pos_part, ExtendedData, HeadId};
 use crate::interner::{GsId, GsInterner};
 use crate::rule::{ProfitMode, Rule};
 use crate::tidset::{intersect_into, TidPolicy, TidScratch, TidSet, TidView};
@@ -75,6 +75,42 @@ pub enum MoaMode {
     Disabled,
 }
 
+/// Whether the DFS cuts subtrees with the anti-monotone profit/support
+/// upper bound (see DESIGN.md §14). An execution detail like
+/// [`TidPolicy`]: the bound only cuts subtrees that provably emit
+/// nothing, so mined output is byte-identical at every setting — the
+/// differential oracle matrix and the serialized-model `cmp` in CI lock
+/// this down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrunePolicy {
+    /// Resolve from the `PM_PRUNE` environment variable (`off` or
+    /// `upper`; anything else — including unset — means
+    /// [`PrunePolicy::Upper`], since the identity proof makes pruning
+    /// safe to default on).
+    #[default]
+    Auto,
+    /// Enumerate every frequent candidate body (the legacy behavior).
+    Off,
+    /// Cut DFS subtrees whose per-head hit counts and positive-part
+    /// profit sums prove that no descendant body can pass the emission
+    /// filters.
+    Upper,
+}
+
+impl PrunePolicy {
+    /// Resolve [`PrunePolicy::Auto`] against the `PM_PRUNE` environment
+    /// variable; concrete policies pass through unchanged.
+    pub fn resolve(self) -> PrunePolicy {
+        match self {
+            PrunePolicy::Auto => match std::env::var("PM_PRUNE").ok().as_deref() {
+                Some("off") => PrunePolicy::Off,
+                _ => PrunePolicy::Upper,
+            },
+            other => other,
+        }
+    }
+}
+
 /// Miner configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MinerConfig {
@@ -126,6 +162,10 @@ pub struct RuleMiner {
     /// kept out of [`MinerConfig`]: mined output is byte-identical under
     /// every policy, only the set-algebra kernels change.
     tidset: TidPolicy,
+    /// Upper-bound pruning policy. A third execution detail: the bound
+    /// only cuts subtrees that provably emit nothing, so mined output is
+    /// byte-identical with pruning on or off.
+    prune: PrunePolicy,
 }
 
 impl RuleMiner {
@@ -136,6 +176,7 @@ impl RuleMiner {
             config,
             threads: 0,
             tidset: TidPolicy::Auto,
+            prune: PrunePolicy::Auto,
         }
     }
 
@@ -171,6 +212,19 @@ impl RuleMiner {
         self.tidset
     }
 
+    /// Set the upper-bound pruning policy (default [`PrunePolicy::Auto`],
+    /// which honors the `PM_PRUNE` environment variable). Mining output
+    /// is byte-identical under every policy.
+    pub fn with_prune(mut self, prune: PrunePolicy) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// The configured pruning policy.
+    pub fn prune(&self) -> PrunePolicy {
+        self.prune
+    }
+
     /// Mine `data`, producing rules plus the supporting structures the
     /// recommender builder needs.
     pub fn mine(&self, data: &TransactionSet) -> MinedRules {
@@ -192,6 +246,7 @@ impl RuleMiner {
         let n = extended.n_transactions();
         let minsup = self.config.min_support.to_count(n);
         let policy = self.tidset.resolve();
+        let prune = self.prune.resolve() == PrunePolicy::Upper;
         let tidsets = {
             let _span = pm_obs::span("mine.tidsets");
             extended.tidsets(policy)
@@ -256,11 +311,13 @@ impl RuleMiner {
                 default_floor,
                 threads,
                 policy,
+                prune,
             )
         } else {
             // Legacy sequential path: one global emitter, generation
             // indices assigned directly at emission.
-            let mut emitter = RuleEmitter::new(&extended, &self.config, minsup, default_floor);
+            let mut emitter =
+                RuleEmitter::new(&extended, &self.config, minsup, default_floor, prune);
             let mut scratch = TidScratch::new(n, self.config.max_body_len.saturating_sub(1));
             for &a in &freq {
                 let ts = &tidsets[a.index()];
@@ -289,7 +346,8 @@ impl RuleMiner {
             rules = rules.len(),
             minsup = minsup,
             threads = threads,
-            freq_singletons = freq.len()
+            freq_singletons = freq.len(),
+            prune = prune
         );
         MinedRules {
             config: self.config,
@@ -326,6 +384,16 @@ impl RuleMiner {
         let cands: Vec<usize> = (ai + 1..freq.len())
             .filter(|&bi| pairs.get(ai, bi) >= minsup && !interner.related(a, freq[bi]))
             .collect();
+        if cands.is_empty() {
+            return;
+        }
+        // Anchor-level cut: every body below this anchor has a tidset
+        // contained in the anchor's, so one probe scan of the anchor's
+        // tidset bounds all of them at once — an infeasible anchor skips
+        // its entire pair loop without a single intersection.
+        if emitter.prune && !emitter.probe(tidsets[a.index()].view()) {
+            return;
+        }
         for (pos, &bi) in cands.iter().enumerate() {
             let b = freq[bi];
             // The pair table already proved this candidate frequent, so
@@ -345,6 +413,9 @@ impl RuleMiner {
             }
             emitter.emit(&[a, b], out_view, count);
             if self.config.max_body_len >= 3 {
+                if emitter.prune && !emitter.subtree_viable(2) {
+                    continue;
+                }
                 let interner = &emitter.extended.interner;
                 let deeper: Vec<usize> = cands[pos + 1..]
                     .iter()
@@ -387,6 +458,7 @@ impl RuleMiner {
         default_floor: (f64, f64),
         threads: usize,
         policy: TidPolicy,
+        prune: bool,
     ) -> Vec<Rule> {
         // Per-worker state: one emitter plus one intersection-scratch
         // pool; both persist across the work items a worker claims, so
@@ -395,7 +467,7 @@ impl RuleMiner {
         let scratch_levels = self.config.max_body_len.saturating_sub(1);
         let new_state = || {
             (
-                RuleEmitter::new(extended, &self.config, minsup, default_floor),
+                RuleEmitter::new(extended, &self.config, minsup, default_floor, prune),
                 TidScratch::new(n, scratch_levels),
             )
         };
@@ -473,7 +545,9 @@ impl RuleMiner {
                 emitter.switches += 1;
             }
             emitter.emit(body, out_view, count);
-            if body.len() < self.config.max_body_len {
+            if body.len() < self.config.max_body_len
+                && (!emitter.prune || emitter.subtree_viable(body.len()))
+            {
                 let interner = &emitter.extended.interner;
                 let deeper: Vec<usize> = cands[pos + 1..]
                     .iter()
@@ -498,6 +572,15 @@ impl RuleMiner {
     }
 }
 
+/// Per-depth `mine.ub_pruned` counter names, indexed by the scanned
+/// body's length (cuts at depth ≥ 4 share the last bucket).
+const UB_DEPTH_NAMES: [&str; 4] = [
+    "mine.ub_pruned.d1",
+    "mine.ub_pruned.d2",
+    "mine.ub_pruned.d3",
+    "mine.ub_pruned.d4plus",
+];
+
 /// Head accumulation + rule emission with a generation-stamp trick so the
 /// dense per-head arrays are never cleared.
 struct RuleEmitter<'a> {
@@ -507,10 +590,33 @@ struct RuleEmitter<'a> {
     /// `(Prof_re, confidence)` of the best default rule; rules at or
     /// below both floors are dominated and skipped.
     default_floor: (f64, f64),
+    /// Upper-bound pruning on (resolved [`PrunePolicy::Upper`]).
+    prune: bool,
+    /// Pruning needs a dedicated positive-part accumulator: some margin
+    /// is negative or NaN, so `head_profit` is not its own positive
+    /// part. When clear (the common case — `ExtendedData::
+    /// nonneg_margins`), the scan loop stays byte-for-byte the unpruned
+    /// one and `viable` reads `head_profit` directly.
+    track_pos: bool,
+    /// Pruning needs the transaction-level margin bound: a
+    /// `min_rule_profit` filter is configured, which is the only
+    /// consumer of [`Self::node_ub`].
+    track_ub: bool,
     stamp: u32,
     head_stamp: Vec<u32>,
     head_hits: Vec<u32>,
     head_profit: Vec<f64>,
+    /// Positive-part profit sums per head (same stamp discipline as
+    /// `head_profit`; only maintained when `prune`). For any descendant
+    /// body its per-head profit sum cannot exceed this, even at the f64
+    /// bit level: the descendant sums a subsequence of term-wise smaller
+    /// values, and round-to-nearest accumulation of nonnegative terms is
+    /// monotone in both.
+    head_pos: Vec<f64>,
+    /// Σ `txn_max_margin` over the last scanned tidset (only when
+    /// `prune`): the transaction-level TWU-style bound dominating every
+    /// head's `head_pos`.
+    node_ub: f64,
     touched: Vec<HeadId>,
     rules: Vec<Rule>,
     /// Candidates abandoned by the `minsup` early exit in the DFS.
@@ -522,15 +628,36 @@ struct RuleEmitter<'a> {
     /// tidset and the intersection written from it; flushed to
     /// `miner.tidset_switches` on drop.
     switches: u64,
+    /// Upper-bound viability evaluations; flushed to
+    /// `mine.ub_evaluated` on drop.
+    ub_evaluated: u64,
+    /// Subtrees cut by the upper bound; flushed to `mine.ub_pruned`
+    /// (total) and `mine.ub_pruned.d*` (per scanned-body depth) on drop.
+    ub_pruned: u64,
+    ub_pruned_depth: [u64; UB_DEPTH_NAMES.len()],
 }
 
 impl Drop for RuleEmitter<'_> {
+    // The flush must run on every exit path — including a worker whose
+    // DFS terminated early because the anchor probe pruned its entire
+    // subtree — so it lives in Drop rather than in `finish`.
     fn drop(&mut self) {
         if self.pruned != 0 {
             pm_obs::counter("miner.candidates_pruned").add(self.pruned);
         }
         if self.switches != 0 {
             pm_obs::counter("miner.tidset_switches").add(self.switches);
+        }
+        if self.ub_evaluated != 0 {
+            pm_obs::counter("mine.ub_evaluated").add(self.ub_evaluated);
+        }
+        if self.ub_pruned != 0 {
+            pm_obs::counter("mine.ub_pruned").add(self.ub_pruned);
+        }
+        for (d, &c) in self.ub_pruned_depth.iter().enumerate() {
+            if c != 0 {
+                pm_obs::counter(UB_DEPTH_NAMES[d]).add(c);
+            }
         }
     }
 }
@@ -541,40 +668,160 @@ impl<'a> RuleEmitter<'a> {
         config: &'a MinerConfig,
         minsup: u32,
         default_floor: (f64, f64),
+        prune: bool,
     ) -> Self {
         let h = extended.n_heads();
+        let track_pos = prune && !extended.nonneg_margins;
+        let track_ub = prune && config.min_rule_profit.is_some();
         Self {
             extended,
             config,
             minsup,
             default_floor,
+            prune,
+            track_pos,
+            track_ub,
             stamp: 0,
             head_stamp: vec![0; h],
             head_hits: vec![0; h],
             head_profit: vec![0.0; h],
+            head_pos: vec![0.0; if track_pos { h } else { 0 }],
+            node_ub: 0.0,
             touched: Vec::with_capacity(h),
             rules: Vec::new(),
             pruned: 0,
             switches: 0,
+            ub_evaluated: 0,
+            ub_pruned: 0,
+            ub_pruned_depth: [0; UB_DEPTH_NAMES.len()],
         }
     }
 
-    fn emit(&mut self, body: &[GsId], tidset: TidView<'_>, body_count: u32) {
+    /// One pass over a body's tidset, filling the stamped per-head
+    /// hit/profit accumulators (and, when pruning, the positive-part
+    /// sums plus the transaction-level margin bound). `touched` is left
+    /// unsorted; emission sorts it.
+    fn scan(&mut self, tidset: TidView<'_>) {
         self.stamp += 1;
         self.touched.clear();
-        for tid in tidset.iter() {
-            for &(h, p) in &self.extended.txn_heads[tid] {
-                let hi = h.index();
-                if self.head_stamp[hi] != self.stamp {
-                    self.head_stamp[hi] = self.stamp;
-                    self.head_hits[hi] = 0;
-                    self.head_profit[hi] = 0.0;
-                    self.touched.push(h);
+        if self.track_pos || self.track_ub {
+            // The full bound-tracking path; rare (negative/NaN margins
+            // or a min_rule_profit filter). `node_ub` is harmlessly
+            // maintained even when only `track_pos` demands the pass.
+            self.node_ub = 0.0;
+            for tid in tidset.iter() {
+                self.node_ub += self.extended.txn_max_margin[tid];
+                for &(h, p) in &self.extended.txn_heads[tid] {
+                    let hi = h.index();
+                    if self.head_stamp[hi] != self.stamp {
+                        self.head_stamp[hi] = self.stamp;
+                        self.head_hits[hi] = 0;
+                        self.head_profit[hi] = 0.0;
+                        if self.track_pos {
+                            self.head_pos[hi] = 0.0;
+                        }
+                        self.touched.push(h);
+                    }
+                    self.head_hits[hi] += 1;
+                    self.head_profit[hi] += p;
+                    if self.track_pos {
+                        self.head_pos[hi] += pos_part(p);
+                    }
                 }
-                self.head_hits[hi] += 1;
-                self.head_profit[hi] += p;
+            }
+        } else {
+            for tid in tidset.iter() {
+                for &(h, p) in &self.extended.txn_heads[tid] {
+                    let hi = h.index();
+                    if self.head_stamp[hi] != self.stamp {
+                        self.head_stamp[hi] = self.stamp;
+                        self.head_hits[hi] = 0;
+                        self.head_profit[hi] = 0.0;
+                        self.touched.push(h);
+                    }
+                    self.head_hits[hi] += 1;
+                    self.head_profit[hi] += p;
+                }
             }
         }
+    }
+
+    /// Can any body strictly below the last scanned one emit a rule?
+    ///
+    /// Every descendant's tidset is contained in the scanned one, so per
+    /// head `hits' ≤ hits`, `profit' ≤ head_pos`, and `body_count' ≥
+    /// hits' ≥ minsup` at emission time. The checks below apply the
+    /// emission filters of [`Self::emit`] to those bounds with the exact
+    /// same f64 expressions (`minsup` replacing the descendant's
+    /// `body_count` wherever it appears in a denominator), so a head
+    /// ruled out here is ruled out for every descendant at the bit
+    /// level.
+    fn viable(&self) -> bool {
+        if let Some(mp) = self.config.min_rule_profit {
+            // Transaction-level short-circuit: no head's profit sum on
+            // any sub-tidset can exceed the summed max margins.
+            if self.node_ub < mp {
+                return false;
+            }
+        }
+        let ms = self.minsup as f64;
+        for &h in &self.touched {
+            let hi = h.index();
+            let hits = self.head_hits[hi];
+            if hits < self.minsup {
+                continue;
+            }
+            // With all-nonnegative margins, `head_profit` IS the
+            // positive-part sum, bit for bit.
+            let pos = if self.track_pos {
+                self.head_pos[hi]
+            } else {
+                self.head_profit[hi]
+            };
+            if let Some(mp) = self.config.min_rule_profit {
+                if pos < mp {
+                    continue;
+                }
+            }
+            let cu = (hits as f64 / ms).min(1.0);
+            if let Some(mc) = self.config.min_confidence {
+                if cu < mc {
+                    continue;
+                }
+            }
+            let pu = pos / ms;
+            if pu < self.default_floor.0 + 1e-12 && cu < self.default_floor.1 + 1e-12 {
+                continue;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Viability of the subtree below the body emitted last (the stamped
+    /// arrays are still that body's), counting the evaluation and — on a
+    /// cut — the pruned subtree at `depth` (the body's length).
+    fn subtree_viable(&mut self, depth: usize) -> bool {
+        self.ub_evaluated += 1;
+        if self.viable() {
+            true
+        } else {
+            self.ub_pruned += 1;
+            self.ub_pruned_depth[(depth - 1).min(UB_DEPTH_NAMES.len() - 1)] += 1;
+            false
+        }
+    }
+
+    /// Scan an anchor singleton's tidset (without emitting — level 1
+    /// already emitted it) and decide whether any body below the anchor
+    /// can emit.
+    fn probe(&mut self, tidset: TidView<'_>) -> bool {
+        self.scan(tidset);
+        self.subtree_viable(1)
+    }
+
+    fn emit(&mut self, body: &[GsId], tidset: TidView<'_>, body_count: u32) {
+        self.scan(tidset);
         self.touched.sort_unstable();
         for ti in 0..self.touched.len() {
             let h = self.touched[ti];
@@ -1278,6 +1525,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The pruning guarantee: the upper bound only cuts subtrees that
+    /// provably emit nothing, so mining output — every rule, in order,
+    /// with exact profit bits — is identical with pruning off and on,
+    /// under every emission-filter combination feeding the viability
+    /// predicate (min-conf, min-profit, dominance floor) and at 1 and
+    /// several threads.
+    #[test]
+    fn prune_policy_does_not_change_output() {
+        let ds = dataset();
+        let filters = [
+            (None, None, false),
+            (Some(0.5), None, true),
+            (None, Some(2.0), false),
+            (Some(0.6), Some(1.0), true),
+        ];
+        for moa in [MoaMode::Enabled, MoaMode::Disabled] {
+            for min_count in [1u32, 2, 3] {
+                for (min_confidence, min_rule_profit, dominated) in filters {
+                    let config = MinerConfig {
+                        min_support: Support::Count(min_count),
+                        max_body_len: 4,
+                        moa,
+                        min_confidence,
+                        min_rule_profit,
+                        prune_default_dominated: dominated,
+                        ..MinerConfig::default()
+                    };
+                    let off = RuleMiner::new(config)
+                        .with_prune(PrunePolicy::Off)
+                        .mine(&ds);
+                    for threads in [1usize, 3] {
+                        let on = RuleMiner::new(config)
+                            .with_threads(threads)
+                            .with_prune(PrunePolicy::Upper)
+                            .mine(&ds);
+                        assert_eq!(
+                            off.rules(),
+                            on.rules(),
+                            "{moa:?} count {min_count} conf {min_confidence:?} \
+                             profit {min_rule_profit:?} dom {dominated} threads {threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Explicit policies resolve to themselves regardless of `PM_PRUNE`.
+    #[test]
+    fn explicit_prune_policy_ignores_env() {
+        assert_eq!(PrunePolicy::Off.resolve(), PrunePolicy::Off);
+        assert_eq!(PrunePolicy::Upper.resolve(), PrunePolicy::Upper);
+    }
+
+    /// A `min_rule_profit` no dataset can meet lets the anchor probes cut
+    /// the *entire* DFS: every emitter terminates early on the
+    /// pruned-to-empty path, and the `Drop` flush must still publish the
+    /// upper-bound counters. Outputs stay identical to the unpruned run
+    /// (both empty). The pm-obs registry is global and tests run
+    /// concurrently, so counters are asserted as monotone deltas.
+    #[test]
+    fn fully_pruned_run_still_flushes_counters() {
+        let config = MinerConfig {
+            min_support: Support::Count(1),
+            max_body_len: 2,
+            moa: MoaMode::Enabled,
+            min_rule_profit: Some(1e18),
+            prune_default_dominated: false,
+            ..MinerConfig::default()
+        };
+        let ds = dataset();
+        let off = RuleMiner::new(config)
+            .with_prune(PrunePolicy::Off)
+            .mine(&ds);
+        assert!(off.rules().is_empty());
+        let evaluated = pm_obs::counter("mine.ub_evaluated").get();
+        let pruned = pm_obs::counter("mine.ub_pruned").get();
+        let depth1 = pm_obs::counter("mine.ub_pruned.d1").get();
+        for threads in [1usize, 3] {
+            let on = RuleMiner::new(config)
+                .with_threads(threads)
+                .with_prune(PrunePolicy::Upper)
+                .mine(&ds);
+            assert_eq!(off.rules(), on.rules(), "threads {threads}");
+        }
+        assert!(pm_obs::counter("mine.ub_evaluated").get() >= evaluated + 2);
+        assert!(pm_obs::counter("mine.ub_pruned").get() >= pruned + 2);
+        assert!(pm_obs::counter("mine.ub_pruned.d1").get() >= depth1 + 2);
     }
 
     /// `body_tidset` agrees across policies and with each rule's count.

@@ -1,8 +1,8 @@
 //! Property-based tests for the mining substrate.
 
-use pm_datagen::DatasetConfig;
+use pm_datagen::{DatasetConfig, TargetSpec};
 use pm_rules::{
-    intersect_into, BitSet, MinerConfig, RuleMiner, Support, TidBuf, TidPolicy, TidSet,
+    intersect_into, BitSet, MinerConfig, PrunePolicy, RuleMiner, Support, TidBuf, TidPolicy, TidSet,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -63,6 +63,55 @@ proptest! {
                 .with_tidset(policy)
                 .mine(&ds);
             prop_assert_eq!(dense.rules(), got.rules());
+        }
+    }
+
+    /// Pruning invariant: the profit upper bound cuts only subtrees that
+    /// provably emit nothing, so pruned and unpruned mining produce
+    /// identical `MinedRules` — rules, order, `gen_index`, f64 profit
+    /// bits — on randomized data across every tidset policy and {1, 4}
+    /// threads. `single_target` concentrates margin on one item (the
+    /// dominance floor then reduces to its profit arm — the regime the
+    /// bound prunes hardest in) and `floor_on` enables the CLI's default
+    /// confidence + dominance filters so every arm of the viability
+    /// predicate is exercised.
+    #[test]
+    fn mining_is_prune_policy_invariant(
+        seed in 0u64..1_000_000,
+        n_txn in 40usize..120,
+        single_target in proptest::bool::ANY,
+        floor_on in proptest::bool::ANY,
+    ) {
+        let mut cfg = DatasetConfig::dataset_i()
+            .with_transactions(n_txn)
+            .with_items(30);
+        if single_target {
+            cfg.targets = TargetSpec::custom(vec![5.0], vec![1.0]);
+        }
+        let ds = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        let config = MinerConfig {
+            min_support: Support::Fraction(0.05),
+            max_body_len: 3,
+            min_confidence: floor_on.then_some(0.5),
+            min_rule_profit: floor_on.then_some(2.0),
+            prune_default_dominated: floor_on,
+            ..MinerConfig::default()
+        };
+        for policy in [TidPolicy::Dense, TidPolicy::Sparse, TidPolicy::Adaptive] {
+            for threads in [1usize, 4] {
+                let mine = |prune| RuleMiner::new(config)
+                    .with_threads(threads)
+                    .with_tidset(policy)
+                    .with_prune(prune)
+                    .mine(&ds);
+                let off = mine(PrunePolicy::Off);
+                let on = mine(PrunePolicy::Upper);
+                prop_assert_eq!(off.rules(), on.rules());
+                for (a, b) in off.rules().iter().zip(on.rules().iter()) {
+                    prop_assert_eq!(a.profit.to_bits(), b.profit.to_bits());
+                    prop_assert_eq!(a.gen_index, b.gen_index);
+                }
+            }
         }
     }
 }

@@ -15,7 +15,9 @@
 #![allow(dead_code)]
 
 use pm_oracle::{Oracle, OracleConfig, OracleProfitMode, OracleRule};
-use pm_rules::{MinedRules, MinerConfig, MoaMode, ProfitMode, RuleMiner, Support, TidPolicy};
+use pm_rules::{
+    MinedRules, MinerConfig, MoaMode, ProfitMode, PrunePolicy, RuleMiner, Support, TidPolicy,
+};
 use pm_txn::{QuantityModel, Sale, TransactionSet};
 use profit_core::{CutConfig, Matcher, RuleModel};
 
@@ -24,6 +26,9 @@ pub const POLICIES: [TidPolicy; 3] = [TidPolicy::Dense, TidPolicy::Sparse, TidPo
 
 /// Worker-thread counts (sequential and parallel paths).
 pub const THREADS: [usize; 2] = [1, 4];
+
+/// The upper-bound pruning policies the matrix proves equivalent.
+pub const PRUNES: [PrunePolicy; 2] = [PrunePolicy::Off, PrunePolicy::Upper];
 
 /// The profit modes, paired with their oracle-side mirror.
 pub const MODES: [(ProfitMode, OracleProfitMode); 2] = [
@@ -72,11 +77,20 @@ pub fn compare_dataset(
             for policy in POLICIES {
                 for threads in THREADS {
                     let ctx = format!("moa={moa_on} qm={qm:?} policy={policy:?} threads={threads}");
-                    let mined = RuleMiner::new(miner_config(minsup, max_body_len, moa_on, qm))
-                        .with_threads(threads)
-                        .with_tidset(policy)
-                        .mine(data);
+                    let mine_with = |prune: PrunePolicy| {
+                        RuleMiner::new(miner_config(minsup, max_body_len, moa_on, qm))
+                            .with_threads(threads)
+                            .with_tidset(policy)
+                            .with_prune(prune)
+                            .mine(data)
+                    };
+                    let mined = mine_with(PrunePolicy::Off);
                     compare_rule_sets(&oracle, &mined).map_err(|e| format!("[{ctx}] {e}"))?;
+                    // The PrunePolicy axis: the upper-bound pruner must be
+                    // invisible down to the serialized model bytes.
+                    let pruned = mine_with(PrunePolicy::Upper);
+                    compare_prune_axis(&mined, &pruned)
+                        .map_err(|e| format!("[{ctx} prune=upper] {e}"))?;
                     for (mode, omode) in MODES {
                         compare_ranked(&oracle, &mined, mode, omode)
                             .map_err(|e| format!("[{ctx} mode={mode:?}] {e}"))?;
@@ -85,6 +99,40 @@ pub fn compare_dataset(
                     }
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// The pruned miner must reproduce the unpruned run exactly: same rules
+/// in the same order with bit-identical profits, and — through the model
+/// builder — byte-identical serialized `RuleModel`s in both profit modes.
+fn compare_prune_axis(off: &MinedRules, on: &MinedRules) -> Result<(), String> {
+    if off.rules().len() != on.rules().len() {
+        return Err(format!(
+            "rule count under pruning: {} vs {} unpruned",
+            on.rules().len(),
+            off.rules().len()
+        ));
+    }
+    for (i, (a, b)) in off.rules().iter().zip(on.rules().iter()).enumerate() {
+        if a != b || a.profit.to_bits() != b.profit.to_bits() {
+            return Err(format!("rule {i} diverges under pruning: {a:?} vs {b:?}"));
+        }
+    }
+    for (mode, _) in MODES {
+        let cut = CutConfig {
+            profit_mode: mode,
+            prune: false,
+            ..CutConfig::default()
+        };
+        let bytes = |mined: &MinedRules| {
+            serde_json::to_string(&RuleModel::build(mined, &cut).save()).map_err(|e| e.to_string())
+        };
+        if bytes(off)? != bytes(on)? {
+            return Err(format!(
+                "serialized model bytes differ under pruning (mode {mode:?})"
+            ));
         }
     }
     Ok(())
