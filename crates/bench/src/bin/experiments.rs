@@ -35,7 +35,10 @@
 
 use pm_eval::experiments::{self, Dataset, Scale};
 use pm_eval::Table;
-use pm_rules::{ExtendedData, MinerConfig, MoaMode, PrunePolicy, RuleMiner, Support, TidPolicy};
+use pm_rules::{
+    ExtendedData, IncrementalMiner, MinerConfig, MoaMode, PrunePolicy, RuleMiner, Support,
+    TidPolicy,
+};
 use pm_txn::Moa;
 use profit_core::{CutConfig, Matcher, Recommender, RuleModel};
 use serde::Serialize;
@@ -224,6 +227,19 @@ struct PruneBench {
     ub_pruned: u64,
 }
 
+/// The streaming-ingestion cell of `BENCH_mining.json`: one delta batch
+/// folded in by [`IncrementalMiner::update`] versus a cold re-mine of
+/// the concatenated set, with the outputs proved rule-identical.
+#[derive(Serialize)]
+struct DeltaRefitBench {
+    transactions: usize,
+    delta_transactions: usize,
+    rules: usize,
+    full_refit_millis: f64,
+    delta_update_millis: f64,
+    speedup: f64,
+}
+
 /// The `BENCH_mining.json` document.
 #[derive(Serialize)]
 struct MiningBench {
@@ -235,6 +251,7 @@ struct MiningBench {
     customers_served: usize,
     phases: Vec<PhaseTime>,
     prune_low_minsup: PruneBench,
+    delta_refit: DeltaRefitBench,
 }
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -374,6 +391,47 @@ fn bench_mining(opts: &Options) {
         prune_low_minsup.speedup, prune_low_minsup.ub_pruned, prune_low_minsup.ub_evaluated
     );
 
+    // Delta-refit cell: hold out the last 0.1% of the low-minsup Quest
+    // preset — where per-anchor DFS work dominates the run — as a
+    // streamed batch. Cold-mine the concatenated set, then fold the same
+    // batch into a fitted IncrementalMiner: anchors absent from the
+    // delta keep their cached rules, so the update must win on wall time
+    // while producing the identical rule set.
+    let delta_n = (low_data.len() / 1000).max(1);
+    let head_n = low_data.len() - delta_n;
+    let head = low_data.subset(&(0..head_n).collect::<Vec<usize>>());
+    let mut inc = IncrementalMiner::new(RuleMiner::new(low_cfg).with_threads(opts.threads));
+    inc.fit(&head);
+    let (full, t_full) = timed(|| {
+        RuleMiner::new(low_cfg)
+            .with_threads(opts.threads)
+            .mine(&low_data)
+    });
+    record("refit-full", t_full);
+    let (delta, t_delta) = timed(|| inc.update(&low_data));
+    record("refit-delta", t_delta);
+    assert_eq!(
+        full.rules(),
+        delta.rules(),
+        "delta refit changed the mined rule set"
+    );
+    assert!(
+        t_delta < t_full,
+        "delta refit ({t_delta:.2} ms) must beat the full re-mine ({t_full:.2} ms)"
+    );
+    let delta_refit = DeltaRefitBench {
+        transactions: low_data.len(),
+        delta_transactions: delta_n,
+        rules: delta.rules().len(),
+        full_refit_millis: t_full,
+        delta_update_millis: t_delta,
+        speedup: t_full / t_delta,
+    };
+    eprintln!(
+        "  refit speedup   {:9.2}x ({} delta transactions folded in)",
+        delta_refit.speedup, delta_refit.delta_transactions
+    );
+
     let doc = MiningBench {
         transactions: opts.scale.transactions,
         items: opts.scale.items,
@@ -383,6 +441,7 @@ fn bench_mining(opts: &Options) {
         customers_served: customers.len(),
         phases,
         prune_low_minsup,
+        delta_refit,
     };
     let json = serde_json::to_string_pretty(&doc).expect("serialize bench summary");
     if let Some(dir) = &opts.out {

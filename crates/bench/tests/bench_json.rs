@@ -43,8 +43,34 @@ fn bench_mining_json_is_parseable_with_trailing_newline() {
     match parsed {
         serde::Value::Map(entries) => {
             let keys: Vec<_> = entries.iter().map(|(k, _)| k.as_str()).collect();
-            for expected in ["transactions", "rules", "phases"] {
+            for expected in [
+                "transactions",
+                "rules",
+                "phases",
+                "prune_low_minsup",
+                "delta_refit",
+            ] {
                 assert!(keys.contains(&expected), "missing {expected:?} in {keys:?}");
+            }
+            let delta = entries
+                .iter()
+                .find(|(k, _)| k == "delta_refit")
+                .map(|(_, v)| v)
+                .unwrap();
+            let serde::Value::Map(cell) = delta else {
+                panic!("delta_refit must be a JSON object, got {delta:?}");
+            };
+            let cell_keys: Vec<_> = cell.iter().map(|(k, _)| k.as_str()).collect();
+            for expected in [
+                "delta_transactions",
+                "full_refit_millis",
+                "delta_update_millis",
+                "speedup",
+            ] {
+                assert!(
+                    cell_keys.contains(&expected),
+                    "missing delta_refit.{expected} in {cell_keys:?}"
+                );
             }
         }
         other => panic!("summary must be a JSON object, got {other:?}"),

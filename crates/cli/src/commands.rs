@@ -5,7 +5,8 @@ use pm_baselines::MostProfitableItem;
 use pm_datagen::DatasetConfig;
 use pm_eval::runner::{run_sweep, EvalConfig};
 use pm_rules::{MinerConfig, MoaMode, ProfitMode, PrunePolicy, Support, TidPolicy};
-use pm_txn::{QuantityModel, Sale, TransactionSet};
+use pm_store::log::SalesLog;
+use pm_txn::{QuantityModel, Sale, Transaction, TransactionSet};
 use profit_core::{CutConfig, Matcher, ProfitMiner, Recommendation, Recommender, RuleModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -162,16 +163,9 @@ pub fn gen(args: &ArgMap) -> Result<String, CliError> {
     ))
 }
 
-/// `fit`: train and save a recommender.
-pub fn fit(args: &ArgMap) -> Result<String, CliError> {
-    let data = load_data(args)?;
-    if data.is_empty() {
-        return Err(CliError::Runtime(
-            "dataset is empty — nothing to fit".into(),
-        ));
-    }
-    let out = args.require("--out")?;
-    let miner = miner_config(args)?;
+/// The full mining pipeline a `fit` (or a streaming `serve`) runs,
+/// assembled from the shared flag set.
+fn build_pipeline(args: &ArgMap) -> Result<ProfitMiner, CliError> {
     let cut = CutConfig {
         profit_mode: if args.switch("--conf") {
             ProfitMode::Confidence
@@ -181,12 +175,55 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
         prune: !args.switch("--no-prune"),
         ..CutConfig::default()
     };
-    let model = ProfitMiner::new(miner)
+    Ok(ProfitMiner::new(miner_config(args)?)
         .with_cut(cut)
         .with_threads(threads(args)?)
         .with_tidset(tidset(args)?)
-        .with_prune(prune(args)?)
-        .fit(&data);
+        .with_prune(prune(args)?))
+}
+
+/// Decode one sales-log record / batch file: a JSON array of
+/// [`Transaction`]s, exactly what `ingest --batch` accepts.
+fn decode_batch(payload: &[u8]) -> Result<Vec<Transaction>, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// `fit`: train and save a recommender.
+///
+/// With `--log`, the cold fit on `--data` is followed by one
+/// *incremental* update per sales-log record — the delta-refit path.
+/// The written model is byte-identical to a cold fit on the
+/// concatenated stream.
+pub fn fit(args: &ArgMap) -> Result<String, CliError> {
+    let mut data = load_data(args)?;
+    if data.is_empty() {
+        return Err(CliError::Runtime(
+            "dataset is empty — nothing to fit".into(),
+        ));
+    }
+    let out = args.require("--out")?;
+    let pipeline = build_pipeline(args)?;
+    let (model, replayed) = match args.get("--log") {
+        None => (pipeline.fit(&data), 0usize),
+        Some(log_path) => {
+            let (_log, recovery) = SalesLog::open(log_path)
+                .map_err(|e| CliError::Runtime(format!("{log_path}: {e}")))?;
+            let mut inc = pipeline.into_incremental();
+            let mut model = inc.fit(&data);
+            for (i, payload) in recovery.records.iter().enumerate() {
+                let batch = decode_batch(payload)
+                    .map_err(|e| CliError::Runtime(format!("{log_path}: record {i}: {e}")))?;
+                if batch.is_empty() {
+                    continue;
+                }
+                data.extend_from(&batch)
+                    .map_err(|e| CliError::Runtime(format!("{log_path}: record {i}: {e}")))?;
+                model = inc.update(&data);
+            }
+            (model, recovery.records.len())
+        }
+    };
     let stats = *model.stats();
     let payload =
         serde_json::to_string(&model.save()).map_err(|e| CliError::Runtime(e.to_string()))?;
@@ -196,14 +233,112 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
     // into a silently-wrong recommender.
     pm_store::save_sealed(out, payload.as_bytes()).map_err(|e| CliError::Runtime(e.to_string()))?;
     dump_metrics(args)?;
+    let replay_note = if args.get("--log").is_some() {
+        format!(
+            "; replayed {replayed} log record{} into {} transactions",
+            if replayed == 1 { "" } else { "s" },
+            data.len()
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "wrote {} — {} ({} rules; mined {}, after dominance {}, projected profit {:.2})",
+        "wrote {} — {} ({} rules; mined {}, after dominance {}, projected profit {:.2}{})",
         out,
         model.name(),
         stats.after_cut,
         stats.mined_rules,
         stats.after_dominance,
-        stats.projected_profit
+        stats.projected_profit,
+        replay_note
+    ))
+}
+
+/// `ingest`: validate a batch of sales transactions against the base
+/// dataset plus everything already in the log, then append it to the
+/// crash-safe sales log as one record.
+///
+/// The append is fsynced before the command reports success; a torn
+/// tail left by a crash mid-append is truncated away (and reported)
+/// on the next open. The batch file is a JSON array of transactions —
+/// exactly what `split --tail` writes.
+pub fn ingest(args: &ArgMap) -> Result<String, CliError> {
+    let log_path = args.require("--log")?;
+    let batch_path = args.require("--batch")?;
+    let mut data = load_data(args)?;
+    let (log, recovery) =
+        SalesLog::open(log_path).map_err(|e| CliError::Runtime(format!("{log_path}: {e}")))?;
+    // Replay what the log already holds so the new batch is validated at
+    // its actual stream position, not against the base dataset alone.
+    for (i, payload) in recovery.records.iter().enumerate() {
+        let txns = decode_batch(payload)
+            .map_err(|e| CliError::Runtime(format!("{log_path}: record {i}: {e}")))?;
+        data.extend_from(&txns)
+            .map_err(|e| CliError::Runtime(format!("{log_path}: record {i}: {e}")))?;
+    }
+    let batch: Vec<Transaction> = decode_batch(read(batch_path)?.as_bytes())
+        .map_err(|e| CliError::Runtime(format!("{batch_path}: {e}")))?;
+    if batch.is_empty() {
+        return Err(CliError::Runtime(format!(
+            "{batch_path}: batch is empty — nothing to ingest"
+        )));
+    }
+    data.extend_from(&batch)
+        .map_err(|e| CliError::Runtime(format!("{batch_path}: {e}")))?;
+    // Append the canonical re-serialization of the *validated* batch, so
+    // replay parses exactly the transactions that were checked here.
+    let payload = serde_json::to_string(&batch).map_err(|e| CliError::Runtime(e.to_string()))?;
+    log.append(payload.as_bytes())
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let torn = if recovery.truncated_bytes > 0 {
+        format!(
+            "; recovered a torn tail of {} bytes",
+            recovery.truncated_bytes
+        )
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "appended {} transactions to {} as record {} (stream now {} transactions{})",
+        batch.len(),
+        log_path,
+        recovery.records.len(),
+        data.len(),
+        torn
+    ))
+}
+
+/// `split`: cut a dataset at `--at` into a head *dataset* (catalog +
+/// first N transactions, loadable by `fit --data`) and a tail *batch*
+/// (a bare JSON array of the remaining transactions, ready for
+/// `ingest --batch`).
+pub fn split(args: &ArgMap) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    let head_path = args.require("--head")?;
+    let tail_path = args.require("--tail")?;
+    let at: usize = args
+        .require("--at")?
+        .parse()
+        .map_err(|_| CliError::Usage("--at: bad number".into()))?;
+    if at == 0 || at >= data.len() {
+        return Err(CliError::Usage(format!(
+            "--at must split {} transactions into two non-empty parts, got {at}",
+            data.len()
+        )));
+    }
+    let head_indices: Vec<usize> = (0..at).collect();
+    write(head_path, &data.subset(&head_indices).to_json())?;
+    let tail = &data.transactions()[at..];
+    let tail_json =
+        serde_json::to_string_pretty(tail).map_err(|e| CliError::Runtime(e.to_string()))?;
+    write(tail_path, &tail_json)?;
+    Ok(format!(
+        "split {} transactions at {at}: head dataset {} ({at} transactions), \
+         tail batch {} ({} transactions)",
+        data.len(),
+        head_path,
+        tail_path,
+        tail.len()
     ))
 }
 
@@ -394,9 +529,22 @@ pub fn export(args: &ArgMap) -> Result<String, CliError> {
 /// `serve`: run the fault-tolerant recommendation daemon until a client
 /// sends `{"op":"shutdown"}`. Blocks; the returned string is the final
 /// serving summary.
+///
+/// With `--data` and `--log` the daemon starts in streaming mode: it
+/// fits the model itself (base dataset plus sales-log replay, honoring
+/// the fit flags) and serves `ingest` requests that append batches to
+/// the log and hot-swap incrementally refitted models.
 pub fn serve(args: &ArgMap) -> Result<String, CliError> {
     use std::time::Duration;
-    let model_path = args.require("--model")?;
+    let streaming = match (args.get("--data"), args.get("--log")) {
+        (Some(_), Some(log)) => Some(log.to_string()),
+        (None, None) => None,
+        _ => {
+            return Err(CliError::Usage(
+                "serve streaming mode needs both --data and --log".into(),
+            ))
+        }
+    };
     let addr = args.get("--addr").unwrap_or("127.0.0.1:7878");
     let cfg = pm_serve::ServeConfig {
         workers: args.get_or("--workers", 4usize)?.max(1),
@@ -408,8 +556,24 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
         deadline: Duration::from_millis(args.get_or("--deadline-ms", 250u64)?.max(1)),
         max_line: args.get_or("--max-line", 64 * 1024usize)?.max(256),
     };
-    let server = pm_serve::Server::start(addr, model_path, cfg)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let server = match &streaming {
+        Some(log) => {
+            let data = load_data(args)?;
+            if data.is_empty() {
+                return Err(CliError::Runtime(
+                    "dataset is empty — nothing to fit".into(),
+                ));
+            }
+            let pipeline = build_pipeline(args)?;
+            pm_serve::Server::start_streaming(addr, data, log, pipeline, cfg)
+                .map_err(|e| CliError::Runtime(e.to_string()))?
+        }
+        None => {
+            let model_path = args.require("--model")?;
+            pm_serve::Server::start(addr, model_path, cfg)
+                .map_err(|e| CliError::Runtime(e.to_string()))?
+        }
+    };
     let bound = server.addr();
     // `--addr-file` publishes the bound address (atomically, so a reader
     // never sees a partial line) — with `--addr host:0` this is how

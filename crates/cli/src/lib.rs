@@ -19,6 +19,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "gen" => commands::gen(&args),
         "fit" => commands::fit(&args),
+        "ingest" => commands::ingest(&args),
+        "split" => commands::split(&args),
         "recommend" => commands::recommend(&args),
         "rules" => commands::rules(&args),
         "eval" => commands::eval(&args),
@@ -41,10 +43,13 @@ profit-mining — build profit-maximizing item/price recommenders (EDBT 2002)
 
 USAGE
   profit-mining gen        --out data.json [--dataset i|ii] [--txns N] [--items N] [--seed N]
-  profit-mining fit        --data data.json --out model.json [--minsup F] [--max-body N]
-                           [--no-moa] [--conf] [--no-prune] [--min-conf F] [--min-profit F]
-                           [--buying] [--threads N] [--tidset auto|dense|adaptive|sparse]
+  profit-mining fit        --data data.json --out model.json [--log sales.log] [--minsup F]
+                           [--max-body N] [--no-moa] [--conf] [--no-prune] [--min-conf F]
+                           [--min-profit F] [--buying] [--threads N]
+                           [--tidset auto|dense|adaptive|sparse]
                            [--prune auto|off|upper] [--metrics metrics.json]
+  profit-mining ingest     --data data.json --log sales.log --batch batch.json
+  profit-mining split      --data data.json --at N --head head.json --tail tail.json
   profit-mining recommend  --data data.json --model model.json [--txn N] [--top K] [--all]
                            [--metrics metrics.json]
   profit-mining rules      --model model.json [--top N]
@@ -57,6 +62,7 @@ USAGE
                            [--workers N] [--queue N] [--io-threads N] [--batch N]
                            [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N]
                            [--max-line BYTES] [--metrics metrics.json]
+  profit-mining serve      --data data.json --log sales.log [fit flags] [serve flags]
   profit-mining help
 
   --threads N selects the worker-thread count for mining and evaluation
@@ -66,6 +72,15 @@ USAGE
   PM_PRUNE; anything but \"off\" enables). Output is bit-identical at
   every setting of any of them. --min-profit F admits only rules with
   body profit ≥ F — the absolute floor the pruner cuts hardest against.
+
+  Streaming ingestion: ingest validates a JSON batch of transactions
+  against the base dataset plus everything already logged, then appends
+  it to the crash-safe sales log (one fsynced record per batch; a torn
+  tail from a crash mid-append is truncated away on the next open).
+  fit --log replays the log after the cold fit as incremental updates —
+  the written model is byte-identical to a cold fit on the concatenated
+  stream. split cuts a dataset into a head dataset and a tail batch for
+  exercising exactly that pipeline.
 
   recommend --all serves every customer in --data through the indexed
   rule matcher and prints a per-(item, code) summary plus the serving
@@ -78,7 +93,12 @@ USAGE
   load shedding, per-request timeouts with a flagged degraded mode (the
   §3.2 default rule) when the matcher errors or blows the deadline, and
   {\"op\":\"reload\"} hot model swaps that keep the old model on any
-  validation failure. --addr HOST:0 picks an ephemeral port;
+  validation failure. With --data and --log instead of --model the
+  daemon runs in streaming mode: it replays the sales log, fits
+  in-process with the usual fit flags, and accepts {\"op\":\"ingest\"}
+  requests that append a batch to the log (durability first), refit
+  incrementally, and hot-swap the model — byte-identical to a cold fit
+  on the concatenated stream. --addr HOST:0 picks an ephemeral port;
   --addr-file publishes the bound address. fit writes models in a
   checksummed envelope, so torn or bit-flipped files are rejected at
   load (legacy raw-JSON models still load).
@@ -496,5 +516,168 @@ mod tests {
     fn missing_required_flags_are_usage_errors() {
         assert!(matches!(run(&v(&["gen"])), Err(CliError::Usage(_))));
         assert!(matches!(run(&v(&["recommend"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&v(&["ingest"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&v(&["split"])), Err(CliError::Usage(_))));
+    }
+
+    /// The full streaming pipeline: `split` a dataset, `ingest` the tail
+    /// in two batches, `fit --log` on the head — and get exactly the
+    /// bytes a cold `fit` writes on the full dataset.
+    #[test]
+    fn split_ingest_fit_log_matches_cold_fit_bytes() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.json").display().to_string();
+        let head = dir.join("head.json").display().to_string();
+        let tail = dir.join("tail.json").display().to_string();
+        let mid = dir.join("mid.json").display().to_string();
+        let log = dir.join("sales.log").display().to_string();
+
+        run(&v(&[
+            "gen", "--out", &full, "--txns", "400", "--items", "80", "--seed", "21",
+        ]))
+        .unwrap();
+        let out = run(&v(&[
+            "split", "--data", &full, "--at", "250", "--head", &head, "--tail", &tail,
+        ]))
+        .unwrap();
+        assert!(out.contains("head dataset"), "{out}");
+        assert!(out.contains("150 transactions"), "{out}");
+
+        // Re-split the tail batch into two ingest batches.
+        let tail_txns: Vec<pm_txn::Transaction> =
+            serde_json::from_str(&std::fs::read_to_string(&tail).unwrap()).unwrap();
+        let (a, b) = tail_txns.split_at(70);
+        std::fs::write(&mid, serde_json::to_string(&a).unwrap()).unwrap();
+        let out = run(&v(&[
+            "ingest", "--data", &head, "--log", &log, "--batch", &mid,
+        ]))
+        .unwrap();
+        assert!(out.contains("appended 70 transactions"), "{out}");
+        assert!(out.contains("stream now 320 transactions"), "{out}");
+        std::fs::write(&mid, serde_json::to_string(&b).unwrap()).unwrap();
+        let out = run(&v(&[
+            "ingest", "--data", &head, "--log", &log, "--batch", &mid,
+        ]))
+        .unwrap();
+        assert!(out.contains("stream now 400 transactions"), "{out}");
+
+        let fit = |data: &str, out: &str, log: Option<&str>| {
+            let mut argv = v(&[
+                "fit",
+                "--data",
+                data,
+                "--out",
+                out,
+                "--minsup",
+                "0.03",
+                "--max-body",
+                "2",
+            ]);
+            if let Some(l) = log {
+                argv.extend(v(&["--log", l]));
+            }
+            run(&argv).unwrap()
+        };
+        let cold_model = dir.join("m-cold.json").display().to_string();
+        fit(&full, &cold_model, None);
+        let inc_model = dir.join("m-inc.json").display().to_string();
+        let out = fit(&head, &inc_model, Some(&log));
+        assert!(
+            out.contains("replayed 2 log records into 400 transactions"),
+            "{out}"
+        );
+        assert_eq!(
+            std::fs::read(&cold_model).unwrap(),
+            std::fs::read(&inc_model).unwrap(),
+            "fit --log bytes differ from the cold fit on the concatenated stream"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A crash mid-append leaves a torn tail; the next `ingest` recovers
+    /// (reporting the truncation) and the stream continues cleanly.
+    #[test]
+    fn ingest_recovers_a_torn_log_tail() {
+        let _guard = pm_store::faults::test_lock();
+        let dir = std::env::temp_dir().join(format!("pm-cli-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.json").display().to_string();
+        let head = dir.join("head.json").display().to_string();
+        let tail = dir.join("tail.json").display().to_string();
+        let log = dir.join("sales.log").display().to_string();
+        run(&v(&[
+            "gen", "--out", &full, "--txns", "200", "--items", "40", "--seed", "13",
+        ]))
+        .unwrap();
+        run(&v(&[
+            "split", "--data", &full, "--at", "100", "--head", &head, "--tail", &tail,
+        ]))
+        .unwrap();
+        let tail_txns: Vec<pm_txn::Transaction> =
+            serde_json::from_str(&std::fs::read_to_string(&tail).unwrap()).unwrap();
+        let (a, b) = tail_txns.split_at(50);
+        let batch_a = dir.join("a.json").display().to_string();
+        let batch_b = dir.join("b.json").display().to_string();
+        std::fs::write(&batch_a, serde_json::to_string(&a).unwrap()).unwrap();
+        std::fs::write(&batch_b, serde_json::to_string(&b).unwrap()).unwrap();
+
+        // First batch lands cleanly (and creates the log).
+        run(&v(&[
+            "ingest", "--data", &head, "--log", &log, "--batch", &batch_a,
+        ]))
+        .unwrap();
+
+        // The second ingest dies mid-append: 11 bytes of the record hit
+        // the disk before the injected crash.
+        pm_store::faults::set_torn_write_at(Some(11));
+        let err = run(&v(&[
+            "ingest", "--data", &head, "--log", &log, "--batch", &batch_b,
+        ]))
+        .unwrap_err();
+        pm_store::faults::set_torn_write_at(None);
+        assert!(matches!(err, CliError::Runtime(_)), "{err}");
+
+        // The retry truncates the torn tail and appends the full record.
+        let out = run(&v(&[
+            "ingest", "--data", &head, "--log", &log, "--batch", &batch_b,
+        ]))
+        .unwrap();
+        assert!(out.contains("recovered a torn tail of 11 bytes"), "{out}");
+        assert!(out.contains("stream now 200 transactions"), "{out}");
+
+        // Batches that don't validate against the stream are rejected.
+        std::fs::write(&tail, "[]").unwrap();
+        let err = run(&v(&[
+            "ingest", "--data", &head, "--log", &log, "--batch", &tail,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("batch is empty"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn split_rejects_degenerate_cut_points() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-split-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.json").display().to_string();
+        let head = dir.join("head.json").display().to_string();
+        let tail = dir.join("tail.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &full, "--txns", "50", "--items", "20", "--seed", "1",
+        ]))
+        .unwrap();
+        for at in ["0", "50", "51"] {
+            assert!(
+                matches!(
+                    run(&v(&[
+                        "split", "--data", &full, "--at", at, "--head", &head, "--tail", &tail,
+                    ])),
+                    Err(CliError::Usage(_))
+                ),
+                "--at {at} should be rejected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

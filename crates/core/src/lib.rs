@@ -42,7 +42,7 @@ pub use cut::CutResult;
 pub use handle::ModelHandle;
 pub use model::{Matcher, ModelRule, Recommendation, Recommender, RuleModel, SavedModel};
 pub use pessimistic::ProjectedProfit;
-pub use pipeline::{BuildStats, CutConfig, ProfitMiner};
+pub use pipeline::{BuildStats, CutConfig, IncrementalProfitMiner, ProfitMiner};
 pub use rank::{mpf_cmp, ranked_rules, sort_by_rank_desc};
 
 #[doc(hidden)]

@@ -1,7 +1,9 @@
 //! One-call pipeline: mine → rank → prune → recommender.
 
 use crate::model::RuleModel;
-use pm_rules::{MinerConfig, ProfitMode, PrunePolicy, RuleMiner, Support, TidPolicy};
+use pm_rules::{
+    IncrementalMiner, MinerConfig, ProfitMode, PrunePolicy, RuleMiner, Support, TidPolicy,
+};
 use pm_txn::TransactionSet;
 use serde::{Deserialize, Serialize};
 
@@ -151,6 +153,86 @@ impl ProfitMiner {
         );
         model
     }
+
+    /// Convert into the incremental pipeline: fit once, then fold in
+    /// delta batches with [`IncrementalProfitMiner::update`].
+    pub fn into_incremental(self) -> IncrementalProfitMiner {
+        IncrementalProfitMiner {
+            inner: IncrementalMiner::new(
+                RuleMiner::new(self.miner)
+                    .with_threads(self.threads)
+                    .with_tidset(self.tidset)
+                    .with_prune(self.prune),
+            ),
+            cut: self.cut,
+        }
+    }
+}
+
+/// The streaming-ingestion pipeline: mine a base set once, keep the
+/// miner's vertical state, and rebuild the recommender from a delta
+/// re-mine on every batch. Each [`update`](Self::update) produces a
+/// model byte-identical to [`ProfitMiner::fit`] on the concatenated
+/// set — the recommender construction is deterministic on top of the
+/// incremental miner's bit-identical rule stream.
+pub struct IncrementalProfitMiner {
+    inner: IncrementalMiner,
+    cut: CutConfig,
+}
+
+impl IncrementalProfitMiner {
+    /// The construction configuration.
+    pub fn cut_config(&self) -> &CutConfig {
+        &self.cut
+    }
+
+    /// True once [`fit`](Self::fit) has run.
+    pub fn is_fitted(&self) -> bool {
+        self.inner.is_fitted()
+    }
+
+    /// Number of transactions currently incorporated.
+    pub fn n_transactions(&self) -> usize {
+        self.inner.n_transactions()
+    }
+
+    /// Cold fit, retaining the mining state for later updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset — there is nothing to learn from.
+    pub fn fit(&mut self, data: &TransactionSet) -> RuleModel {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let mined = {
+            let _span = pm_obs::span("fit.mine");
+            self.inner.fit(data)
+        };
+        let _span = pm_obs::span("fit.build");
+        RuleModel::build(&mined, &self.cut)
+    }
+
+    /// Fold in a delta batch (see [`IncrementalMiner::update`]: `data`
+    /// is the fitted set with new transactions appended) and rebuild
+    /// the recommender.
+    ///
+    /// # Panics
+    ///
+    /// Panics before [`fit`](Self::fit) or when `data` shrank.
+    pub fn update(&mut self, data: &TransactionSet) -> RuleModel {
+        let mined = {
+            let _span = pm_obs::span("update.mine");
+            self.inner.update(data)
+        };
+        let _span = pm_obs::span("update.build");
+        let model = RuleModel::build(&mined, &self.cut);
+        pm_obs::info!(
+            "update.done",
+            transactions = data.len(),
+            mined_rules = mined.rules().len(),
+            model_rules = model.rules().len()
+        );
+        model
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +338,38 @@ mod tests {
             serde_json::to_string(&model.save()).unwrap()
         };
         assert_eq!(fit_json(PrunePolicy::Off), fit_json(PrunePolicy::Upper));
+    }
+
+    /// The incremental pipeline's promise at the model level: fit on a
+    /// base, update through deltas, and every serialized model byte
+    /// matches a cold fit on the concatenated prefix.
+    #[test]
+    fn incremental_pipeline_matches_cold_fit_bytes() {
+        let ds = DatasetConfig::dataset_i()
+            .with_transactions(400)
+            .with_items(100)
+            .generate(&mut StdRng::seed_from_u64(19));
+        let config = MinerConfig {
+            min_support: Support::Fraction(0.03),
+            max_body_len: 3,
+            ..MinerConfig::default()
+        };
+        let mut inc = ProfitMiner::new(config).with_threads(2).into_incremental();
+        let base = ds.subset(&(0..250).collect::<Vec<_>>());
+        inc.fit(&base);
+        let mut data = base;
+        for upto in [320usize, 400] {
+            data.extend_from(&ds.transactions()[data.len()..upto])
+                .unwrap();
+            let got = inc.update(&data);
+            let cold = ProfitMiner::new(config).with_threads(2).fit(&data);
+            assert_eq!(
+                serde_json::to_string(&got.save()).unwrap(),
+                serde_json::to_string(&cold.save()).unwrap(),
+                "prefix {upto}"
+            );
+        }
+        assert_eq!(inc.n_transactions(), 400);
     }
 
     #[test]

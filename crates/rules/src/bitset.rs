@@ -48,6 +48,25 @@ impl BitSet {
         self.capacity
     }
 
+    /// Grow the universe to `new_capacity`, keeping every set bit. The
+    /// appended id range `old_capacity..new_capacity` starts empty, so
+    /// the result equals a fresh set of the new capacity holding the
+    /// same ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `new_capacity < capacity` — a bitset never forgets
+    /// ids by shrinking.
+    pub fn grow(&mut self, new_capacity: usize) {
+        assert!(
+            new_capacity >= self.capacity,
+            "capacity can only grow ({} -> {new_capacity})",
+            self.capacity
+        );
+        self.capacity = new_capacity;
+        self.words.resize(new_capacity.div_ceil(64), 0);
+    }
+
     /// Insert `id`.
     ///
     /// # Panics

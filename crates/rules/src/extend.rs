@@ -135,6 +135,65 @@ impl ExtendedData {
         }
     }
 
+    /// Extend the transactions of `data` from index `from` onward —
+    /// the delta path of streaming ingestion. `data` must be the same
+    /// dataset this extension was built from with new transactions
+    /// appended; the first `from` transactions are not re-read.
+    ///
+    /// Each delta transaction runs the exact per-transaction loop of
+    /// [`build`](Self::build), so the result is identical — field for
+    /// field, bit for bit in every `f64` — to a cold `build` over the
+    /// whole concatenated set: the head universe depends only on the
+    /// catalog (fixed), the interner assigns ids in first-encounter
+    /// order (appending reproduces the cold order), and
+    /// `GsInterner::finalize` recomputes ancestor lists from scratch,
+    /// so re-running it after new nodes is idempotent.
+    pub fn extend(&mut self, data: &TransactionSet, moa: &Moa, qm: QuantityModel, from: usize) {
+        assert_eq!(
+            from,
+            self.n_transactions(),
+            "delta must start exactly where the extension ends"
+        );
+        let catalog = data.catalog();
+        let head_index: std::collections::HashMap<(ItemId, CodeId), HeadId> = self
+            .heads
+            .iter()
+            .enumerate()
+            .map(|(i, &pair)| (pair, HeadId(i as u32)))
+            .collect();
+        for t in &data.transactions()[from..] {
+            let mut gs: Vec<GsId> = Vec::new();
+            for s in t.non_target_sales() {
+                for g in moa.generalizations_of_sale(s) {
+                    gs.push(self.interner.intern(g));
+                }
+            }
+            gs.sort_unstable();
+            gs.dedup();
+            self.txn_gs.push(gs);
+
+            let target = t.target_sale();
+            let mut hs: Vec<(HeadId, f64)> = moa
+                .head_candidates(target)
+                .into_iter()
+                .map(|(item, code)| {
+                    let profit = moa
+                        .head_profit(item, code, target, qm)
+                        .expect("head candidates generalize the target sale");
+                    (head_index[&(item, code)], profit)
+                })
+                .collect();
+            hs.sort_by_key(|(h, _)| *h);
+            self.nonneg_margins &= hs.iter().all(|&(_, p)| p >= 0.0);
+            self.txn_max_margin
+                .push(hs.iter().map(|&(_, p)| pos_part(p)).fold(0.0f64, f64::max));
+            self.txn_heads.push(hs);
+            self.recorded_profit
+                .push(target.profit(catalog).as_dollars());
+        }
+        self.interner.finalize(moa);
+    }
+
     /// Number of transactions.
     pub fn n_transactions(&self) -> usize {
         self.txn_gs.len()
@@ -193,6 +252,24 @@ mod tests {
     /// Two non-target items (a: 2 prices, b: 1 price) and one target with
     /// 2 prices.
     fn dataset() -> TransactionSet {
+        dataset_with(vec![
+            // a@expensive, target@expensive
+            Transaction::new(
+                vec![Sale::new(ItemId(0), CodeId(1), 1)],
+                Sale::new(ItemId(2), CodeId(1), 2),
+            ),
+            // a@cheap + b, target@cheap
+            Transaction::new(
+                vec![
+                    Sale::new(ItemId(0), CodeId(0), 1),
+                    Sale::new(ItemId(1), CodeId(0), 1),
+                ],
+                Sale::new(ItemId(2), CodeId(0), 1),
+            ),
+        ])
+    }
+
+    fn dataset_with(txns: Vec<Transaction>) -> TransactionSet {
         let mut cat = Catalog::new();
         cat.push(ItemDef {
             name: "a".into(),
@@ -219,21 +296,6 @@ mod tests {
             is_target: true,
         });
         let h = Hierarchy::flat(3);
-        let txns = vec![
-            // a@expensive, target@expensive
-            Transaction::new(
-                vec![Sale::new(ItemId(0), CodeId(1), 1)],
-                Sale::new(ItemId(2), CodeId(1), 2),
-            ),
-            // a@cheap + b, target@cheap
-            Transaction::new(
-                vec![
-                    Sale::new(ItemId(0), CodeId(0), 1),
-                    Sale::new(ItemId(1), CodeId(0), 1),
-                ],
-                Sale::new(ItemId(2), CodeId(0), 1),
-            ),
-        ];
         TransactionSet::new(cat, h, txns).unwrap()
     }
 
@@ -307,6 +369,74 @@ mod tests {
         // Txn 0: spent $6×2=$12; head 0 at $5 ⇒ Q = 2.4, profit 2×2.4=4.8.
         let p = ext.head_profit_on(0, HeadId(0)).unwrap();
         assert!((p - 4.8).abs() < 1e-12);
+    }
+
+    /// The delta path must reproduce a cold build over the concatenated
+    /// data exactly — same interner ids (first-encounter order), same
+    /// head lists, and the same bits in every `f64`.
+    #[test]
+    fn delta_extend_matches_cold_build() {
+        let all = vec![
+            Transaction::new(
+                vec![Sale::new(ItemId(0), CodeId(1), 1)],
+                Sale::new(ItemId(2), CodeId(1), 2),
+            ),
+            Transaction::new(
+                vec![
+                    Sale::new(ItemId(0), CodeId(0), 1),
+                    Sale::new(ItemId(1), CodeId(0), 1),
+                ],
+                Sale::new(ItemId(2), CodeId(0), 1),
+            ),
+            // Delta: introduces a brand-new generalized sale (b@0 was
+            // seen, but a@1 alongside b exercises new pair contexts) …
+            Transaction::new(
+                vec![
+                    Sale::new(ItemId(1), CodeId(0), 2),
+                    Sale::new(ItemId(0), CodeId(1), 1),
+                ],
+                Sale::new(ItemId(2), CodeId(0), 3),
+            ),
+            // … and a transaction with no non-target sales at all.
+            Transaction::new(vec![], Sale::new(ItemId(2), CodeId(1), 1)),
+        ];
+        for moa_on in [true, false] {
+            for qm in [QuantityModel::Saving, QuantityModel::Buying] {
+                let full = dataset_with(all.clone());
+                let base = dataset_with(all[..2].to_vec());
+                let moa_full = Moa::new(full.catalog_arc(), full.hierarchy_arc(), moa_on);
+                let moa_base = Moa::new(base.catalog_arc(), base.hierarchy_arc(), moa_on);
+                let cold = ExtendedData::build(&full, &moa_full, qm);
+                let mut inc = ExtendedData::build(&base, &moa_base, qm);
+                inc.extend(&full, &moa_full, qm, 2);
+
+                assert_eq!(inc.txn_gs, cold.txn_gs);
+                assert_eq!(inc.heads, cold.heads);
+                assert_eq!(inc.n_gs(), cold.n_gs());
+                for i in 0..cold.n_gs() {
+                    let id = GsId(i as u32);
+                    assert_eq!(inc.interner.resolve(id), cold.interner.resolve(id));
+                    assert_eq!(inc.interner.ancestors(id), cold.interner.ancestors(id));
+                }
+                assert_eq!(inc.txn_heads.len(), cold.txn_heads.len());
+                for (a, b) in inc.txn_heads.iter().zip(&cold.txn_heads) {
+                    assert_eq!(a.len(), b.len());
+                    for (&(h1, p1), &(h2, p2)) in a.iter().zip(b) {
+                        assert_eq!(h1, h2);
+                        assert_eq!(p1.to_bits(), p2.to_bits(), "head profit bits");
+                    }
+                }
+                let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&inc.recorded_profit), bits(&cold.recorded_profit));
+                assert_eq!(bits(&inc.txn_max_margin), bits(&cold.txn_max_margin));
+                assert_eq!(inc.nonneg_margins, cold.nonneg_margins);
+                // And the vertical layout built from the extended form is
+                // structurally identical too.
+                for policy in [TidPolicy::Dense, TidPolicy::Sparse, TidPolicy::Adaptive] {
+                    assert_eq!(inc.tidsets(policy), cold.tidsets(policy));
+                }
+            }
+        }
     }
 
     #[test]

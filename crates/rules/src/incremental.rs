@@ -1,0 +1,633 @@
+//! Incremental re-mining over a growing transaction set (DESIGN.md §15).
+//!
+//! [`IncrementalMiner`] mines a base set once, keeps the vertical layout
+//! alive, and on every delta batch re-runs the DFS **only for anchors
+//! whose tidsets changed** — yet returns a [`MinedRules`] that is
+//! bit-identical, rule for rule and `f64` for `f64`, to a cold
+//! [`RuleMiner::mine`] over the concatenated set. The identity rests on
+//! a small chain of invariants:
+//!
+//! * Delta transactions only append tids `≥ n`, and an *unchanged*
+//!   anchor (one no delta transaction contains) has its tidset — and
+//!   therefore every body tidset rooted at it — entirely below `n`, so
+//!   all of its rule statistics are frozen.
+//! * [`Support::to_count`](crate::miner::Support::to_count) is
+//!   non-decreasing in `n`, so the minimum
+//!   support only ever rises. Combined with the Apriori argument, the
+//!   DFS run at cache time (at the then-current, lower support) explored
+//!   a superset of everything a cold run at today's support reaches; a
+//!   singleton that was infrequent at cache time cannot enter an
+//!   unchanged anchor's candidate list today, because the pair count is
+//!   capped by its old total count.
+//! * The default-dominance floor is the one emission filter that
+//!   depends on `n`, so caches are generated with the floor disabled
+//!   and the exact floor predicate of [`RuleEmitter::emit`] is
+//!   re-applied at assembly time; confidence and rule-profit filters
+//!   are `n`-independent and stay applied at generation.
+//! * The floor itself comes from persistent per-head hit/profit
+//!   accumulators patched with the delta transactions in tid order —
+//!   the same left-to-right `f64` summation sequence as a cold pass.
+//!
+//! Filtering a cache preserves the DFS pre-order inside each anchor, and
+//! assembly walks anchors in the frequent-singleton order, so the §3.2
+//! generation-order tie-break survives verbatim; generation indices are
+//! renumbered over the assembled sequence.
+
+use crate::extend::ExtendedData;
+use crate::interner::GsId;
+use crate::miner::{MinedRules, MoaMode, PairCounts, PrunePolicy, RuleEmitter, RuleMiner};
+use crate::rule::Rule;
+use crate::tidset::{TidPolicy, TidScratch, TidSet};
+use pm_txn::{Moa, TransactionSet};
+
+/// A miner that amortizes re-mining across delta batches.
+pub struct IncrementalMiner {
+    miner: RuleMiner,
+    state: Option<MinerState>,
+}
+
+/// Everything carried between updates.
+struct MinerState {
+    moa: Moa,
+    extended: ExtendedData,
+    tidsets: Vec<TidSet>,
+    /// Resolved once at fit time — `PM_TIDSET` / `PM_PRUNE` changes
+    /// between updates must not flip kernels mid-stream.
+    policy: TidPolicy,
+    prune: bool,
+    /// Support count of the last (re)mine; only ever rises.
+    minsup: u32,
+    /// Per-head hit / profit accumulators over all transactions, patched
+    /// in tid order — the default-dominance floor inputs.
+    head_hits: Vec<u64>,
+    head_profit: Vec<f64>,
+    /// Per-`GsId` caches of floor-unfiltered rules; `None` for anchors
+    /// that changed since their last mine (or were never frequent).
+    caches: Vec<Option<AnchorCache>>,
+}
+
+/// The floor-unfiltered rules of one anchor, from a DFS at `minsup`.
+struct AnchorCache {
+    /// Support count the cache was generated at (`≤` every later one).
+    minsup: u32,
+    /// The anchor's level-1 (singleton-body) rules, heads ascending.
+    level1: Vec<Rule>,
+    /// The anchor's deeper rules, in DFS pre-order.
+    deeper: Vec<Rule>,
+}
+
+/// The floor value that disables the default-dominance filter: both
+/// comparisons in the emit predicate are against `-∞ + 1e-12 = -∞` and
+/// can never be true.
+const NO_FLOOR: (f64, f64) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+
+/// The exact emission-time filter a cached rule must re-pass at
+/// assembly: today's support count plus the default-dominance floor,
+/// with the same expressions and tolerances as [`RuleEmitter::emit`].
+/// (Confidence and rule-profit filters are `n`-independent and were
+/// already applied when the cache was generated.)
+fn survives(r: &Rule, minsup: u32, floor: (f64, f64)) -> bool {
+    if r.hits < minsup {
+        return false;
+    }
+    let bc = r.body_count as f64;
+    !(r.profit / bc < floor.0 + 1e-12 && (r.hits as f64) / bc < floor.1 + 1e-12)
+}
+
+impl IncrementalMiner {
+    /// Wrap a configured [`RuleMiner`]. Thread count, tidset policy and
+    /// prune policy are taken from the wrapped miner; `Auto` policies
+    /// are resolved against the environment once, at [`fit`](Self::fit)
+    /// time.
+    pub fn new(miner: RuleMiner) -> Self {
+        Self { miner, state: None }
+    }
+
+    /// The wrapped miner.
+    pub fn miner(&self) -> &RuleMiner {
+        &self.miner
+    }
+
+    /// True once [`fit`](Self::fit) has run.
+    pub fn is_fitted(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Number of transactions currently incorporated.
+    pub fn n_transactions(&self) -> usize {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.extended.n_transactions())
+    }
+
+    /// Cold mine: build the extension, the vertical layout and the rule
+    /// caches from scratch. Equivalent to [`RuleMiner::mine`], with the
+    /// state retained for [`update`](Self::update). Calling `fit` again
+    /// discards all previous state.
+    pub fn fit(&mut self, data: &TransactionSet) -> MinedRules {
+        let config = *self.miner.config();
+        let moa = Moa::new(
+            data.catalog_arc(),
+            data.hierarchy_arc(),
+            config.moa == MoaMode::Enabled,
+        );
+        let extended = ExtendedData::build(data, &moa, config.quantity);
+        let policy = self.miner.tidset().resolve();
+        let prune = self.miner.prune().resolve() == PrunePolicy::Upper;
+        let tidsets = extended.tidsets(policy);
+        let h = extended.n_heads();
+        let mut head_hits = vec![0u64; h];
+        let mut head_profit = vec![0.0f64; h];
+        for heads in &extended.txn_heads {
+            for &(hd, p) in heads {
+                head_hits[hd.index()] += 1;
+                head_profit[hd.index()] += p;
+            }
+        }
+        let minsup = config.min_support.to_count(extended.n_transactions());
+        let caches = (0..extended.n_gs()).map(|_| None).collect();
+        let mut state = MinerState {
+            moa,
+            extended,
+            tidsets,
+            policy,
+            prune,
+            minsup,
+            head_hits,
+            head_profit,
+            caches,
+        };
+        let out = Self::remine(&self.miner, &mut state);
+        self.state = Some(state);
+        out
+    }
+
+    /// Incorporate a delta batch and re-mine. `data` must be the fitted
+    /// set with new transactions appended (the first `n` are not
+    /// re-read); callers grow their set in place via
+    /// [`TransactionSet::extend_from`] and pass it back whole.
+    ///
+    /// The result is bit-identical to a cold [`RuleMiner::mine`] over
+    /// `data`, but only anchors occurring in the delta re-enter the DFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`fit`](Self::fit) or when `data` is
+    /// shorter than the fitted set.
+    pub fn update(&mut self, data: &TransactionSet) -> MinedRules {
+        let mut state = self.state.take().expect("update() requires a prior fit()");
+        let config = *self.miner.config();
+        let old_n = state.extended.n_transactions();
+        assert!(
+            data.len() >= old_n,
+            "the updated set must extend the fitted one ({} < {old_n} transactions)",
+            data.len()
+        );
+        state
+            .extended
+            .extend(data, &state.moa, config.quantity, old_n);
+        let new_n = state.extended.n_transactions();
+        let n_gs = state.extended.n_gs();
+
+        // Delta tids per generalized sale — ascending, because delta
+        // transactions are walked in tid order. While here, patch the
+        // floor accumulators in the same order a cold pass would add
+        // these terms.
+        let mut delta: Vec<Vec<u32>> = vec![Vec::new(); n_gs];
+        for tid in old_n..new_n {
+            for &g in &state.extended.txn_gs[tid] {
+                delta[g.index()].push(tid as u32);
+            }
+            for &(hd, p) in &state.extended.txn_heads[tid] {
+                state.head_hits[hd.index()] += 1;
+                state.head_profit[hd.index()] += p;
+            }
+        }
+
+        // Every tidset's universe grows to `new_n`; anchors that gained
+        // tids are changed and lose their caches.
+        let old_gs = state.tidsets.len();
+        state.caches.resize_with(n_gs, || None);
+        let mut changed = 0u64;
+        for (gi, ids) in delta.iter().enumerate().take(old_gs) {
+            if !ids.is_empty() {
+                state.caches[gi] = None;
+                changed += 1;
+            }
+            state.tidsets[gi].extend(new_n, ids, state.policy);
+        }
+        // Brand-new generalized sales occur only in the delta: their
+        // tidsets are built exactly as `ExtendedData::tidsets` would.
+        for ids in delta.into_iter().skip(old_gs) {
+            state
+                .tidsets
+                .push(TidSet::from_sorted_ids(ids, new_n, state.policy));
+        }
+        pm_obs::counter("incremental.anchors_changed").add(changed + (n_gs - old_gs) as u64);
+
+        let minsup = config.min_support.to_count(new_n);
+        debug_assert!(
+            minsup >= state.minsup,
+            "support count shrank ({} -> {minsup}) — to_count must be monotone in n",
+            state.minsup
+        );
+        state.minsup = minsup;
+        let out = Self::remine(&self.miner, &mut state);
+        self.state = Some(state);
+        out
+    }
+
+    /// Re-mine the frequent anchors without a cache, then assemble the
+    /// full rule list from the caches in cold emission order.
+    fn remine(miner: &RuleMiner, state: &mut MinerState) -> MinedRules {
+        let config = miner.config();
+        let minsup = state.minsup;
+        let n = state.extended.n_transactions();
+        let threads = pm_par::resolve(miner.threads());
+
+        // Frequent singletons at today's support, ascending GsId — the
+        // cold run's `freq` exactly, since tidset counts are maintained
+        // incrementally.
+        let freq: Vec<GsId> = (0..state.extended.n_gs() as u32)
+            .map(GsId)
+            .filter(|g| state.tidsets[g.index()].count() >= minsup as usize)
+            .collect();
+        let pairs = if config.max_body_len >= 2 && freq.len() >= 2 {
+            Some(PairCounts::count_with_threads(
+                &state.extended,
+                &freq,
+                threads,
+            ))
+        } else {
+            None
+        };
+
+        // DFS only the frequent anchors whose caches were invalidated
+        // (or never existed): one job per anchor, merged in anchor
+        // order, exactly like the cold parallel path.
+        let stale: Vec<usize> = (0..freq.len())
+            .filter(|&ai| state.caches[freq[ai].index()].is_none())
+            .collect();
+        let extended = &state.extended;
+        let tidsets = &state.tidsets;
+        let policy = state.policy;
+        let prune = state.prune;
+        let scratch_levels = config.max_body_len.saturating_sub(1);
+        let new_state = || {
+            (
+                RuleEmitter::new(extended, config, minsup, NO_FLOOR, prune),
+                TidScratch::new(n, scratch_levels),
+            )
+        };
+        let regen =
+            pm_par::par_map_init(stale.len(), threads, new_state, |(emitter, scratch), si| {
+                let ai = stale[si];
+                let a = freq[ai];
+                let ts = &tidsets[a.index()];
+                emitter.emit(&[a], ts.view(), ts.count() as u32);
+                let level1 = emitter.take_rules();
+                let deeper = match &pairs {
+                    Some(pairs) => {
+                        miner.process_anchor(
+                            emitter, scratch, &freq, tidsets, pairs, minsup, ai, policy,
+                        );
+                        emitter.take_rules()
+                    }
+                    None => Vec::new(),
+                };
+                (level1, deeper)
+            });
+        pm_obs::counter("incremental.anchors_remined").add(stale.len() as u64);
+        pm_obs::counter("incremental.anchors_reused").add((freq.len() - stale.len()) as u64);
+        for (si, (level1, deeper)) in regen.into_iter().enumerate() {
+            state.caches[freq[stale[si]].index()] = Some(AnchorCache {
+                minsup,
+                level1,
+                deeper,
+            });
+        }
+
+        // Assemble in cold emission order: every frequent singleton's
+        // level-1 rules (GsId ascending), then every anchor's DFS rules
+        // (anchor order, pre-order within), each rule re-passing
+        // today's support and dominance floor.
+        let floor = if !config.prune_default_dominated {
+            NO_FLOOR
+        } else {
+            let nf = n as f64;
+            (
+                state.head_profit.iter().cloned().fold(0.0f64, f64::max) / nf,
+                state.head_hits.iter().cloned().max().unwrap_or(0) as f64 / nf,
+            )
+        };
+        let cache_of = |g: GsId| -> &AnchorCache {
+            let c = state.caches[g.index()]
+                .as_ref()
+                .expect("every frequent anchor has a cache");
+            debug_assert!(c.minsup <= minsup);
+            c
+        };
+        let mut rules: Vec<Rule> = Vec::new();
+        for &g in &freq {
+            rules.extend(
+                cache_of(g)
+                    .level1
+                    .iter()
+                    .filter(|r| survives(r, minsup, floor))
+                    .cloned(),
+            );
+        }
+        for &g in &freq {
+            rules.extend(
+                cache_of(g)
+                    .deeper
+                    .iter()
+                    .filter(|r| survives(r, minsup, floor))
+                    .cloned(),
+            );
+        }
+        for (i, r) in rules.iter_mut().enumerate() {
+            r.gen_index = i as u32;
+        }
+        pm_obs::info!(
+            "mine.incremental",
+            rules = rules.len(),
+            minsup = minsup,
+            freq_singletons = freq.len(),
+            remined = stale.len()
+        );
+        MinedRules::from_parts(
+            *config,
+            minsup,
+            rules,
+            state.extended.clone(),
+            state.tidsets.clone(),
+            state.policy,
+            state.moa.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::{MinerConfig, Support};
+    use pm_txn::{
+        Catalog, CodeId, Hierarchy, ItemDef, ItemId, Money, PromotionCode, QuantityModel, Sale,
+        Transaction,
+    };
+
+    /// Catalog: three non-target items (2 codes each) and one target
+    /// (2 codes) — enough distinct generalized sales for 3-deep bodies.
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for (name, hi) in [("a", 120), ("b", 140), ("c", 160)] {
+            cat.push(ItemDef {
+                name: name.into(),
+                codes: vec![
+                    PromotionCode::unit(Money::from_cents(100), Money::from_cents(50)),
+                    PromotionCode::unit(Money::from_cents(hi), Money::from_cents(50)),
+                ],
+                is_target: false,
+            });
+        }
+        cat.push(ItemDef {
+            name: "t".into(),
+            codes: vec![
+                PromotionCode::unit(Money::from_cents(500), Money::from_cents(300)),
+                PromotionCode::unit(Money::from_cents(600), Money::from_cents(300)),
+            ],
+            is_target: true,
+        });
+        cat
+    }
+
+    /// Deterministic stream of `n` transactions: random subsets of the
+    /// non-target items at random codes, random target code/quantity.
+    fn stream(seed: u64, n: usize) -> Vec<Transaction> {
+        let mut x = 0x9e3779b97f4a7c15u64 ^ seed.wrapping_mul(0x2545f4914f6cdd1d);
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        (0..n)
+            .map(|_| {
+                let mut sales = Vec::new();
+                for item in 0..3u32 {
+                    if next() % 3 == 0 {
+                        let code = (next() % 2) as u16;
+                        let qty = 1 + (next() % 3) as u32;
+                        sales.push(Sale::new(ItemId(item), CodeId(code), qty));
+                    }
+                }
+                let tc = (next() % 2) as u16;
+                let tq = 1 + (next() % 4) as u32;
+                Transaction::new(sales, Sale::new(ItemId(3), CodeId(tc), tq))
+            })
+            .collect()
+    }
+
+    fn dataset(txns: Vec<Transaction>) -> TransactionSet {
+        TransactionSet::new(catalog(), Hierarchy::flat(4), txns).unwrap()
+    }
+
+    /// Field-by-field bit-exact comparison of two mining results.
+    fn assert_identical(inc: &MinedRules, cold: &MinedRules, ctx: &str) {
+        assert_eq!(inc.min_support_count(), cold.min_support_count(), "{ctx}");
+        assert_eq!(inc.rules().len(), cold.rules().len(), "{ctx}: rule count");
+        for (i, (a, b)) in inc.rules().iter().zip(cold.rules()).enumerate() {
+            assert_eq!(a.body, b.body, "{ctx}: rule {i} body");
+            assert_eq!(a.head, b.head, "{ctx}: rule {i} head");
+            assert_eq!(a.body_count, b.body_count, "{ctx}: rule {i} body_count");
+            assert_eq!(a.hits, b.hits, "{ctx}: rule {i} hits");
+            assert_eq!(
+                a.profit.to_bits(),
+                b.profit.to_bits(),
+                "{ctx}: rule {i} profit bits ({} vs {})",
+                a.profit,
+                b.profit
+            );
+            assert_eq!(a.gen_index, b.gen_index, "{ctx}: rule {i} gen_index");
+        }
+        // The carried structures match too — the recommender builder
+        // consumes them downstream.
+        assert_eq!(inc.extended().txn_gs, cold.extended().txn_gs, "{ctx}");
+        for g in 0..cold.extended().n_gs() {
+            let g = GsId(g as u32);
+            assert_eq!(inc.gs_tidset(g), cold.gs_tidset(g), "{ctx}: tidset {g:?}");
+        }
+    }
+
+    fn miner_with(
+        minsup: Support,
+        moa: MoaMode,
+        prune_dom: bool,
+        threads: usize,
+        policy: TidPolicy,
+        prune: PrunePolicy,
+    ) -> RuleMiner {
+        RuleMiner::new(MinerConfig {
+            min_support: minsup,
+            max_body_len: 3,
+            moa,
+            quantity: QuantityModel::Saving,
+            min_confidence: None,
+            min_rule_profit: None,
+            prune_default_dominated: prune_dom,
+        })
+        .with_threads(threads)
+        .with_tidset(policy)
+        .with_prune(prune)
+    }
+
+    /// The heart of the tentpole: across the execution-policy matrix,
+    /// fit on a base then update through two delta batches, comparing
+    /// against a cold mine of each concatenated prefix.
+    #[test]
+    fn updates_match_cold_mining_across_the_policy_matrix() {
+        let all = stream(7, 60);
+        let splits = [25usize, 40, 60];
+        for moa in [MoaMode::Enabled, MoaMode::Disabled] {
+            for prune_dom in [false, true] {
+                for policy in [TidPolicy::Dense, TidPolicy::Sparse, TidPolicy::Adaptive] {
+                    for prune in [PrunePolicy::Off, PrunePolicy::Upper] {
+                        for threads in [1usize, 4] {
+                            let mk = || {
+                                miner_with(
+                                    Support::Fraction(0.08),
+                                    moa,
+                                    prune_dom,
+                                    threads,
+                                    policy,
+                                    prune,
+                                )
+                            };
+                            let mut inc = IncrementalMiner::new(mk());
+                            let mut data = dataset(all[..splits[0]].to_vec());
+                            let mut got = inc.fit(&data);
+                            for (step, &split) in splits.iter().enumerate() {
+                                let ctx = format!(
+                                    "moa={moa:?} dom={prune_dom} policy={policy:?} \
+                                     prune={prune:?} threads={threads} step={step}"
+                                );
+                                if step > 0 {
+                                    data.extend_from(&all[splits[step - 1]..split]).unwrap();
+                                    got = inc.update(&data);
+                                }
+                                let cold = mk().mine(&data);
+                                assert_identical(&got, &cold, &ctx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A rising support fraction: with `n` growing 4× the absolute
+    /// count rises, frequent singletons drop out, and the cached rules
+    /// must be re-filtered — not merely reused.
+    #[test]
+    fn support_count_rises_with_n_and_filters_caches() {
+        let all = stream(11, 80);
+        let mk = || {
+            miner_with(
+                Support::Fraction(0.15),
+                MoaMode::Enabled,
+                true,
+                1,
+                TidPolicy::Adaptive,
+                PrunePolicy::Upper,
+            )
+        };
+        let mut inc = IncrementalMiner::new(mk());
+        let mut data = dataset(all[..20].to_vec());
+        let first = inc.fit(&data);
+        for split in [35usize, 55, 80] {
+            let from = data.len();
+            data.extend_from(&all[from..split]).unwrap();
+            let got = inc.update(&data);
+            let cold = mk().mine(&data);
+            assert!(
+                got.min_support_count() >= first.min_support_count(),
+                "support count must be monotone"
+            );
+            assert_identical(&got, &cold, &format!("split={split}"));
+        }
+    }
+
+    /// An empty delta is a no-op re-mine: same rules, same bits.
+    #[test]
+    fn empty_delta_is_identity() {
+        let all = stream(3, 30);
+        let mk = || {
+            miner_with(
+                Support::Count(2),
+                MoaMode::Enabled,
+                true,
+                1,
+                TidPolicy::Adaptive,
+                PrunePolicy::Upper,
+            )
+        };
+        let mut inc = IncrementalMiner::new(mk());
+        let data = dataset(all);
+        let fitted = inc.fit(&data);
+        let again = inc.update(&data);
+        assert_identical(&again, &fitted, "empty delta");
+    }
+
+    /// Optional emission filters (confidence / rule profit) are applied
+    /// at cache-generation time; the delta path must agree with cold
+    /// mining under them too.
+    #[test]
+    fn optional_filters_survive_the_delta_path() {
+        let all = stream(23, 50);
+        let mk = || {
+            RuleMiner::new(MinerConfig {
+                min_support: Support::Count(3),
+                max_body_len: 3,
+                moa: MoaMode::Enabled,
+                quantity: QuantityModel::Buying,
+                min_confidence: Some(0.4),
+                min_rule_profit: Some(5.0),
+                prune_default_dominated: true,
+            })
+            .with_threads(2)
+            .with_tidset(TidPolicy::Adaptive)
+            .with_prune(PrunePolicy::Upper)
+        };
+        let mut inc = IncrementalMiner::new(mk());
+        let mut data = dataset(all[..30].to_vec());
+        inc.fit(&data);
+        data.extend_from(&all[30..]).unwrap();
+        let got = inc.update(&data);
+        let cold = mk().mine(&data);
+        assert_identical(&got, &cold, "filters");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a prior fit")]
+    fn update_before_fit_panics() {
+        let all = stream(1, 5);
+        IncrementalMiner::new(RuleMiner::default()).update(&dataset(all));
+    }
+
+    #[test]
+    #[should_panic(expected = "must extend the fitted one")]
+    fn shrinking_data_panics() {
+        let all = stream(1, 10);
+        let mut inc = IncrementalMiner::new(miner_with(
+            Support::Count(1),
+            MoaMode::Enabled,
+            true,
+            1,
+            TidPolicy::Adaptive,
+            PrunePolicy::Upper,
+        ));
+        inc.fit(&dataset(all[..8].to_vec()));
+        inc.update(&dataset(all[..4].to_vec()));
+    }
+}

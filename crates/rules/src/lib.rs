@@ -39,6 +39,7 @@
 
 pub mod bitset;
 pub mod extend;
+pub mod incremental;
 pub mod interner;
 pub mod miner;
 pub mod rule;
@@ -46,6 +47,7 @@ pub mod tidset;
 
 pub use bitset::BitSet;
 pub use extend::{ExtendedData, HeadId};
+pub use incremental::IncrementalMiner;
 pub use interner::{GsId, GsInterner};
 pub use miner::{MinedRules, MinerConfig, MoaMode, PrunePolicy, RuleMiner, Support};
 pub use rule::{ProfitMode, Rule};

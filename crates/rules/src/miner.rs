@@ -368,7 +368,7 @@ impl RuleMiner {
     /// sequential path and the per-anchor parallel path produce rules
     /// in exactly the same order.
     #[allow(clippy::too_many_arguments)]
-    fn process_anchor(
+    pub(crate) fn process_anchor(
         &self,
         emitter: &mut RuleEmitter<'_>,
         scratch: &mut TidScratch,
@@ -583,7 +583,7 @@ const UB_DEPTH_NAMES: [&str; 4] = [
 
 /// Head accumulation + rule emission with a generation-stamp trick so the
 /// dense per-head arrays are never cleared.
-struct RuleEmitter<'a> {
+pub(crate) struct RuleEmitter<'a> {
     extended: &'a ExtendedData,
     config: &'a MinerConfig,
     minsup: u32,
@@ -663,7 +663,7 @@ impl Drop for RuleEmitter<'_> {
 }
 
 impl<'a> RuleEmitter<'a> {
-    fn new(
+    pub(crate) fn new(
         extended: &'a ExtendedData,
         config: &'a MinerConfig,
         minsup: u32,
@@ -820,7 +820,7 @@ impl<'a> RuleEmitter<'a> {
         self.subtree_viable(1)
     }
 
-    fn emit(&mut self, body: &[GsId], tidset: TidView<'_>, body_count: u32) {
+    pub(crate) fn emit(&mut self, body: &[GsId], tidset: TidView<'_>, body_count: u32) {
         self.scan(tidset);
         self.touched.sort_unstable();
         for ti in 0..self.touched.len() {
@@ -864,7 +864,7 @@ impl<'a> RuleEmitter<'a> {
     /// intact for reuse on the next work item. Generation indices in
     /// the returned buffer are local to this drain; the parallel merge
     /// renumbers them globally.
-    fn take_rules(&mut self) -> Vec<Rule> {
+    pub(crate) fn take_rules(&mut self) -> Vec<Rule> {
         std::mem::take(&mut self.rules)
     }
 
@@ -875,7 +875,7 @@ impl<'a> RuleEmitter<'a> {
 
 /// Pair-frequency table over the dense indices of the frequent
 /// singletons: a triangular array when it fits, a hash map otherwise.
-enum PairCounts {
+pub(crate) enum PairCounts {
     Tri(Vec<u32>),
     Map(std::collections::HashMap<(u32, u32), u32>),
 }
@@ -922,7 +922,11 @@ impl PairCounts {
     /// result is exactly the sequential table regardless of scheduling.
     /// The rare hash-map fallback (> [`TRI_LIMIT`] frequent singletons)
     /// stays sequential rather than paying a per-worker map merge.
-    fn count_with_threads(extended: &ExtendedData, freq: &[GsId], threads: usize) -> Self {
+    pub(crate) fn count_with_threads(
+        extended: &ExtendedData,
+        freq: &[GsId],
+        threads: usize,
+    ) -> Self {
         use std::sync::atomic::{AtomicU32, Ordering};
         let f = freq.len();
         let n_txn = extended.txn_gs.len();
@@ -988,6 +992,30 @@ pub struct MinedRules {
 }
 
 impl MinedRules {
+    /// Assemble a result from pre-computed parts — the incremental
+    /// miner's exit, which maintains the extension, tidsets and rule
+    /// caches itself and only needs the container.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: MinerConfig,
+        min_support_count: u32,
+        rules: Vec<Rule>,
+        extended: ExtendedData,
+        tidsets: Vec<TidSet>,
+        tid_policy: TidPolicy,
+        moa: Moa,
+    ) -> Self {
+        Self {
+            config,
+            min_support_count,
+            rules,
+            extended,
+            tidsets,
+            tid_policy,
+            moa,
+        }
+    }
+
     /// The mined rules, in generation order.
     pub fn rules(&self) -> &[Rule] {
         &self.rules

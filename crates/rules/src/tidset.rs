@@ -194,6 +194,80 @@ impl TidSet {
         }
     }
 
+    /// Grow the universe to `new_capacity` and append `new_ids`
+    /// (strictly ascending, all in `old_capacity..new_capacity` — delta
+    /// transactions only ever add *later* tids), then re-pick the
+    /// representation against the policy threshold at the **new**
+    /// capacity and cardinality.
+    ///
+    /// Re-picking matters in both directions: a delta can push a sparse
+    /// set past `sparse_max(new_capacity)` (densify), and a large
+    /// capacity growth raises the adaptive threshold `capacity >> 6`
+    /// above a dense set's unchanged count (sparsify). Either way the
+    /// result is structurally identical to
+    /// [`from_sorted_ids`](Self::from_sorted_ids) over the combined ids
+    /// at the new capacity — the invariant the incremental miner's
+    /// byte-identity proof stands on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the capacity shrinks, `new_ids` is not strictly
+    /// ascending, or any new id falls outside
+    /// `old_capacity..new_capacity`.
+    pub fn extend(&mut self, new_capacity: usize, new_ids: &[u32], policy: TidPolicy) {
+        assert!(
+            new_capacity >= self.capacity,
+            "capacity can only grow ({} -> {new_capacity})",
+            self.capacity
+        );
+        assert!(
+            new_ids.windows(2).all(|w| w[0] < w[1]),
+            "new ids must be strictly ascending"
+        );
+        if let Some(&first) = new_ids.first() {
+            assert!(
+                first as usize >= self.capacity,
+                "new id {first} collides with the old universe 0..{}",
+                self.capacity
+            );
+        }
+        if let Some(&last) = new_ids.last() {
+            assert!((last as usize) < new_capacity, "id {last} out of capacity");
+        }
+        let new_count = self.count() + new_ids.len();
+        let stay_sparse = new_count <= policy.sparse_max(new_capacity);
+        self.capacity = new_capacity;
+        let repr = std::mem::replace(&mut self.repr, TidRepr::Sparse(Vec::new()));
+        self.repr = match (repr, stay_sparse) {
+            (TidRepr::Sparse(mut ids), true) => {
+                ids.extend_from_slice(new_ids);
+                TidRepr::Sparse(ids)
+            }
+            (TidRepr::Sparse(ids), false) => {
+                // Crossed the density boundary upward: densify.
+                let mut bs = BitSet::new(new_capacity);
+                for &id in ids.iter().chain(new_ids) {
+                    bs.insert(id as usize);
+                }
+                TidRepr::Dense(bs)
+            }
+            (TidRepr::Dense(mut bs), false) => {
+                bs.grow(new_capacity);
+                for &id in new_ids {
+                    bs.insert(id as usize);
+                }
+                TidRepr::Dense(bs)
+            }
+            (TidRepr::Dense(bs), true) => {
+                // Capacity growth raised the threshold past the count:
+                // sparsify so intersections run the cheaper kernels.
+                let mut ids: Vec<u32> = bs.iter().map(|t| t as u32).collect();
+                ids.extend_from_slice(new_ids);
+                TidRepr::Sparse(ids)
+            }
+        };
+    }
+
     /// The universe size.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -721,6 +795,94 @@ mod tests {
             scratch.level(1).view().iter().collect::<Vec<_>>(),
             vec![5, 9]
         );
+    }
+
+    /// Incremental `extend` must be structurally indistinguishable from
+    /// from-scratch construction — same representation, same ids — for
+    /// random delta splits across every policy. This is the property
+    /// the incremental miner's byte-identity rests on, so it is checked
+    /// over a randomized sweep, not a couple of hand cases.
+    #[test]
+    fn extend_equals_from_scratch_for_random_delta_splits() {
+        for seed in 1u64..40 {
+            let mut next = xorshift(seed.wrapping_mul(0x9e37_79b9));
+            let base_cap = 64 + (next() % 4000) as usize;
+            let grow = 1 + (next() % 6000) as usize;
+            let new_cap = base_cap + grow;
+            let base_density = 1 + (next() % (base_cap as u64)) as usize;
+            let delta_density = (next() % (grow as u64 + 1)) as usize;
+            let base: Vec<u32> = random_ids(base_cap, base_density, next());
+            let delta: Vec<u32> = random_ids(grow, delta_density, next())
+                .into_iter()
+                .map(|t| t + base_cap as u32)
+                .collect();
+            let mut all = base.clone();
+            all.extend_from_slice(&delta);
+            for policy in [TidPolicy::Dense, TidPolicy::Sparse, TidPolicy::Adaptive] {
+                let mut inc = TidSet::from_sorted_ids(base.clone(), base_cap, policy);
+                inc.extend(new_cap, &delta, policy);
+                let scratch = TidSet::from_sorted_ids(all.clone(), new_cap, policy);
+                // PartialEq covers capacity, representation, and ids —
+                // structural identity, not just set equality.
+                assert_eq!(
+                    inc, scratch,
+                    "seed {seed} policy {policy:?} base_cap {base_cap} new_cap {new_cap}"
+                );
+            }
+        }
+    }
+
+    /// The two density-boundary crossings the adaptive policy can take
+    /// under a delta: sparse→dense when the delta outruns the threshold,
+    /// and dense→sparse when capacity growth raises the threshold past
+    /// an unchanged count.
+    #[test]
+    fn extend_repicks_representation_across_the_boundary() {
+        // 1000-capacity adaptive threshold is 15; 200 ids are dense.
+        let ids: Vec<u32> = (0..200u32).collect();
+        let mut densify = TidSet::from_sorted_ids(vec![1, 5, 9], 1000, TidPolicy::Adaptive);
+        assert!(densify.is_sparse());
+        densify.extend(
+            1200,
+            &(1000..1180u32).collect::<Vec<_>>(),
+            TidPolicy::Adaptive,
+        );
+        assert!(
+            !densify.is_sparse(),
+            "delta past the threshold must densify"
+        );
+        assert_eq!(densify.count(), 183);
+
+        // 200 ids at capacity 1000 are dense (threshold 15); growing the
+        // universe to 100k lifts the threshold to 1562 — with no new
+        // ids, the set must sparsify.
+        let mut sparsify = TidSet::from_sorted_ids(ids.clone(), 1000, TidPolicy::Adaptive);
+        assert!(!sparsify.is_sparse());
+        sparsify.extend(100_000, &[], TidPolicy::Adaptive);
+        assert!(
+            sparsify.is_sparse(),
+            "threshold growth past the count must sparsify"
+        );
+        assert_eq!(
+            sparsify,
+            TidSet::from_sorted_ids(ids, 100_000, TidPolicy::Adaptive)
+        );
+
+        // Forced policies never switch.
+        let mut dense = TidSet::from_sorted_ids(vec![2], 100, TidPolicy::Dense);
+        dense.extend(100_000, &[5000], TidPolicy::Dense);
+        assert!(!dense.is_sparse());
+        let mut sparse = TidSet::from_sorted_ids((0..90u32).collect(), 100, TidPolicy::Sparse);
+        sparse.extend(110, &[100, 105], TidPolicy::Sparse);
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.count(), 92);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the old universe")]
+    fn extend_rejects_ids_inside_the_old_universe() {
+        let mut s = TidSet::from_sorted_ids(vec![1, 7], 10, TidPolicy::Adaptive);
+        s.extend(20, &[9, 12], TidPolicy::Adaptive);
     }
 
     #[test]

@@ -44,7 +44,16 @@
 //!   unwind-isolated) and atomically swaps it into the shared
 //!   [`ModelHandle`]; on any failure — missing file, torn envelope,
 //!   checksum mismatch, parse error, rule-less model, panic — the old
-//!   model keeps serving.
+//!   model keeps serving. Overlapping reloads queue serially up to
+//!   [`EXECUTOR_QUEUE_CAP`] jobs, then reject deterministically with
+//!   [`ServeError::ReloadInFlight`];
+//! * **streaming ingestion** — a daemon started with
+//!   [`Server::start_streaming`] owns a transaction stream and its
+//!   crash-safe append-only sales log (`pm_store::log`); the `ingest`
+//!   op validates a batch against the stream, fsyncs it into the log
+//!   *before* it becomes visible, refits the model incrementally
+//!   (byte-identical to a cold fit on the concatenated stream), and
+//!   hot-swaps it in with a generation bump.
 //!
 //! Fault injection for all of the above lives in `pm_store::faults`;
 //! the integration tests drive every fault class through a live daemon.
@@ -54,9 +63,14 @@
 
 pub mod protocol;
 
+use pm_store::log::SalesLog;
 use pm_store::StoreError;
+use pm_txn::{Transaction, TransactionSet};
 use polling::{Event, Events, Poller};
-use profit_core::{Matcher, ModelHandle, Recommendation, Recommender, RuleModel, SavedModel};
+use profit_core::{
+    IncrementalProfitMiner, Matcher, ModelHandle, ProfitMiner, Recommendation, Recommender,
+    RuleModel, SavedModel,
+};
 use protocol::{error_line, obj, parse_request, rec_value, render, validate_sales, Request};
 use serde::Value;
 use std::collections::VecDeque;
@@ -138,6 +152,18 @@ pub enum ServeError {
         /// The OS error text.
         err: String,
     },
+    /// The control-plane executor (reloads and ingests run serially on
+    /// one thread) already has [`EXECUTOR_QUEUE_CAP`] jobs queued or
+    /// running; the request is rejected instead of queueing unboundedly
+    /// behind a slow validation.
+    ReloadInFlight {
+        /// Reload/ingest jobs queued or running when the request
+        /// arrived.
+        pending: usize,
+    },
+    /// An `ingest` request reached a daemon that was not started in
+    /// streaming mode (no dataset and sales log attached).
+    IngestUnavailable,
 }
 
 impl std::fmt::Display for ServeError {
@@ -149,6 +175,15 @@ impl std::fmt::Display for ServeError {
                 write!(f, "{path}: unservable model: {why}")
             }
             ServeError::Net { what, err } => write!(f, "{what}: {err}"),
+            ServeError::ReloadInFlight { pending } => write!(
+                f,
+                "reload in flight: {pending} control-plane jobs queued, retry later"
+            ),
+            ServeError::IngestUnavailable => write!(
+                f,
+                "ingest unavailable: daemon is not in streaming mode (start it with a \
+                 dataset and a sales log)"
+            ),
         }
     }
 }
@@ -242,6 +277,9 @@ struct Metrics {
     parse_errors: ServeCounter,
     reloads: ServeCounter,
     reload_failures: ServeCounter,
+    ingests: ServeCounter,
+    ingest_failures: ServeCounter,
+    control_rejected: ServeCounter,
     worker_panics: ServeCounter,
     connections: ServeCounter,
     latency: pm_obs::LatencyHistogram,
@@ -261,6 +299,9 @@ impl Metrics {
             parse_errors: ServeCounter::new("serve.parse_errors"),
             reloads: ServeCounter::new("serve.reloads"),
             reload_failures: ServeCounter::new("serve.reload_failures"),
+            ingests: ServeCounter::new("serve.ingests"),
+            ingest_failures: ServeCounter::new("serve.ingest_failures"),
+            control_rejected: ServeCounter::new("serve.control_rejected"),
             worker_panics: ServeCounter::new("serve.worker_panics"),
             connections: ServeCounter::new("serve.connections"),
             latency: pm_obs::latency("serve.request_ns"),
@@ -286,6 +327,25 @@ impl ReactorShared {
     }
 }
 
+/// How many reload/ingest jobs may be queued or running on the
+/// control-plane executor before further ones are rejected with
+/// [`ServeError::ReloadInFlight`]. Overlapping reloads up to this depth
+/// queue and run serially in arrival order; beyond it the daemon answers
+/// deterministically instead of building an unbounded backlog behind a
+/// slow model validation.
+pub const EXECUTOR_QUEUE_CAP: usize = 8;
+
+/// The streaming-ingestion state: the authoritative transaction stream,
+/// its write-ahead sales log, and the incremental miner whose refits
+/// are byte-identical to cold fits on the concatenated stream. Touched
+/// only by the control-plane executor thread (the mutex makes it
+/// `Sync`, it is never contended).
+struct IngestState {
+    data: TransactionSet,
+    log: SalesLog,
+    inc: IncrementalProfitMiner,
+}
+
 /// State shared by the acceptor, the reactors, the compute workers, the
 /// reload executor, and the [`Server`] handle.
 struct Shared {
@@ -297,6 +357,11 @@ struct Shared {
     live_conns: AtomicI64,
     /// Requests in flight between a reactor and a worker/executor.
     queue_depth: AtomicI64,
+    /// Reload/ingest jobs queued or running on the executor, for the
+    /// [`EXECUTOR_QUEUE_CAP`] admission check.
+    executor_pending: AtomicI64,
+    /// `Some` iff the daemon was started in streaming mode.
+    ingest: Option<Mutex<IngestState>>,
     metrics: Metrics,
     reactors: Vec<Arc<ReactorShared>>,
 }
@@ -324,13 +389,29 @@ struct Job {
     top: usize,
 }
 
-/// A reload request in flight to the reload executor.
+/// A reload request in flight to the control-plane executor.
 struct ReloadJob {
     reactor: usize,
     slot: usize,
     token: u64,
     seq: u64,
     path: Option<String>,
+}
+
+/// An ingest request in flight to the control-plane executor.
+struct IngestJob {
+    reactor: usize,
+    slot: usize,
+    token: u64,
+    seq: u64,
+    txns: Vec<Transaction>,
+}
+
+/// One control-plane job: reloads and ingests share the executor
+/// thread, so model swaps of either kind are serialized.
+enum ExecJob {
+    Reload(ReloadJob),
+    Ingest(IngestJob),
 }
 
 /// A finished response heading back to a reactor.
@@ -354,14 +435,17 @@ pub struct ServeSummary {
     pub connections: u64,
     /// Successful hot reloads.
     pub reloads: u64,
+    /// Successful streaming ingests (each bumps the model generation).
+    pub ingests: u64,
 }
 
 impl std::fmt::Display for ServeSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "served {} requests over {} connections ({} degraded, {} shed, {} reloads)",
-            self.requests, self.connections, self.degraded, self.shed, self.reloads
+            "served {} requests over {} connections \
+             ({} degraded, {} shed, {} reloads, {} ingests)",
+            self.requests, self.connections, self.degraded, self.shed, self.reloads, self.ingests
         )
     }
 }
@@ -394,6 +478,66 @@ impl Server {
         model: RuleModel,
         model_path: PathBuf,
         cfg: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        Server::start_inner(addr, model, model_path, cfg, None)
+    }
+
+    /// Start in **streaming mode**: fit a model on `data` plus every
+    /// record already in the sales log at `log_path` (creating the log
+    /// when missing, truncating any torn tail a crash left), then serve
+    /// it — and accept `{"op":"ingest",...}` requests that append a
+    /// validated batch to the log, refit incrementally, and hot-swap
+    /// the refitted model in (one generation bump per batch).
+    ///
+    /// The served model is always byte-identical to what a cold
+    /// `pipeline.fit` on the concatenated stream would build, both at
+    /// startup (log replay) and after every ingest (delta refit).
+    pub fn start_streaming(
+        addr: &str,
+        mut data: TransactionSet,
+        log_path: impl AsRef<Path>,
+        pipeline: ProfitMiner,
+        cfg: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        let log_path = log_path.as_ref();
+        let (log, recovery) = SalesLog::open(log_path)?;
+        for (i, payload) in recovery.records.iter().enumerate() {
+            let batch: Vec<Transaction> = std::str::from_utf8(payload)
+                .map_err(|e| e.to_string())
+                .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
+                .map_err(|err| ServeError::Model {
+                    path: format!("{} record {i}", log_path.display()),
+                    err,
+                })?;
+            data.extend_from(&batch).map_err(|e| ServeError::Model {
+                path: format!("{} record {i}", log_path.display()),
+                err: e.to_string(),
+            })?;
+        }
+        if recovery.truncated_bytes > 0 {
+            pm_obs::info!(
+                "serve.log_recovered",
+                path = log_path.display(),
+                truncated_bytes = recovery.truncated_bytes
+            );
+        }
+        pm_obs::info!(
+            "serve.streaming_fit",
+            records = recovery.records.len(),
+            transactions = data.len()
+        );
+        let mut inc = pipeline.into_incremental();
+        let model = inc.fit(&data);
+        let state = IngestState { data, log, inc };
+        Server::start_inner(addr, model, log_path.to_path_buf(), cfg, Some(state))
+    }
+
+    fn start_inner(
+        addr: &str,
+        model: RuleModel,
+        model_path: PathBuf,
+        cfg: ServeConfig,
+        ingest: Option<IngestState>,
     ) -> Result<Server, ServeError> {
         validate_servable(&model).map_err(|why| ServeError::Degenerate {
             path: model_path.display().to_string(),
@@ -436,6 +580,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             live_conns: AtomicI64::new(0),
             queue_depth: AtomicI64::new(0),
+            executor_pending: AtomicI64::new(0),
+            ingest: ingest.map(Mutex::new),
             metrics,
             reactors,
         });
@@ -463,15 +609,15 @@ impl Server {
             );
         }
 
-        // Reload executor: validates replacement models off the serving
-        // path, one at a time.
-        let (reload_tx, reload_rx) = std::sync::mpsc::channel::<ReloadJob>();
+        // Control-plane executor: validates replacement models and runs
+        // streaming ingests off the serving path, one job at a time.
+        let (reload_tx, reload_rx) = std::sync::mpsc::channel::<ExecJob>();
         {
             let shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
                     .name("pm-serve-reload".into())
-                    .spawn(move || reload_executor_loop(&shared, &reload_rx))
+                    .spawn(move || control_executor_loop(&shared, &reload_rx))
                     .map_err(|e| spawn_err(e, "spawn reload executor"))?,
             );
         }
@@ -537,6 +683,7 @@ impl Server {
             shed: m.shed.get(),
             connections: m.connections.get(),
             reloads: m.reloads.get(),
+            ingests: m.ingests.get(),
         }
     }
 }
@@ -688,7 +835,7 @@ struct Reactor {
     workers: Vec<Sender<Vec<Job>>>,
     /// Per-worker batch under construction during this wakeup.
     staged: Vec<Vec<Job>>,
-    reload_tx: Sender<ReloadJob>,
+    reload_tx: Sender<ExecJob>,
     events: Events,
     last_sweep: Instant,
 }
@@ -698,7 +845,7 @@ impl Reactor {
         shared: Arc<Shared>,
         id: usize,
         workers: Vec<Sender<Vec<Job>>>,
-        reload_tx: Sender<ReloadJob>,
+        reload_tx: Sender<ExecJob>,
     ) -> Reactor {
         let rs = Arc::clone(&shared.reactors[id]);
         let staged = workers.iter().map(|_| Vec::new()).collect();
@@ -1020,23 +1167,64 @@ impl Reactor {
                 self.shared.wake_all_reactors();
             }
             Request::Reload { path } => {
+                let Some(()) = self.admit_exec_job(slot) else {
+                    return;
+                };
                 let Some((token, seq)) = self.reserve_slot(slot) else {
+                    self.release_exec_slot();
                     return;
                 };
                 self.shared.note_queue_depth(1);
-                let job = ReloadJob {
+                let job = ExecJob::Reload(ReloadJob {
                     reactor: self.id,
                     slot,
                     token,
                     seq,
                     path,
-                };
+                });
                 if self.reload_tx.send(job).is_err() {
                     self.shared.note_queue_depth(-1);
+                    self.release_exec_slot();
                     self.fill_slot(
                         slot,
                         seq,
                         error_line("reload failed, keeping current model: daemon is stopping"),
+                    );
+                }
+            }
+            Request::Ingest { txns } => {
+                // A daemon without streaming state answers immediately —
+                // no executor round-trip for a request that cannot work.
+                if self.shared.ingest.is_none() {
+                    self.enqueue_inline(
+                        slot,
+                        error_line(&ServeError::IngestUnavailable.to_string()),
+                        false,
+                    );
+                    return;
+                }
+                let Some(()) = self.admit_exec_job(slot) else {
+                    return;
+                };
+                let Some((token, seq)) = self.reserve_slot(slot) else {
+                    self.release_exec_slot();
+                    return;
+                };
+                self.shared.note_queue_depth(1);
+                let job = ExecJob::Ingest(IngestJob {
+                    reactor: self.id,
+                    slot,
+                    token,
+                    seq,
+                    txns,
+                });
+                if self.reload_tx.send(job).is_err() {
+                    self.shared.note_queue_depth(-1);
+                    self.release_exec_slot();
+                    self.fill_slot(
+                        slot,
+                        seq,
+                        error_line("ingest failed, keeping current model: daemon is stopping"),
                     );
                 }
             }
@@ -1060,6 +1248,35 @@ impl Reactor {
                 }
             }
         }
+    }
+
+    /// Admit one control-plane job (reload or ingest) against
+    /// [`EXECUTOR_QUEUE_CAP`]. On rejection the deterministic
+    /// [`ServeError::ReloadInFlight`] error line is enqueued and `None`
+    /// returned; on admission the pending count is already incremented
+    /// (undo with [`Self::release_exec_slot`] if the job cannot be
+    /// sent after all).
+    fn admit_exec_job(&mut self, slot: usize) -> Option<()> {
+        // One reactor thread admits at a time per connection, but
+        // several reactors race here; `fetch_add` + rollback keeps the
+        // cap exact without a lock.
+        let pending = self.shared.executor_pending.fetch_add(1, Ordering::AcqRel);
+        if pending >= EXECUTOR_QUEUE_CAP as i64 {
+            self.release_exec_slot();
+            self.shared.metrics.control_rejected.inc();
+            pm_obs::debug!("serve.control_rejected", pending = pending);
+            let err = ServeError::ReloadInFlight {
+                pending: pending as usize,
+            };
+            self.enqueue_inline(slot, error_line(&err.to_string()), false);
+            return None;
+        }
+        Some(())
+    }
+
+    /// Undo an [`Self::admit_exec_job`] admission.
+    fn release_exec_slot(&self) {
+        self.shared.executor_pending.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Append an already-rendered response in request order.
@@ -1380,22 +1597,33 @@ fn default_rule_recs(model: &RuleModel) -> Vec<Recommendation> {
     }]
 }
 
-/// Reload executor: validates replacement models off the serving path,
-/// serially, and swaps them into the shared handle.
-fn reload_executor_loop(shared: &Arc<Shared>, rx: &Receiver<ReloadJob>) {
+/// Control-plane executor: validates replacement models and runs
+/// streaming ingests off the serving path, serially in arrival order,
+/// swapping each resulting model into the shared handle.
+fn control_executor_loop(shared: &Arc<Shared>, rx: &Receiver<ExecJob>) {
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => {
-                let line = handle_reload(shared, job.path);
-                let reactor = &shared.reactors[job.reactor];
+                let (reactor_id, slot, token, seq, line) = match job {
+                    ExecJob::Reload(j) => {
+                        let line = handle_reload(shared, j.path);
+                        (j.reactor, j.slot, j.token, j.seq, line)
+                    }
+                    ExecJob::Ingest(j) => {
+                        let line = handle_ingest(shared, &j.txns);
+                        (j.reactor, j.slot, j.token, j.seq, line)
+                    }
+                };
+                shared.executor_pending.fetch_sub(1, Ordering::AcqRel);
+                let reactor = &shared.reactors[reactor_id];
                 reactor
                     .completions
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .push(Completion {
-                        slot: job.slot,
-                        token: job.token,
-                        seq: job.seq,
+                        slot,
+                        token,
+                        seq,
                         line,
                     });
                 reactor.wake();
@@ -1408,6 +1636,70 @@ fn reload_executor_loop(shared: &Arc<Shared>, rx: &Receiver<ReloadJob>) {
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
+}
+
+/// Run one streaming ingest: validate the batch against the stream,
+/// make it durable in the sales log, extend the in-memory stream,
+/// refit incrementally, and swap the refitted model in. Any failure
+/// leaves the old model serving and — because the log is only appended
+/// after validation — never leaves the log holding a record a replay
+/// would reject.
+fn handle_ingest(shared: &Shared, txns: &[Transaction]) -> String {
+    let Some(ingest) = &shared.ingest else {
+        // Normally answered inline by the reactor; kept for safety.
+        return error_line(&ServeError::IngestUnavailable.to_string());
+    };
+    let fail = |what: &str, err: &str| {
+        shared.metrics.ingest_failures.inc();
+        pm_obs::error!("serve.ingest_failed", what = what, err = err);
+        error_line(&format!("ingest rejected, keeping current model: {err}"))
+    };
+    let mut guard = ingest.lock().unwrap_or_else(|e| e.into_inner());
+    let IngestState { data, log, inc } = &mut *guard;
+    if let Err(e) = data.validate_delta(txns) {
+        return fail("validate", &e.to_string());
+    }
+    // Durability before visibility: the batch reaches the fsynced log
+    // before it can influence any served answer. A crash after this
+    // append replays the batch on restart; a crash during it leaves a
+    // torn tail the next open truncates away.
+    let payload = match serde_json::to_string(&txns.to_vec()) {
+        Ok(p) => p,
+        Err(e) => return fail("serialize", &e.to_string()),
+    };
+    if let Err(e) = log.append(payload.as_bytes()) {
+        return fail("append", &e.to_string());
+    }
+    data.extend_from(txns)
+        .expect("delta validated just above this append");
+    // The incremental refit is unwind-isolated like reload validation:
+    // a panicking miner degrades to a failed ingest (with the batch
+    // already durable in the log), not a dead executor.
+    let model = match catch_unwind(AssertUnwindSafe(|| inc.update(data))) {
+        Ok(m) => m,
+        Err(_) => return fail("refit", "incremental refit panicked"),
+    };
+    if let Err(why) = validate_servable(&model) {
+        return fail("validate_model", &why);
+    }
+    let rules = model.rules().len() as u64;
+    let n = data.len() as u64;
+    let generation = shared.handle.swap(model);
+    shared.metrics.ingests.inc();
+    shared.metrics.generation_gauge.set(generation as i64);
+    pm_obs::info!(
+        "serve.ingested",
+        txns = txns.len(),
+        transactions = n,
+        generation = generation
+    );
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::Str("ingested".into())),
+        ("generation", Value::U64(generation)),
+        ("transactions", Value::U64(n)),
+        ("rules", Value::U64(rules)),
+    ]))
 }
 
 /// Validate a replacement model off the serving path and swap it in;
@@ -1483,6 +1775,9 @@ fn stats_value(shared: &Shared) -> Value {
         ("parse_errors", Value::U64(m.parse_errors.get())),
         ("reloads", Value::U64(m.reloads.get())),
         ("reload_failures", Value::U64(m.reload_failures.get())),
+        ("ingests", Value::U64(m.ingests.get())),
+        ("ingest_failures", Value::U64(m.ingest_failures.get())),
+        ("control_rejected", Value::U64(m.control_rejected.get())),
         ("worker_panics", Value::U64(m.worker_panics.get())),
         ("connections", Value::U64(m.connections.get())),
     ])

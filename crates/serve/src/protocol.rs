@@ -6,6 +6,7 @@
 //! {"op":"ping"}
 //! {"op":"recommend","sales":[[item,code,qty],...],"top":K}   // both fields optional
 //! {"op":"reload","model":"/path/to/model.pm"}                // path optional
+//! {"op":"ingest","txns":[{"sales":[[item,code,qty],...],"target":[item,code,qty]},...]}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -17,7 +18,7 @@
 //! Field order is fixed, so byte-level determinism of responses can be
 //! asserted in tests.
 
-use pm_txn::{CodeId, ItemId, Sale};
+use pm_txn::{CodeId, ItemId, Sale, Transaction};
 use profit_core::RuleModel;
 use serde::Value;
 
@@ -39,6 +40,15 @@ pub enum Request {
         /// the last successful reload).
         path: Option<String>,
     },
+    /// Append a batch of sales transactions to the daemon's stream:
+    /// validate, persist to the crash-safe sales log, refit
+    /// incrementally, and hot-swap the refitted model in. Only served
+    /// by daemons started in streaming mode.
+    Ingest {
+        /// The batch, each transaction a basket of non-target sales
+        /// plus exactly one target sale.
+        txns: Vec<Transaction>,
+    },
     /// Serving counters snapshot.
     Stats,
     /// Stop the daemon.
@@ -54,6 +64,29 @@ fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
         Value::U64(u) => Ok(*u),
         _ => Err(format!("{what} must be a non-negative integer")),
     }
+}
+
+/// Parse one `[item, code, qty]` triple into a [`Sale`].
+fn parse_sale(v: &Value, what: &str) -> Result<Sale, String> {
+    let triple = match v {
+        Value::Seq(t) if t.len() == 3 => t,
+        _ => {
+            return Err(format!(
+                "bad request: {what} must be an [item, code, qty] triple"
+            ))
+        }
+    };
+    let item_id = as_u64(&triple[0], "sale item")?;
+    let code_id = as_u64(&triple[1], "sale code")?;
+    let qty = as_u64(&triple[2], "sale qty")?;
+    if item_id > u32::MAX as u64 || code_id > u16::MAX as u64 || qty == 0 {
+        return Err(format!("bad request: {what} is out of range"));
+    }
+    Ok(Sale::new(
+        ItemId(item_id as u32),
+        CodeId(code_id as u16),
+        qty as u32,
+    ))
 }
 
 /// Parse one request line. Errors are complete human-readable messages
@@ -97,25 +130,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Some(Value::Seq(items)) => {
                     let mut sales = Vec::with_capacity(items.len());
                     for (i, item) in items.iter().enumerate() {
-                        let triple = match item {
-                            Value::Seq(t) if t.len() == 3 => t,
-                            _ => {
-                                return Err(format!(
-                                    "bad request: sales[{i}] must be an [item, code, qty] triple"
-                                ))
-                            }
-                        };
-                        let item_id = as_u64(&triple[0], "sale item")?;
-                        let code_id = as_u64(&triple[1], "sale code")?;
-                        let qty = as_u64(&triple[2], "sale qty")?;
-                        if item_id > u32::MAX as u64 || code_id > u16::MAX as u64 || qty == 0 {
-                            return Err(format!("bad request: sales[{i}] is out of range"));
-                        }
-                        sales.push(Sale::new(
-                            ItemId(item_id as u32),
-                            CodeId(code_id as u16),
-                            qty as u32,
-                        ));
+                        sales.push(parse_sale(item, &format!("sales[{i}]"))?);
                     }
                     sales
                 }
@@ -123,11 +138,66 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             };
             Ok(Request::Recommend { sales, top })
         }
+        "ingest" => {
+            let items = match get(map, "txns") {
+                Some(Value::Seq(items)) => items,
+                Some(_) => return Err("bad request: \"txns\" must be an array".into()),
+                None => return Err("bad request: missing \"txns\"".into()),
+            };
+            if items.is_empty() {
+                return Err("bad request: \"txns\" is empty — nothing to ingest".into());
+            }
+            let mut txns = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let m = match item {
+                    Value::Map(m) => m.as_slice(),
+                    _ => return Err(format!("bad request: txns[{i}] must be an object")),
+                };
+                let sales = match get(m, "sales") {
+                    None => Vec::new(),
+                    Some(Value::Seq(ss)) => {
+                        let mut sales = Vec::with_capacity(ss.len());
+                        for (j, s) in ss.iter().enumerate() {
+                            sales.push(parse_sale(s, &format!("txns[{i}].sales[{j}]"))?);
+                        }
+                        sales
+                    }
+                    Some(_) => {
+                        return Err(format!("bad request: txns[{i}].sales must be an array"))
+                    }
+                };
+                let target = match get(m, "target") {
+                    Some(v) => parse_sale(v, &format!("txns[{i}].target"))?,
+                    None => return Err(format!("bad request: txns[{i}] is missing \"target\"")),
+                };
+                txns.push(Transaction::new(sales, target));
+            }
+            Ok(Request::Ingest { txns })
+        }
         other => Err(format!(
-            "bad request: unknown op {other:?} (expected ping, recommend, reload, stats, \
-             or shutdown)"
+            "bad request: unknown op {other:?} (expected ping, recommend, reload, ingest, \
+             stats, or shutdown)"
         )),
     }
+}
+
+/// The wire form of one transaction for an `ingest` request — useful to
+/// clients (and tests) assembling batches from in-memory transactions.
+pub fn txn_value(t: &Transaction) -> Value {
+    let sale = |s: &Sale| {
+        Value::Seq(vec![
+            Value::U64(s.item.0 as u64),
+            Value::U64(s.code.0 as u64),
+            Value::U64(s.qty as u64),
+        ])
+    };
+    obj(vec![
+        (
+            "sales",
+            Value::Seq(t.non_target_sales().iter().map(sale).collect()),
+        ),
+        ("target", sale(t.target_sale())),
+    ])
 }
 
 /// Check every sale against the model's catalog before matching, so an
@@ -237,6 +307,40 @@ mod tests {
                 top: 1
             }
         );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"ingest","txns":[{"sales":[[1,0,2],[3,1,1]],"target":[0,0,4]}]}"#
+            )
+            .unwrap(),
+            Request::Ingest {
+                txns: vec![Transaction::new(
+                    vec![
+                        Sale::new(ItemId(1), CodeId(0), 2),
+                        Sale::new(ItemId(3), CodeId(1), 1)
+                    ],
+                    Sale::new(ItemId(0), CodeId(0), 4)
+                )]
+            }
+        );
+    }
+
+    #[test]
+    fn txn_value_round_trips_through_parse_request() {
+        let txns = vec![
+            Transaction::new(
+                vec![
+                    Sale::new(ItemId(5), CodeId(1), 2),
+                    Sale::new(ItemId(2), CodeId(0), 1),
+                ],
+                Sale::new(ItemId(0), CodeId(2), 3),
+            ),
+            Transaction::new(vec![], Sale::new(ItemId(1), CodeId(0), 1)),
+        ];
+        let line = render(&obj(vec![
+            ("op", Value::Str("ingest".into())),
+            ("txns", Value::Seq(txns.iter().map(txn_value).collect())),
+        ]));
+        assert_eq!(parse_request(&line).unwrap(), Request::Ingest { txns });
     }
 
     #[test]
@@ -252,6 +356,21 @@ mod tests {
             (r#"{"op":"recommend","sales":3}"#, "must be an array"),
             (r#"{"op":"recommend","top":0}"#, "≥ 1"),
             (r#"{"op":"reload","model":9}"#, "string path"),
+            (r#"{"op":"ingest"}"#, "missing \"txns\""),
+            (r#"{"op":"ingest","txns":[]}"#, "nothing to ingest"),
+            (r#"{"op":"ingest","txns":[7]}"#, "must be an object"),
+            (
+                r#"{"op":"ingest","txns":[{"sales":[]}]}"#,
+                "missing \"target\"",
+            ),
+            (
+                r#"{"op":"ingest","txns":[{"sales":[[1,2]],"target":[0,0,1]}]}"#,
+                "triple",
+            ),
+            (
+                r#"{"op":"ingest","txns":[{"sales":[],"target":[0,0,0]}]}"#,
+                "out of range",
+            ),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "{line:?} → {err:?}");

@@ -1,0 +1,346 @@
+//! Streaming-ingestion tests: a live daemon in streaming mode, driven
+//! over real TCP — wire ingests that append to the sales log and
+//! hot-swap the model, restart replay from the log, rejected batches
+//! that leave the stream untouched, and the control-plane admission
+//! cap that bounds overlapping reloads deterministically.
+//!
+//! Fault-injecting tests serialize on `pm_store::faults::test_lock()`.
+
+use pm_datagen::DatasetConfig;
+use pm_rules::{MinerConfig, Support};
+use pm_serve::protocol::{obj, rec_value, render, txn_value};
+use pm_serve::{ServeConfig, Server};
+use pm_store::faults;
+use pm_txn::{Sale, Transaction, TransactionSet};
+use profit_core::{CutConfig, Matcher, ProfitMiner, Recommender, RuleModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn pipeline() -> ProfitMiner {
+    ProfitMiner::new(MinerConfig {
+        min_support: Support::Fraction(0.03),
+        max_body_len: 2,
+        ..MinerConfig::default()
+    })
+    .with_cut(CutConfig::default())
+}
+
+/// The full stream, its head (the daemon's base dataset), and the two
+/// delta batches the tests ingest over the wire.
+struct Stream {
+    full: TransactionSet,
+    head: TransactionSet,
+    batches: [Vec<Transaction>; 2],
+}
+
+fn stream(seed: u64) -> Stream {
+    let full: TransactionSet = DatasetConfig::dataset_i()
+        .with_transactions(400)
+        .with_items(60)
+        .generate(&mut StdRng::seed_from_u64(seed));
+    let head = full.subset(&(0..300).collect::<Vec<usize>>());
+    let txns = full.transactions();
+    Stream {
+        head,
+        batches: [txns[300..350].to_vec(), txns[350..400].to_vec()],
+        full,
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pm-streaming-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.recv()
+    }
+
+    fn recv(&mut self) -> String {
+        let mut buf = String::new();
+        self.reader.read_line(&mut buf).expect("read response");
+        buf.trim_end().to_string()
+    }
+}
+
+fn ingest_line(batch: &[Transaction]) -> String {
+    render(&obj(vec![
+        ("op", Value::Str("ingest".into())),
+        ("txns", Value::Seq(batch.iter().map(txn_value).collect())),
+    ]))
+}
+
+fn recommend_line(customer: &[Sale]) -> String {
+    let sales: Vec<String> = customer
+        .iter()
+        .map(|s| format!("[{},{},{}]", s.item.0, s.code.0, s.qty))
+        .collect();
+    format!(r#"{{"op":"recommend","sales":[{}]}}"#, sales.join(","))
+}
+
+fn expected_line(model: &RuleModel, customer: &[Sale]) -> String {
+    let matcher = Matcher::new(model);
+    let rec = matcher.recommend(customer);
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("degraded", Value::Bool(false)),
+        ("recs", Value::Seq(vec![rec_value(model, &rec)])),
+    ]))
+}
+
+/// The ISSUE's e2e: append sales over the wire, watch the generation
+/// bump, and get post-swap recommendations byte-identical to an offline
+/// fit on the concatenated data — then restart from the log and get the
+/// same model again from replay alone.
+#[test]
+fn wire_ingests_hot_swap_to_the_concatenated_batch_fit() {
+    let s = stream(7);
+    let full_model = pipeline().fit(&s.full);
+    let head_model = pipeline().fit(&s.head);
+    let customers: Vec<Vec<Sale>> = s
+        .full
+        .transactions()
+        .iter()
+        .skip(310)
+        .take(20)
+        .map(|t| t.non_target_sales().to_vec())
+        .collect();
+
+    let dir = tmp_dir("e2e");
+    let log = dir.join("sales.log");
+    let server = Server::start_streaming(
+        "127.0.0.1:0",
+        s.head.clone(),
+        &log,
+        pipeline(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr());
+
+    // Before any ingest the daemon serves the head-only model.
+    assert_eq!(server.generation(), 1);
+    assert_eq!(
+        c.send(&recommend_line(&customers[0])),
+        expected_line(&head_model, &customers[0])
+    );
+
+    // Two wire ingests: each appends to the log, refits incrementally,
+    // and swaps the model under a bumped generation.
+    let resp = c.send(&ingest_line(&s.batches[0]));
+    assert!(resp.contains(r#""op":"ingested""#), "{resp}");
+    assert!(resp.contains(r#""generation":2"#), "{resp}");
+    assert!(resp.contains(r#""transactions":350"#), "{resp}");
+    let resp = c.send(&ingest_line(&s.batches[1]));
+    assert!(resp.contains(r#""generation":3"#), "{resp}");
+    assert!(resp.contains(r#""transactions":400"#), "{resp}");
+    assert_eq!(server.generation(), 3);
+
+    // Post-swap answers are byte-identical to the offline fit on the
+    // full 400-transaction stream — the incremental model IS the batch
+    // model, not an approximation of it.
+    for customer in &customers {
+        assert_eq!(
+            c.send(&recommend_line(customer)),
+            expected_line(&full_model, customer)
+        );
+    }
+
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    let summary = server.join();
+    assert_eq!(summary.ingests, 2);
+
+    // Restart on the same log: replay alone reconstructs the stream and
+    // the daemon comes up already serving the full-stream model.
+    let server = Server::start_streaming(
+        "127.0.0.1:0",
+        s.head.clone(),
+        &log,
+        pipeline(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr());
+    for customer in &customers {
+        assert_eq!(
+            c.send(&recommend_line(customer)),
+            expected_line(&full_model, customer)
+        );
+    }
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_on_a_model_file_daemon_is_refused_and_harmless() {
+    let s = stream(11);
+    let model = pipeline().fit(&s.head);
+    let dir = tmp_dir("nostream");
+    let path = dir.join("model.pm");
+    pm_store::save_sealed(
+        &path,
+        serde_json::to_string(&model.save()).unwrap().as_bytes(),
+    )
+    .unwrap();
+
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+
+    let resp = c.send(&ingest_line(&s.batches[0]));
+    assert!(resp.contains("ingest unavailable"), "{resp}");
+    assert!(resp.contains("streaming mode"), "{resp}");
+
+    // The refusal is inline: no generation bump, connection still live.
+    assert_eq!(server.generation(), 1);
+    let customer = s.head.transactions()[0].non_target_sales().to_vec();
+    assert_eq!(
+        c.send(&recommend_line(&customer)),
+        expected_line(&model, &customer)
+    );
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    let summary = server.join();
+    assert_eq!(summary.ingests, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejected_batches_leave_stream_log_and_model_untouched() {
+    let s = stream(23);
+    let dir = tmp_dir("reject");
+    let log = dir.join("sales.log");
+    let server = Server::start_streaming(
+        "127.0.0.1:0",
+        s.head.clone(),
+        &log,
+        pipeline(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr());
+    let logged = || std::fs::metadata(&log).unwrap().len();
+    let empty_log = logged();
+
+    // An unknown item fails stream validation before anything is made
+    // durable: the log must not grow and the model must not swap.
+    let bad = Transaction::new(
+        vec![Sale::new(pm_txn::ItemId(999_999), pm_txn::CodeId(0), 1)],
+        *s.batches[0][0].target_sale(),
+    );
+    let resp = c.send(&ingest_line(&[bad]));
+    assert!(
+        resp.contains("ingest rejected, keeping current model"),
+        "{resp}"
+    );
+    assert!(resp.contains("unknown item"), "{resp}");
+    assert_eq!(server.generation(), 1);
+    assert_eq!(
+        logged(),
+        empty_log,
+        "failed validation must not touch the log"
+    );
+
+    // An empty batch is refused at parse time, before the executor.
+    let resp = c.send(r#"{"op":"ingest","txns":[]}"#);
+    assert!(resp.contains("nothing to ingest"), "{resp}");
+
+    // The stream is not poisoned: a good batch still lands.
+    let resp = c.send(&ingest_line(&s.batches[0]));
+    assert!(resp.contains(r#""generation":2"#), "{resp}");
+    assert!(logged() > empty_log);
+
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    let summary = server.join();
+    assert_eq!(summary.ingests, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The bugfix regression: overlapping reloads used to pile up on the
+/// executor channel without bound. Now at most `EXECUTOR_QUEUE_CAP`
+/// control-plane jobs may be queued or running; the rest are refused
+/// immediately with a typed error, and every accepted job completes.
+#[test]
+fn overlapping_reloads_cap_deterministically_at_the_queue_depth() {
+    let _guard = faults::test_lock();
+    let s = stream(31);
+    let model = pipeline().fit(&s.head);
+    let dir = tmp_dir("inflight");
+    let path = dir.join("model.pm");
+    pm_store::save_sealed(
+        &path,
+        serde_json::to_string(&model.save()).unwrap().as_bytes(),
+    )
+    .unwrap();
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Every reload now re-reads the model file slowly, so a burst of
+    // concurrent reloads stacks up on the single executor.
+    faults::set_read_delay_ms(200);
+    let responses: Vec<String> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                sc.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    c.send(r#"{"op":"reload"}"#)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    faults::set_read_delay_ms(0);
+
+    let accepted = responses
+        .iter()
+        .filter(|r| r.contains(r#""op":"reloaded""#))
+        .count();
+    let rejected = responses
+        .iter()
+        .filter(|r| r.contains("reload in flight"))
+        .count();
+    assert_eq!(
+        (accepted, rejected),
+        (
+            pm_serve::EXECUTOR_QUEUE_CAP,
+            12 - pm_serve::EXECUTOR_QUEUE_CAP
+        ),
+        "{responses:?}"
+    );
+    // Every accepted reload really ran: one generation bump each.
+    assert_eq!(server.generation(), 1 + pm_serve::EXECUTOR_QUEUE_CAP as u64);
+
+    // The cap clears once the queue drains: the next reload is accepted.
+    let mut c = Client::connect(addr);
+    let resp = c.send(r#"{"op":"reload"}"#);
+    assert!(resp.contains(r#""op":"reloaded""#), "{resp}");
+
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    let summary = server.join();
+    assert_eq!(summary.reloads, pm_serve::EXECUTOR_QUEUE_CAP as u64 + 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

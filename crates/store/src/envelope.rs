@@ -76,6 +76,11 @@ pub fn seal(payload: &[u8]) -> Vec<u8> {
 /// declared-vs-actual payload length (short ⇒ [`StoreError::Truncated`],
 /// long ⇒ [`StoreError::TrailingBytes`]), and finally the CRC.
 pub fn open(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    if bytes.is_empty() {
+        // A zero-byte file is its own failure mode (placeholder touch,
+        // or truncation to nothing) — clearer than a generic short read.
+        return Err(StoreError::Empty);
+    }
     if bytes.len() < HEADER_LEN {
         return Err(StoreError::TooShort { found: bytes.len() });
     }

@@ -40,6 +40,7 @@ use std::time::Duration;
 const OFF: usize = usize::MAX;
 
 static TORN_WRITE_AT: AtomicUsize = AtomicUsize::new(OFF);
+static VANISH_PARENT: AtomicBool = AtomicBool::new(false);
 static SHORT_READ_AT: AtomicUsize = AtomicUsize::new(OFF);
 static CORRUPT_BYTE_AT: AtomicUsize = AtomicUsize::new(OFF);
 static READ_DELAY_MS: AtomicU64 = AtomicU64::new(0);
@@ -58,6 +59,21 @@ pub fn torn_write_at() -> Option<usize> {
         OFF => None,
         k => Some(k),
     }
+}
+
+/// Make the next atomic write's target parent directory vanish between
+/// the temp-file write and the rename — as if a concurrent cleanup
+/// removed the data directory mid-write. One-shot: the hook disarms
+/// itself when it fires, so the test can recreate the directory and
+/// retry without re-tripping.
+pub fn set_vanish_parent_before_rename(on: bool) {
+    VANISH_PARENT.store(on, Ordering::Relaxed);
+}
+
+/// Consume the vanish-parent fault if armed. Called by
+/// [`crate::write_atomic`] right before its rename.
+pub fn take_vanish_parent() -> bool {
+    VANISH_PARENT.swap(false, Ordering::Relaxed)
 }
 
 /// Make reads return only the first `k` bytes.
@@ -147,6 +163,7 @@ pub fn apply_handle_panic() {
 /// Reset every hook to off.
 pub fn reset() {
     set_torn_write_at(None);
+    set_vanish_parent_before_rename(false);
     set_short_read_at(None);
     set_corrupt_byte_at(None);
     set_read_delay_ms(0);

@@ -27,6 +27,7 @@
 
 pub mod envelope;
 pub mod faults;
+pub mod log;
 
 use std::fmt;
 use std::io::Write;
@@ -48,6 +49,15 @@ pub enum StoreError {
         op: &'static str,
         /// The OS error text.
         err: String,
+    },
+    /// The file holds zero bytes — created but never written, or
+    /// truncated to nothing. Distinct from [`StoreError::TooShort`] so
+    /// operators can tell "empty placeholder" from "torn header".
+    Empty,
+    /// The path names a directory, not a file.
+    IsDirectory {
+        /// The offending path.
+        path: String,
     },
     /// The file is shorter than an envelope header.
     TooShort {
@@ -93,6 +103,13 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io { path, op, err } => write!(f, "{path}: {op} failed: {err}"),
+            StoreError::Empty => write!(
+                f,
+                "file is empty (0 bytes) — created but never written, or truncated to nothing"
+            ),
+            StoreError::IsDirectory { path } => {
+                write!(f, "{path} is a directory, not a file")
+            }
             StoreError::TooShort { found } => write!(
                 f,
                 "file holds {found} bytes, shorter than the {} byte envelope header \
@@ -101,8 +118,10 @@ impl fmt::Display for StoreError {
             ),
             StoreError::BadMagic { found } => write!(
                 f,
-                "bad magic {found:?} (expected {:?}) — not an enveloped model file",
-                envelope::MAGIC
+                "bad magic {found:?} (expected {:?} for models, {:?} for sales logs) \
+                 — not a recognized store file",
+                envelope::MAGIC,
+                log::MAGIC
             ),
             StoreError::UnsupportedVersion { found } => write!(
                 f,
@@ -168,8 +187,17 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StoreErr
 
     let result = write_temp_then_rename(path, &temp, bytes);
     if result.is_err() {
-        // Graceful-failure path: never leave temp litter behind an error.
-        let _ = std::fs::remove_file(&temp);
+        // Graceful-failure path: never leave temp litter behind an
+        // error. `NotFound` counts as clean — when the rename target's
+        // parent directory vanished mid-write (concurrent cleanup), the
+        // temp file vanished with it and there is nothing to remove.
+        if let Err(e) = std::fs::remove_file(&temp) {
+            debug_assert!(
+                e.kind() == std::io::ErrorKind::NotFound || !temp.exists(),
+                "temp litter left behind at {}: {e}",
+                temp.display()
+            );
+        }
         return result;
     }
 
@@ -205,6 +233,18 @@ fn write_temp_then_rename(path: &Path, temp: &Path, bytes: &[u8]) -> Result<(), 
         .map_err(|e| StoreError::io(temp, "write", e))?;
     f.sync_all().map_err(|e| StoreError::io(temp, "sync", e))?;
     drop(f);
+
+    // Deterministic fault: the target's parent directory vanishes (a
+    // concurrent `rm -rf` of the data dir) between the temp write and
+    // the rename. The rename below must fail, the caller's cleanup must
+    // not mistake the vanished temp for litter, and the error must name
+    // the rename — not panic or report success.
+    if faults::take_vanish_parent() {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
     std::fs::rename(temp, path).map_err(|e| StoreError::io(path, "rename", e))?;
     Ok(())
 }
@@ -219,6 +259,14 @@ pub fn write_atomic_str(path: impl AsRef<Path>, text: &str) -> Result<(), StoreE
 pub fn read_file(path: impl AsRef<Path>) -> Result<Vec<u8>, StoreError> {
     let path = path.as_ref();
     faults::apply_read_delay();
+    // A directory gets its own variant: `fs::read` would surface it as a
+    // bare OS error ("Is a directory"), which reads like disk trouble
+    // rather than the config mistake it almost always is.
+    if std::fs::metadata(path).map(|m| m.is_dir()).unwrap_or(false) {
+        return Err(StoreError::IsDirectory {
+            path: path.display().to_string(),
+        });
+    }
     let mut bytes = std::fs::read(path).map_err(|e| StoreError::io(path, "read", e))?;
     if let Some(k) = faults::short_read_at() {
         bytes.truncate(k);

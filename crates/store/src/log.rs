@@ -1,0 +1,270 @@
+//! The crash-safe append-only sales log.
+//!
+//! Streaming ingestion appends batches of sales transactions faster
+//! than full model rewrites can keep up, so the log is *append-only*:
+//! a batch is one record, fsynced before the append returns, and a
+//! crash mid-append can only ever damage the **tail** of the file.
+//! [`SalesLog::open`] detects a torn tail (a record header or payload
+//! cut short by a crash), truncates it away, and reports how many bytes
+//! were dropped — every fully-written record before it survives.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"PMSL"
+//!      4     4  format version (u32, currently 1)
+//!      8     …  records
+//!
+//! record: [payload length (u32)] [CRC-32 of payload (u32)] [payload]
+//! ```
+//!
+//! Corruption semantics mirror the model envelope, with one deliberate
+//! difference: a record cut short **at the end of the file** is a torn
+//! append (expected under crash), recovered by truncation — while a
+//! *complete* record whose payload fails its CRC is silent media
+//! corruption and surfaces as [`StoreError::ChecksumMismatch`], never a
+//! silent skip. The file header is created via [`crate::write_atomic`],
+//! so a log either exists with a complete header or not at all; appends
+//! honor the [`crate::faults`] torn-write hook so tests can crash them
+//! at exact byte offsets.
+
+use crate::{faults, StoreError};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The four magic bytes every sales log starts with.
+pub const MAGIC: [u8; 4] = *b"PMSL";
+
+/// The log format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File header size in bytes (magic + version).
+pub const HEADER_LEN: usize = 8;
+
+/// Per-record header size in bytes (payload length + CRC).
+pub const RECORD_HEADER_LEN: usize = 8;
+
+/// What [`SalesLog::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// The payloads of every fully-written record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of torn tail dropped (0 when the log closed cleanly).
+    pub truncated_bytes: u64,
+}
+
+/// An open append-only sales log.
+#[derive(Debug)]
+pub struct SalesLog {
+    path: PathBuf,
+}
+
+impl SalesLog {
+    /// Open (or create) the log at `path`, replaying every complete
+    /// record and truncating any torn tail a crash left behind.
+    ///
+    /// A missing file is created with just the header — atomically, so
+    /// a crash during creation leaves either no file or a complete
+    /// header. Corruption *before* the tail (bad magic, bad version,
+    /// a complete record with a CRC mismatch) is a typed error: the
+    /// log refuses to replay garbage as sales.
+    pub fn open(path: impl AsRef<Path>) -> Result<(SalesLog, Recovery), StoreError> {
+        let path = path.as_ref();
+        if !path.exists() {
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(&MAGIC);
+            header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            crate::write_atomic(path, &header)?;
+        }
+        let bytes = crate::read_file(path)?;
+        if bytes.is_empty() {
+            return Err(StoreError::Empty);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::TooShort { found: bytes.len() });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+
+        let mut records = Vec::new();
+        let mut offset = HEADER_LEN;
+        loop {
+            let remaining = bytes.len() - offset;
+            if remaining == 0 {
+                break; // clean close
+            }
+            if remaining < RECORD_HEADER_LEN {
+                break; // torn record header at the tail
+            }
+            let len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            let stored_crc =
+                u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+            let body_start = offset + RECORD_HEADER_LEN;
+            if bytes.len() - body_start < len {
+                break; // torn payload at the tail
+            }
+            let payload = &bytes[body_start..body_start + len];
+            let found_crc = crate::envelope::crc32(payload);
+            if found_crc != stored_crc {
+                // A *complete* record that fails its checksum is not a
+                // torn append — it is corruption, and replaying past it
+                // would resurrect garbage sales.
+                return Err(StoreError::ChecksumMismatch {
+                    expected: stored_crc,
+                    found: found_crc,
+                });
+            }
+            records.push(payload.to_vec());
+            offset = body_start + len;
+        }
+
+        let truncated = (bytes.len() - offset) as u64;
+        if truncated > 0 {
+            // Physically drop the torn tail so the next append starts at
+            // a record boundary instead of interleaving with garbage.
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| StoreError::io(path, "open", e))?;
+            f.set_len(offset as u64)
+                .map_err(|e| StoreError::io(path, "truncate", e))?;
+            f.sync_all().map_err(|e| StoreError::io(path, "sync", e))?;
+        }
+
+        Ok((
+            SalesLog {
+                path: path.to_path_buf(),
+            },
+            Recovery {
+                records,
+                truncated_bytes: truncated,
+            },
+        ))
+    }
+
+    /// The path this log lives at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and fsync it. When the call returns, the
+    /// record survives a crash; if the process dies mid-append, the
+    /// next [`SalesLog::open`] truncates the partial record away.
+    pub fn append(&self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crate::envelope::crc32(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| StoreError::io(&self.path, "open", e))?;
+
+        // Deterministic fault: the process dies after `k` bytes of the
+        // record reach the disk — the torn tail the next open recovers.
+        if let Some(k) = faults::torn_write_at() {
+            let k = k.min(record.len());
+            f.write_all(&record[..k])
+                .map_err(|e| StoreError::io(&self.path, "append", e))?;
+            let _ = f.sync_all();
+            return Err(StoreError::Io {
+                path: self.path.display().to_string(),
+                op: "append",
+                err: format!("injected torn write after {k} bytes"),
+            });
+        }
+
+        f.write_all(&record)
+            .map_err(|e| StoreError::io(&self.path, "append", e))?;
+        f.sync_all()
+            .map_err(|e| StoreError::io(&self.path, "sync", e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pm-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn create_append_replay_round_trip() {
+        let dir = tmp_dir("rt");
+        let p = dir.join("sales.log");
+        let (log, rec) = SalesLog::open(&p).unwrap();
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.truncated_bytes, 0);
+        log.append(b"batch-1").unwrap();
+        log.append(b"batch-2 with more bytes").unwrap();
+        log.append(b"").unwrap(); // empty payloads are legal records
+        let (_, rec) = SalesLog::open(&p).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![
+                b"batch-1".to_vec(),
+                b"batch-2 with more bytes".to_vec(),
+                vec![]
+            ]
+        );
+        assert_eq!(rec.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_layout_is_stable() {
+        let dir = tmp_dir("hdr");
+        let p = dir.join("sales.log");
+        SalesLog::open(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert_eq!(&bytes[0..4], b"PMSL");
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 1);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        let dir = tmp_dir("magic");
+        let p = dir.join("sales.log");
+        SalesLog::open(&p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            SalesLog::open(&p).unwrap_err(),
+            StoreError::BadMagic { found } if found == *b"XMSL"
+        ));
+        bytes[0] = b'P';
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            SalesLog::open(&p).unwrap_err(),
+            StoreError::UnsupportedVersion { found: 99 }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_is_a_typed_error() {
+        let dir = tmp_dir("empty");
+        let p = dir.join("sales.log");
+        std::fs::write(&p, b"").unwrap();
+        assert_eq!(SalesLog::open(&p).unwrap_err(), StoreError::Empty);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

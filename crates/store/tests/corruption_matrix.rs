@@ -52,8 +52,9 @@ fn truncation_at_every_offset_is_detected() {
 
     type ErrorCheck = fn(&StoreError) -> bool;
     let cases: &[(usize, ErrorCheck)] = &[
-        // 0 bytes: too short to even hold the magic.
-        (0, |e| matches!(e, StoreError::TooShort { found: 0 })),
+        // 0 bytes: its own variant — "empty placeholder", not a torn
+        // header.
+        (0, |e| matches!(e, StoreError::Empty)),
         // 2 bytes: a prefix of the magic — still TooShort, not BadMagic,
         // because no full header is present to judge.
         (2, |e| matches!(e, StoreError::TooShort { found: 2 })),
@@ -203,6 +204,53 @@ fn torn_write_never_damages_the_previous_file() {
     faults::set_torn_write_at(None);
     save_sealed(&p, new_payload).unwrap();
     assert_eq!(load_model_file(&p).unwrap().0, new_payload);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Zero-length and directory targets are config mistakes with their own
+/// variants, not generic I/O noise.
+#[test]
+fn empty_file_and_directory_have_typed_errors() {
+    let dir = tmp_dir("typed");
+    let p = dir.join("empty.pm");
+    std::fs::write(&p, b"").unwrap();
+    let err = load_model_file(&p).unwrap_err();
+    assert!(matches!(err, StoreError::Empty), "{err:?}");
+    assert!(err.to_string().contains("empty"), "{err}");
+
+    let err = load_model_file(&dir).unwrap_err();
+    assert!(matches!(err, StoreError::IsDirectory { .. }), "{err:?}");
+    assert!(err.to_string().contains("directory"), "{err}");
+
+    let err = envelope::open(b"").unwrap_err();
+    assert!(matches!(err, StoreError::Empty), "{err:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The rename target's parent directory vanishing mid-write (concurrent
+/// cleanup) must surface as a rename error with no temp litter — the
+/// temp file went down with the directory.
+#[test]
+fn vanished_parent_mid_write_errors_without_litter() {
+    let _guard = faults::test_lock();
+    let dir = tmp_dir("vanish");
+    let p = dir.join("model.pm");
+    faults::set_vanish_parent_before_rename(true);
+    let err = write_atomic(&p, b"doomed").unwrap_err();
+    assert!(
+        matches!(err, StoreError::Io { op, .. } if op == "rename"),
+        "{err:?}"
+    );
+    // The hook is one-shot: recreating the directory and retrying works,
+    // and the recreated directory holds exactly the target — no litter.
+    std::fs::create_dir_all(&dir).unwrap();
+    write_atomic(&p, b"recovered").unwrap();
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names, vec!["model.pm".to_string()], "{names:?}");
+    assert_eq!(read_file(&p).unwrap(), b"recovered");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -43,27 +43,7 @@ impl TransactionSet {
             });
         }
         for t in &transactions {
-            let target = t.target_sale();
-            let def = catalog
-                .get(target.item)
-                .ok_or(TxnError::UnknownItem(target.item))?;
-            if !def.is_target {
-                return Err(TxnError::TargetSaleOnNonTarget(target.item));
-            }
-            catalog.try_code(target.item, target.code)?;
-            if target.qty == 0 {
-                return Err(TxnError::ZeroQuantity(target.item));
-            }
-            for s in t.non_target_sales() {
-                let def = catalog.get(s.item).ok_or(TxnError::UnknownItem(s.item))?;
-                if def.is_target {
-                    return Err(TxnError::NonTargetSaleOnTarget(s.item));
-                }
-                catalog.try_code(s.item, s.code)?;
-                if s.qty == 0 {
-                    return Err(TxnError::ZeroQuantity(s.item));
-                }
-            }
+            validate_transaction(&catalog, t)?;
         }
         Ok(Self {
             catalog: Arc::new(catalog),
@@ -116,6 +96,34 @@ impl TransactionSet {
             .sum()
     }
 
+    /// Append a delta batch of transactions — the streaming-ingestion
+    /// path. Each transaction is validated against this set's catalog
+    /// with exactly the checks [`Self::new`] runs; on any error nothing
+    /// is appended (validation happens before the first push).
+    ///
+    /// Returns the number of transactions appended. The catalog and
+    /// hierarchy are fixed at fit time: a delta can only add sales over
+    /// the existing items and codes, which is what keeps the head
+    /// universe — and with it the incremental miner's byte-identity —
+    /// stable across updates.
+    pub fn extend_from(&mut self, delta: &[Transaction]) -> Result<usize, TxnError> {
+        self.validate_delta(delta)?;
+        self.transactions.extend_from_slice(delta);
+        Ok(delta.len())
+    }
+
+    /// Run exactly the per-transaction checks [`Self::extend_from`]
+    /// runs, without appending anything. Lets an ingestion path make a
+    /// batch durable (e.g. append it to a write-ahead sales log) only
+    /// after it is known to be appendable, so the log never holds a
+    /// record that a later replay would reject.
+    pub fn validate_delta(&self, delta: &[Transaction]) -> Result<(), TxnError> {
+        for t in delta {
+            validate_transaction(&self.catalog, t)?;
+        }
+        Ok(())
+    }
+
     /// A new set sharing this catalog/hierarchy but containing only the
     /// transactions at `indices` (used by cross-validation folds).
     ///
@@ -148,6 +156,34 @@ impl TransactionSet {
         )
         .map_err(|e| e.to_string())
     }
+}
+
+/// The per-transaction validity checks shared by [`TransactionSet::new`]
+/// and [`TransactionSet::extend_from`]: known items and codes, positive
+/// quantities, target sales on target items only (and vice versa).
+fn validate_transaction(catalog: &Catalog, t: &Transaction) -> Result<(), TxnError> {
+    let target = t.target_sale();
+    let def = catalog
+        .get(target.item)
+        .ok_or(TxnError::UnknownItem(target.item))?;
+    if !def.is_target {
+        return Err(TxnError::TargetSaleOnNonTarget(target.item));
+    }
+    catalog.try_code(target.item, target.code)?;
+    if target.qty == 0 {
+        return Err(TxnError::ZeroQuantity(target.item));
+    }
+    for s in t.non_target_sales() {
+        let def = catalog.get(s.item).ok_or(TxnError::UnknownItem(s.item))?;
+        if def.is_target {
+            return Err(TxnError::NonTargetSaleOnTarget(s.item));
+        }
+        catalog.try_code(s.item, s.code)?;
+        if s.qty == 0 {
+            return Err(TxnError::ZeroQuantity(s.item));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -204,6 +240,40 @@ mod tests {
         let sub = ds.subset(&[2, 0]);
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.transactions()[0].target_sale().qty, 3);
+    }
+
+    #[test]
+    fn extend_from_appends_validated_deltas() {
+        let mut ds = TransactionSet::new(catalog(), Hierarchy::flat(2), vec![txn(1)]).unwrap();
+        assert_eq!(ds.extend_from(&[txn(2), txn(3)]).unwrap(), 2);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.transactions()[2].target_sale().qty, 3);
+        // The catalog/hierarchy handles are unchanged (shared, not
+        // cloned) — downstream Moa views stay valid.
+        assert_eq!(ds.total_recorded_profit(), Money::from_cents(360));
+    }
+
+    #[test]
+    fn extend_from_rejects_invalid_deltas_atomically() {
+        let mut ds = TransactionSet::new(catalog(), Hierarchy::flat(2), vec![txn(1)]).unwrap();
+        // One good transaction followed by one bad one: nothing lands.
+        let bad = Transaction::new(vec![], Sale::new(ItemId(9), CodeId(0), 1));
+        assert_eq!(
+            ds.extend_from(&[txn(2), bad]).unwrap_err(),
+            TxnError::UnknownItem(ItemId(9))
+        );
+        assert_eq!(ds.len(), 1, "failed delta must not partially append");
+        // Every validation class fires on the delta path too.
+        let bad = Transaction::new(vec![], Sale::new(ItemId(1), CodeId(0), 1));
+        assert_eq!(
+            ds.extend_from(&[bad]).unwrap_err(),
+            TxnError::TargetSaleOnNonTarget(ItemId(1))
+        );
+        assert_eq!(
+            ds.extend_from(&[txn(0)]).unwrap_err(),
+            TxnError::ZeroQuantity(ItemId(0))
+        );
+        assert_eq!(ds.len(), 1);
     }
 
     #[test]

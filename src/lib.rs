@@ -71,14 +71,15 @@ pub mod prelude {
         EvalOptions, EvalOutcome, Table,
     };
     pub use pm_rules::{
-        MinedRules, MinerConfig, MoaMode, ProfitMode, QuantityModel, Rule, RuleMiner, Support,
-        TidPolicy,
+        IncrementalMiner, MinedRules, MinerConfig, MoaMode, ProfitMode, PrunePolicy, QuantityModel,
+        Rule, RuleMiner, Support, TidPolicy,
     };
     pub use pm_txn::{
         Catalog, CatalogBuilder, CodeId, ConceptId, GenSale, Hierarchy, ItemDef, ItemId, Moa,
         Money, PromotionCode, Sale, TargetSale, Transaction, TransactionSet,
     };
     pub use profit_core::{
-        CutConfig, Matcher, ModelRule, ProfitMiner, Recommendation, Recommender, RuleModel,
+        CutConfig, IncrementalProfitMiner, Matcher, ModelRule, ProfitMiner, Recommendation,
+        Recommender, RuleModel,
     };
 }

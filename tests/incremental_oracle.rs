@@ -1,0 +1,163 @@
+//! The incremental-vs-batch differential axis: a model grown by
+//! streaming delta refits must equal a cold batch fit on the
+//! concatenated stream — not approximately, but **byte-identically**
+//! down to the serialized JSON, so every f64 bit.
+//!
+//! `differential_oracle.rs` proves the batch miner equals the
+//! paper-literal `pm-oracle`; this suite closes the loop by proving the
+//! incremental miner equals the batch miner, rule-for-rule and
+//! byte-for-byte, across the same tidset-policy × prune-policy ×
+//! thread-count matrix and across many seeded split points — including
+//! no-op deltas and single-transaction trickles.
+
+mod common;
+
+use common::{POLICIES, PRUNES, THREADS};
+use pm_datagen::{DatasetConfig, HierarchyConfig};
+use pm_rules::{IncrementalMiner, MinerConfig, PrunePolicy, RuleMiner, Support, TidPolicy};
+use pm_txn::TransactionSet;
+use profit_core::{CutConfig, ProfitMiner, RuleModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn prefix(full: &TransactionSet, n: usize) -> TransactionSet {
+    full.subset(&(0..n).collect::<Vec<usize>>())
+}
+
+fn model_bytes(model: &RuleModel) -> String {
+    serde_json::to_string(&model.save()).unwrap()
+}
+
+/// Fit `full` cold, then again as head + deltas through the incremental
+/// pipeline, asserting byte-identical serialized models after every
+/// update along the way (each prefix is itself a complete stream state).
+fn check_stream(
+    full: &TransactionSet,
+    cuts: &[usize],
+    config: MinerConfig,
+    policy: TidPolicy,
+    prune: PrunePolicy,
+    threads: usize,
+) {
+    let ctx = format!("policy={policy:?} prune={prune:?} threads={threads} cuts={cuts:?}");
+    let pipeline = || {
+        ProfitMiner::new(config)
+            .with_cut(CutConfig::default())
+            .with_threads(threads)
+            .with_tidset(policy)
+            .with_prune(prune)
+    };
+    let mut inc = pipeline().into_incremental();
+    inc.fit(&prefix(full, cuts[0]));
+    for &cut in cuts {
+        // (The first iteration is a no-op update over the fitted head —
+        // the smallest delta there is.)
+        let model = inc.update(&prefix(full, cut));
+        assert_eq!(
+            model_bytes(&pipeline().fit(&prefix(full, cut))),
+            model_bytes(&model),
+            "[{ctx}] incremental model diverged from the batch fit at {cut} transactions"
+        );
+    }
+}
+
+/// Dataset I through the full policy matrix: every tidset policy, both
+/// prune policies, sequential and parallel, two delta schedules.
+#[test]
+fn incremental_models_match_batch_fits_across_the_matrix() {
+    let full: TransactionSet = DatasetConfig::dataset_i()
+        .with_transactions(360)
+        .with_items(80)
+        .generate(&mut StdRng::seed_from_u64(0x1AC5));
+    let config = MinerConfig {
+        min_support: Support::Fraction(0.03),
+        max_body_len: 2,
+        ..MinerConfig::default()
+    };
+    for policy in POLICIES {
+        for prune in PRUNES {
+            for threads in THREADS {
+                // Two coarse deltas, then a single-transaction trickle.
+                check_stream(&full, &[180, 270, 360], config, policy, prune, threads);
+                check_stream(&full, &[357, 358, 359, 360], config, policy, prune, threads);
+            }
+        }
+    }
+}
+
+/// Dataset II (deeper hierarchy ⇒ MOA generalized sales in every body)
+/// at body length 3, where the delta touches far more of the DFS tree.
+#[test]
+fn incremental_models_match_batch_on_dataset_ii_with_deep_bodies() {
+    let full: TransactionSet = DatasetConfig::dataset_ii()
+        .with_transactions(240)
+        .with_items(60)
+        .generate(&mut StdRng::seed_from_u64(47));
+    let config = MinerConfig {
+        min_support: Support::Fraction(0.04),
+        max_body_len: 3,
+        ..MinerConfig::default()
+    };
+    check_stream(
+        &full,
+        &[120, 240],
+        config,
+        TidPolicy::Dense,
+        PrunePolicy::Off,
+        1,
+    );
+    check_stream(
+        &full,
+        &[120, 180, 240],
+        config,
+        TidPolicy::Adaptive,
+        PrunePolicy::Upper,
+        4,
+    );
+}
+
+/// Many tiny seeded streams at the rule level: the incremental miner's
+/// final rule set must equal the batch miner's rule-for-rule — same
+/// order, same `gen_index`, same counts, bit-identical profits. The
+/// batch side of this equality is what `differential_oracle.rs` proves
+/// against the brute-force oracle, so transitively the streamed rules
+/// are oracle-exact too.
+#[test]
+fn tiny_seeded_streams_mine_oracle_exact_rules() {
+    for seed in 0..24u64 {
+        let n_txns = [8usize, 12, 16, 20, 24, 30][(seed % 6) as usize];
+        let n_items = [3usize, 4, 5, 6, 8][(seed % 5) as usize];
+        let n_prices = [2usize, 3, 4][(seed % 3) as usize];
+        let mut cfg = DatasetConfig::tiny(n_txns, n_items, n_prices);
+        if seed % 3 == 2 {
+            cfg = cfg.with_hierarchy(HierarchyConfig {
+                branching: 2,
+                levels: 1,
+            });
+        }
+        let full: TransactionSet = cfg.generate(&mut StdRng::seed_from_u64(0x1DC0_0000 ^ seed));
+        let config = MinerConfig {
+            min_support: Support::Count(1 + (seed % 3) as u32),
+            max_body_len: 2,
+            ..MinerConfig::default()
+        };
+        let batch = RuleMiner::new(config).mine(&full);
+        let mut inc = IncrementalMiner::new(RuleMiner::new(config));
+        let head = 1 + n_txns / 2;
+        inc.fit(&prefix(&full, head));
+        // Trickle in one transaction, then the rest.
+        inc.update(&prefix(&full, head + 1));
+        let mined = inc.update(&full);
+        assert_eq!(
+            batch.rules().len(),
+            mined.rules().len(),
+            "seed {seed}: rule count diverged"
+        );
+        for (i, (b, m)) in batch.rules().iter().zip(mined.rules().iter()).enumerate() {
+            assert!(
+                b == m && b.profit.to_bits() == m.profit.to_bits(),
+                "seed {seed} rule {i}: batch {b:?} vs incremental {m:?}"
+            );
+        }
+    }
+}
