@@ -49,8 +49,30 @@ fn bench_mining_json_is_parseable_with_trailing_newline() {
                 "phases",
                 "prune_low_minsup",
                 "delta_refit",
+                "targeted",
             ] {
                 assert!(keys.contains(&expected), "missing {expected:?} in {keys:?}");
+            }
+            let targeted = entries
+                .iter()
+                .find(|(k, _)| k == "targeted")
+                .map(|(_, v)| v)
+                .unwrap();
+            let serde::Value::Map(cell) = targeted else {
+                panic!("targeted must be a JSON object, got {targeted:?}");
+            };
+            let cell_keys: Vec<_> = cell.iter().map(|(k, _)| k.as_str()).collect();
+            for expected in [
+                "target",
+                "rules",
+                "mine_postfilter_millis",
+                "mine_targeted_millis",
+                "speedup",
+            ] {
+                assert!(
+                    cell_keys.contains(&expected),
+                    "missing targeted.{expected} in {cell_keys:?}"
+                );
             }
             let delta = entries
                 .iter()

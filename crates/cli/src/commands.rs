@@ -4,9 +4,12 @@ use crate::args::{ArgMap, CliError};
 use pm_baselines::MostProfitableItem;
 use pm_datagen::DatasetConfig;
 use pm_eval::runner::{run_sweep, EvalConfig};
-use pm_rules::{MinerConfig, MoaMode, ProfitMode, PrunePolicy, Support, TidPolicy};
+use pm_rules::{MinerConfig, MoaMode, ProfitMode, PrunePolicy, RuleMiner, Support, TidPolicy};
 use pm_store::log::SalesLog;
-use pm_txn::{QuantityModel, Sale, Transaction, TransactionSet};
+use pm_txn::{
+    parse_item_floors, Catalog, Hierarchy, ItemId, QuantityModel, Sale, TargetFilter, Transaction,
+    TransactionSet,
+};
 use profit_core::{CutConfig, Matcher, ProfitMiner, Recommendation, Recommender, RuleModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,6 +93,31 @@ fn prune(args: &ArgMap) -> Result<PrunePolicy, CliError> {
     }
 }
 
+/// `--target items:A,B | subtree:CONCEPT | codes:0,1`: restrict mined
+/// rule heads (and recommendations) to the admitted `(item, code)` pairs.
+/// Resolved against the catalog/hierarchy the command operates on.
+fn target_filter(
+    args: &ArgMap,
+    catalog: &Catalog,
+    hierarchy: &Hierarchy,
+) -> Result<Option<TargetFilter>, CliError> {
+    match args.get("--target") {
+        None => Ok(None),
+        Some(spec) => TargetFilter::parse(spec, catalog, hierarchy)
+            .map(Some)
+            .map_err(CliError::Usage),
+    }
+}
+
+/// `--min-profit-per-item ITEM=F,...`: per-item minimum rule-profit
+/// floors; items without an entry fall back to the scalar `--min-profit`.
+fn item_floors(args: &ArgMap, catalog: &Catalog) -> Result<Vec<(ItemId, f64)>, CliError> {
+    match args.get("--min-profit-per-item") {
+        None => Ok(Vec::new()),
+        Some(spec) => parse_item_floors(spec, catalog).map_err(CliError::Usage),
+    }
+}
+
 fn miner_config(args: &ArgMap) -> Result<MinerConfig, CliError> {
     let minsup: f64 = args.get_or("--minsup", 0.001)?;
     if !(0.0..=1.0).contains(&minsup) || minsup == 0.0 {
@@ -164,8 +192,9 @@ pub fn gen(args: &ArgMap) -> Result<String, CliError> {
 }
 
 /// The full mining pipeline a `fit` (or a streaming `serve`) runs,
-/// assembled from the shared flag set.
-fn build_pipeline(args: &ArgMap) -> Result<ProfitMiner, CliError> {
+/// assembled from the shared flag set. The dataset is needed to resolve
+/// `--target` and `--min-profit-per-item` names against its catalog.
+fn build_pipeline(args: &ArgMap, data: &TransactionSet) -> Result<ProfitMiner, CliError> {
     let cut = CutConfig {
         profit_mode: if args.switch("--conf") {
             ProfitMode::Confidence
@@ -179,7 +208,9 @@ fn build_pipeline(args: &ArgMap) -> Result<ProfitMiner, CliError> {
         .with_cut(cut)
         .with_threads(threads(args)?)
         .with_tidset(tidset(args)?)
-        .with_prune(prune(args)?))
+        .with_prune(prune(args)?)
+        .with_target(target_filter(args, data.catalog(), data.hierarchy())?)
+        .with_item_floors(item_floors(args, data.catalog())?))
 }
 
 /// Decode one sales-log record / batch file: a JSON array of
@@ -203,7 +234,7 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
         ));
     }
     let out = args.require("--out")?;
-    let pipeline = build_pipeline(args)?;
+    let pipeline = build_pipeline(args, &data)?;
     let (model, replayed) = match args.get("--log") {
         None => (pipeline.fit(&data), 0usize),
         Some(log_path) => {
@@ -395,13 +426,68 @@ fn recommend_one(
         .get(txn)
         .ok_or_else(|| CliError::Runtime(format!("transaction {txn} out of range")))?;
     let customer: &[Sale] = t.non_target_sales();
+    let moa = model.moa();
+    let target = target_filter(args, moa.catalog(), moa.hierarchy())?;
+    let recs = match &target {
+        None => model.recommend_top_k(customer, k.max(1)),
+        Some(t) => model.recommend_top_k_where(customer, k.max(1), t),
+    };
     let mut out = format!(
         "customer of transaction {txn} ({} non-target sales):\n",
         customer.len()
     );
-    for rec in model.recommend_top_k(customer, k.max(1)) {
+    if recs.is_empty() {
+        out.push_str("no recommendation — the target admits no matching rule head\n");
+    }
+    for rec in recs {
         out.push_str(&render_recommendation(model, &rec));
     }
+    Ok(out)
+}
+
+/// `assort`: mine `--data` with the usual fit flags and pick the top-`--n`
+/// `(item, code)` assortment maximizing joint recommendation profit over
+/// the training customers (overlap-aware greedy; see `profit_core::assort`).
+pub fn assort(args: &ArgMap) -> Result<String, CliError> {
+    let data = load_data(args)?;
+    if data.is_empty() {
+        return Err(CliError::Runtime(
+            "dataset is empty — nothing to assort".into(),
+        ));
+    }
+    let n: usize = args.get_or("--n", 3usize)?;
+    if n == 0 {
+        return Err(CliError::Usage("--n must be ≥ 1".into()));
+    }
+    let mode = if args.switch("--conf") {
+        ProfitMode::Confidence
+    } else {
+        ProfitMode::Profit
+    };
+    let miner = RuleMiner::new(miner_config(args)?)
+        .with_threads(threads(args)?)
+        .with_tidset(tidset(args)?)
+        .with_prune(prune(args)?)
+        .with_target(target_filter(args, data.catalog(), data.hierarchy())?)
+        .with_item_floors(item_floors(args, data.catalog())?);
+    let mined = miner.mine(&data);
+    let assortment = profit_core::assort_greedy(&mined, n, mode);
+    let catalog = data.catalog();
+    let mut out = format!(
+        "top-{} assortment over {} customers (joint expected profit {:.2}):\n",
+        assortment.picks.len(),
+        data.len(),
+        assortment.expected_profit,
+    );
+    for (i, &(item, code)) in assortment.picks.iter().enumerate() {
+        out.push_str(&format!(
+            "{:4}. {} at {}\n",
+            i + 1,
+            catalog.item(item).name,
+            catalog.code(item, code),
+        ));
+    }
+    dump_metrics(args)?;
     Ok(out)
 }
 
@@ -564,7 +650,7 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
                     "dataset is empty — nothing to fit".into(),
                 ));
             }
-            let pipeline = build_pipeline(args)?;
+            let pipeline = build_pipeline(args, &data)?;
             pm_serve::Server::start_streaming(addr, data, log, pipeline, cfg)
                 .map_err(|e| CliError::Runtime(e.to_string()))?
         }

@@ -22,6 +22,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "ingest" => commands::ingest(&args),
         "split" => commands::split(&args),
         "recommend" => commands::recommend(&args),
+        "assort" => commands::assort(&args),
         "rules" => commands::rules(&args),
         "eval" => commands::eval(&args),
         "stats" => commands::stats(&args),
@@ -45,13 +46,15 @@ USAGE
   profit-mining gen        --out data.json [--dataset i|ii] [--txns N] [--items N] [--seed N]
   profit-mining fit        --data data.json --out model.json [--log sales.log] [--minsup F]
                            [--max-body N] [--no-moa] [--conf] [--no-prune] [--min-conf F]
-                           [--min-profit F] [--buying] [--threads N]
+                           [--min-profit F] [--min-profit-per-item ITEM=F,...]
+                           [--target items:A,B|subtree:C|codes:0,1] [--buying] [--threads N]
                            [--tidset auto|dense|adaptive|sparse]
                            [--prune auto|off|upper] [--metrics metrics.json]
   profit-mining ingest     --data data.json --log sales.log --batch batch.json
   profit-mining split      --data data.json --at N --head head.json --tail tail.json
   profit-mining recommend  --data data.json --model model.json [--txn N] [--top K] [--all]
-                           [--metrics metrics.json]
+                           [--target SPEC] [--metrics metrics.json]
+  profit-mining assort     --data data.json [--n N] [fit flags] [--metrics metrics.json]
   profit-mining rules      --model model.json [--top N]
   profit-mining eval       --data data.json [--minsup F] [--folds N] [--buying] [--seed N]
                            [--threads N] [--metrics metrics.json]
@@ -72,6 +75,24 @@ USAGE
   PM_PRUNE; anything but \"off\" enables). Output is bit-identical at
   every setting of any of them. --min-profit F admits only rules with
   body profit ≥ F — the absolute floor the pruner cuts hardest against.
+  --min-profit-per-item NAME=F,... sets per-item floors that override
+  the scalar for the named target items (names or raw ids).
+
+  Targeted mining: --target restricts rule heads to an admitted set —
+  items:A,B (target item names or ids), subtree:CONCEPT (every target
+  item under a hierarchy concept), or codes:0,1 (promotion-code
+  classes). fit --target pushes the restriction into the mining DFS
+  (pruning head-free subtrees early) and is byte-identical to fitting
+  the full model and post-filtering its ranked list. recommend --target
+  filters during rule selection, so out-of-target rules never count
+  against --top; a customer whose matching rules are all out-of-target
+  gets no recommendation rather than an off-target default.
+
+  assort picks the top --n (item, code) pairs maximizing the *joint*
+  expected recommendation profit over the training customers — an
+  overlap-aware greedy over the mined rule set (two pairs serving the
+  same customers add less than their individual scores). It accepts the
+  fit flags, including --target and the profit floors.
 
   Streaming ingestion: ingest validates a JSON batch of transactions
   against the base dataset plus everything already logged, then appends
@@ -653,6 +674,187 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("batch is empty"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `--target` covering every target item is an identity: the fitted
+    /// model is byte-for-byte the untargeted one (names and raw ids both
+    /// resolve). A code-class target also round-trips through `recommend
+    /// --target`, which must never answer outside the target.
+    #[test]
+    fn target_flag_identity_and_filtered_recommend() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-target-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "300", "--items", "60", "--seed", "17",
+        ]))
+        .unwrap();
+        let fit_with = |name: &str, extra: &[&str]| {
+            let model = dir.join(format!("m-{name}.json")).display().to_string();
+            let mut argv = v(&[
+                "fit",
+                "--data",
+                &data,
+                "--out",
+                &model,
+                "--minsup",
+                "0.03",
+                "--max-body",
+                "2",
+            ]);
+            argv.extend(v(extra));
+            run(&argv).unwrap();
+            (model.clone(), std::fs::read(&model).unwrap())
+        };
+        let (plain_path, plain) = fit_with("plain", &[]);
+        let (_, all) = fit_with("all", &["--target", "items:target-1,target-2"]);
+        assert_eq!(plain, all, "an all-item target must be an identity");
+
+        // recommend --target code class: every line stays in the class.
+        let out = run(&v(&[
+            "recommend",
+            "--data",
+            &data,
+            "--model",
+            &plain_path,
+            "--txn",
+            "0",
+            "--top",
+            "5",
+            "--target",
+            "codes:0",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("recommend") || out.contains("no recommendation"),
+            "{out}"
+        );
+        // Bad specs are usage errors, resolved against the real catalog.
+        for spec in ["items:nope", "subtree:nope", "codes:x", "garbage"] {
+            let err = run(&v(&[
+                "recommend",
+                "--data",
+                &data,
+                "--model",
+                &plain_path,
+                "--target",
+                spec,
+            ]))
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{spec}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Uniform per-item floors are byte-identical to the scalar floor,
+    /// and the flag set composes with `--prune` without changing bytes.
+    #[test]
+    fn per_item_floor_flag_generalizes_scalar() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-floor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "300", "--items", "60", "--seed", "23",
+        ]))
+        .unwrap();
+        let fit_with = |name: &str, extra: &[&str]| {
+            let model = dir.join(format!("m-{name}.json")).display().to_string();
+            let mut argv = v(&[
+                "fit",
+                "--data",
+                &data,
+                "--out",
+                &model,
+                "--minsup",
+                "0.03",
+                "--max-body",
+                "2",
+            ]);
+            argv.extend(v(extra));
+            run(&argv).unwrap();
+            std::fs::read(&model).unwrap()
+        };
+        let scalar = fit_with("scalar", &["--min-profit", "5.0"]);
+        let per_item = fit_with(
+            "per-item",
+            &["--min-profit-per-item", "target-1=5.0,target-2=5.0"],
+        );
+        assert_eq!(scalar, per_item, "uniform per-item floors ≠ scalar floor");
+        let per_item_off = fit_with(
+            "per-item-off",
+            &[
+                "--min-profit-per-item",
+                "target-1=5.0,target-2=5.0",
+                "--prune",
+                "off",
+            ],
+        );
+        assert_eq!(per_item, per_item_off, "floors must be prune-invariant");
+        // Malformed floor specs are usage errors.
+        let err = run(&v(&[
+            "fit",
+            "--data",
+            &data,
+            "--out",
+            "/tmp/x.json",
+            "--min-profit-per-item",
+            "target-1=abc",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn assort_picks_distinct_pairs() {
+        let dir = std::env::temp_dir().join(format!("pm-cli-assort-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        run(&v(&[
+            "gen", "--out", &data, "--txns", "300", "--items", "60", "--seed", "29",
+        ]))
+        .unwrap();
+        let out = run(&v(&[
+            "assort",
+            "--data",
+            &data,
+            "--n",
+            "3",
+            "--minsup",
+            "0.03",
+            "--max-body",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("assortment over 300 customers"), "{out}");
+        assert!(out.contains("joint expected profit"), "{out}");
+        let picks: Vec<&str> = out
+            .lines()
+            .skip(1)
+            .filter(|l| l.contains(". target-"))
+            .collect();
+        assert!(!picks.is_empty() && picks.len() <= 3, "{out}");
+        // --n 0 is a usage error; assort accepts --target.
+        assert!(matches!(
+            run(&v(&["assort", "--data", &data, "--n", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        let out = run(&v(&[
+            "assort",
+            "--data",
+            &data,
+            "--n",
+            "2",
+            "--minsup",
+            "0.03",
+            "--max-body",
+            "2",
+            "--target",
+            "items:target-1",
+        ]))
+        .unwrap();
+        assert!(!out.contains("target-2"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod assort;
 pub mod cut;
 pub mod handle;
 pub mod model;
@@ -38,6 +39,7 @@ pub mod pipeline;
 pub mod rank;
 pub mod tree;
 
+pub use assort::{assort_exact, assort_greedy, Assortment};
 pub use cut::CutResult;
 pub use handle::ModelHandle;
 pub use model::{Matcher, ModelRule, Recommendation, Recommender, RuleModel, SavedModel};

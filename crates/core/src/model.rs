@@ -13,7 +13,7 @@ use crate::pessimistic::ProjectedProfit;
 use crate::pipeline::{BuildStats, CutConfig};
 use crate::tree::CoveringTree;
 use pm_rules::{MinedRules, ProfitMode};
-use pm_txn::{CodeId, GenSale, ItemId, Moa, PromotionCode, Sale};
+use pm_txn::{CodeId, GenSale, ItemId, Moa, PromotionCode, Sale, TargetFilter};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -287,6 +287,54 @@ impl RuleModel {
         out
     }
 
+    /// [`recommend_top_k`](Self::recommend_top_k) restricted to heads the
+    /// `target` filter admits. The filter applies **during** selection —
+    /// out-of-target rules are skipped, never counted against `k` — so the
+    /// result equals post-filtering the unbounded ranked walk and keeping
+    /// the first `k` admitted pairs. Returns an empty vector when no
+    /// matching rule's head is in the target (unlike the unfiltered walk,
+    /// which the default rule always satisfies).
+    pub fn recommend_top_k_where(
+        &self,
+        customer: &[Sale],
+        k: usize,
+        target: &TargetFilter,
+    ) -> Vec<Recommendation> {
+        let mut gs: HashSet<GenSale> = HashSet::new();
+        let mut buf = Vec::new();
+        for s in customer {
+            buf.clear();
+            self.moa.generalizations_of_sale_into(s, &mut buf);
+            gs.extend(buf.iter().copied());
+        }
+        let hierarchy = self.moa.hierarchy();
+        let mut seen: HashSet<(ItemId, CodeId)> = HashSet::new();
+        let mut out = Vec::new();
+        for (idx, r) in self.rules.iter().enumerate() {
+            if out.len() >= k {
+                break;
+            }
+            if !target.matches(hierarchy, r.item, r.code) {
+                continue;
+            }
+            if seen.contains(&(r.item, r.code)) {
+                continue;
+            }
+            if r.body.iter().all(|g| gs.contains(g)) {
+                seen.insert((r.item, r.code));
+                out.push(Recommendation {
+                    item: r.item,
+                    code: r.code,
+                    promotion: *self.moa.catalog().code(r.item, r.code),
+                    expected_profit: r.prof_re,
+                    confidence: r.confidence,
+                    rule_index: Some(idx),
+                });
+            }
+        }
+        out
+    }
+
     /// Human-readable rendering of rule `idx`, with item names resolved
     /// from the catalog.
     pub fn explain(&self, idx: usize) -> String {
@@ -516,6 +564,83 @@ impl<'a> Matcher<'a> {
             .is_some_and(|r| r.rule_index == Some(self.model.rules.len() - 1))
         {
             self.default_hits.inc();
+        }
+        out
+    }
+
+    /// Indexed equivalent of [`RuleModel::recommend_top_k_where`]: the
+    /// target filter applies during selection, after the matched rules
+    /// are sorted back into rank order — identical element for element to
+    /// the linear scan, and empty when no matching rule's head is in the
+    /// target.
+    pub fn recommend_top_k_where(
+        &self,
+        customer: &[Sale],
+        k: usize,
+        target: &TargetFilter,
+    ) -> Vec<Recommendation> {
+        let _timer = self.latency.time();
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        s.gs_set.clear();
+        for sale in customer {
+            s.gs_buf.clear();
+            self.model
+                .moa
+                .generalizations_of_sale_into(sale, &mut s.gs_buf);
+            for g in &s.gs_buf {
+                if !s.gs_set.contains(g) {
+                    s.gs_set.push(*g);
+                }
+            }
+        }
+        s.stamp += 1;
+        s.matched.clear();
+        s.matched.extend_from_slice(&self.empty_body);
+        let mut touched = 0u64;
+        for g in &s.gs_set {
+            if let Some(list) = self.postings.get(g) {
+                touched += list.len() as u64;
+                for &ri in list {
+                    let i = ri as usize;
+                    if s.stamp_val[i] != s.stamp {
+                        s.stamp_val[i] = s.stamp;
+                        s.count[i] = 0;
+                    }
+                    s.count[i] += 1;
+                    if s.count[i] == self.body_len[i] {
+                        s.matched.push(ri);
+                    }
+                }
+            }
+        }
+        self.postings_touched.add(touched);
+        s.matched.sort_unstable();
+        let hierarchy = self.model.moa.hierarchy();
+        let mut seen: HashSet<(ItemId, CodeId)> = HashSet::new();
+        let mut out = Vec::new();
+        for &ri in &s.matched {
+            if out.len() >= k {
+                break;
+            }
+            let idx = ri as usize;
+            let r = &self.model.rules[idx];
+            if !target.matches(hierarchy, r.item, r.code) {
+                continue;
+            }
+            if seen.insert((r.item, r.code)) {
+                out.push(Recommendation {
+                    item: r.item,
+                    code: r.code,
+                    promotion: *self.model.moa.catalog().code(r.item, r.code),
+                    expected_profit: r.prof_re,
+                    confidence: r.confidence,
+                    rule_index: Some(idx),
+                });
+            }
         }
         out
     }
@@ -829,6 +954,51 @@ mod tests {
                 .find(|&i| (m.rules()[i].item, m.rules()[i].code) == (rec.item, rec.code))
                 .unwrap();
             assert_eq!(rec.rule_index, Some(first));
+        }
+    }
+
+    /// The targeted walk equals post-filtering the unbounded untargeted
+    /// walk — for both the linear scan and the indexed matcher — and is
+    /// empty (no default-rule fallback) when the target admits no head.
+    #[test]
+    fn targeted_top_k_equals_post_filtering() {
+        for prune in [true, false] {
+            let m = model(ProfitMode::Profit, prune);
+            let matcher = Matcher::new(&m);
+            let customers: Vec<Vec<Sale>> = vec![
+                vec![Sale::new(ItemId(0), CodeId(0), 1)],
+                vec![Sale::new(ItemId(1), CodeId(0), 1)],
+                vec![
+                    Sale::new(ItemId(0), CodeId(0), 1),
+                    Sale::new(ItemId(1), CodeId(0), 1),
+                ],
+                vec![],
+            ];
+            let targets = [
+                TargetFilter::Items(vec![ItemId(2)]),
+                TargetFilter::Codes(vec![CodeId(0)]),
+                TargetFilter::Codes(vec![CodeId(1)]),
+            ];
+            for c in &customers {
+                let full = m.recommend_top_k(c, usize::MAX);
+                for t in &targets {
+                    for k in [1usize, 2, 100] {
+                        let expect: Vec<Recommendation> = full
+                            .iter()
+                            .filter(|r| t.matches(m.moa().hierarchy(), r.item, r.code))
+                            .take(k)
+                            .cloned()
+                            .collect();
+                        assert_eq!(m.recommend_top_k_where(c, k, t), expect);
+                        assert_eq!(matcher.recommend_top_k_where(c, k, t), expect);
+                    }
+                }
+                // A target admitting nothing yields nothing — the default
+                // rule does not leak through the filter.
+                let none = TargetFilter::Items(vec![ItemId(0)]);
+                assert!(m.recommend_top_k_where(c, 5, &none).is_empty());
+                assert!(matcher.recommend_top_k_where(c, 5, &none).is_empty());
+            }
         }
     }
 

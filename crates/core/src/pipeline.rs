@@ -4,7 +4,7 @@ use crate::model::RuleModel;
 use pm_rules::{
     IncrementalMiner, MinerConfig, ProfitMode, PrunePolicy, RuleMiner, Support, TidPolicy,
 };
-use pm_txn::TransactionSet;
+use pm_txn::{ItemId, TargetFilter, TransactionSet};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the recommender-construction stage (§3.2 + §4).
@@ -57,6 +57,8 @@ pub struct ProfitMiner {
     threads: usize,
     tidset: TidPolicy,
     prune: PrunePolicy,
+    target: Option<TargetFilter>,
+    item_floors: Vec<(ItemId, f64)>,
 }
 
 impl ProfitMiner {
@@ -70,6 +72,8 @@ impl ProfitMiner {
             threads: 0,
             tidset: TidPolicy::Auto,
             prune: PrunePolicy::Auto,
+            target: None,
+            item_floors: Vec::new(),
         }
     }
 
@@ -118,6 +122,32 @@ impl ProfitMiner {
         self.prune
     }
 
+    /// Restrict mining to rule heads inside `target` (see
+    /// [`RuleMiner::with_target`]): the fitted model is byte-identical
+    /// to post-filtering an untargeted model's rules to the target, with
+    /// the default rule restricted to in-target heads.
+    pub fn with_target(mut self, target: Option<TargetFilter>) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// The configured target filter.
+    pub fn target(&self) -> Option<&TargetFilter> {
+        self.target.as_ref()
+    }
+
+    /// Per-item minimum rule-profit floors (see
+    /// [`RuleMiner::with_item_floors`]).
+    pub fn with_item_floors(mut self, floors: Vec<(ItemId, f64)>) -> Self {
+        self.item_floors = floors;
+        self
+    }
+
+    /// The configured per-item profit floors.
+    pub fn item_floors(&self) -> &[(ItemId, f64)] {
+        &self.item_floors
+    }
+
     /// The mining configuration.
     pub fn miner_config(&self) -> &MinerConfig {
         &self.miner
@@ -141,6 +171,8 @@ impl ProfitMiner {
                 .with_threads(self.threads)
                 .with_tidset(self.tidset)
                 .with_prune(self.prune)
+                .with_target(self.target.clone())
+                .with_item_floors(self.item_floors.clone())
                 .mine(data)
         };
         let _span = pm_obs::span("fit.build");
@@ -162,7 +194,9 @@ impl ProfitMiner {
                 RuleMiner::new(self.miner)
                     .with_threads(self.threads)
                     .with_tidset(self.tidset)
-                    .with_prune(self.prune),
+                    .with_prune(self.prune)
+                    .with_target(self.target)
+                    .with_item_floors(self.item_floors),
             ),
             cut: self.cut,
         }

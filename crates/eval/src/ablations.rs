@@ -227,6 +227,84 @@ pub fn quantity_model(which: Dataset, scale: &Scale, seed: u64, threads: usize) 
     table
 }
 
+/// The PR-9 workload expansions side by side: full mining, targeted
+/// mining (in-DFS head restriction vs post-filtering the full run — the
+/// rule counts must agree, which the shape test asserts), and a per-item
+/// profit floor on the targeted item. Gain and hit rate are measured the
+/// usual way on the held-out fold; targeted rows evaluate the targeted
+/// model (whose default rule falls back to the best in-target head).
+pub fn workloads(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
+    use pm_txn::TargetFilter;
+    let data = which.generate(scale, seed);
+    let (train, valid) = one_fold(&data, seed);
+    let full = miner(scale, scale.range_minsup)
+        .with_threads(threads)
+        .mine(&train);
+    // Target the head item of the top mined rule (falling back to the
+    // first catalog item), so the targeted rows are never vacuous.
+    let titem = full
+        .rules()
+        .first()
+        .map(|r| full.head(r.head).0)
+        .unwrap_or(pm_txn::ItemId(0));
+    let target = TargetFilter::Items(vec![titem]);
+    let hier = train.hierarchy();
+    let post_filtered = full
+        .rules()
+        .iter()
+        .filter(|r| {
+            let (i, c) = full.head(r.head);
+            target.matches(hier, i, c)
+        })
+        .count();
+    let targeted = miner(scale, scale.range_minsup)
+        .with_threads(threads)
+        .with_target(Some(target))
+        .mine(&train);
+    let floored = miner(scale, scale.range_minsup)
+        .with_threads(threads)
+        .with_item_floors(vec![(titem, 5.0)])
+        .mine(&train);
+
+    let cell = |label: String, mined: &pm_rules::MinedRules, rules: usize| {
+        let model = RuleModel::build(mined, &CutConfig::default());
+        let out = evaluate(&Matcher::new(&model), &valid, &EvalOptions::default());
+        vec![
+            label,
+            rules.to_string(),
+            fmt(out.gain()),
+            fmt(out.hit_rate()),
+        ]
+    };
+    let tname = train.catalog().item(titem).name.clone();
+    let mut table = Table::new(
+        format!("ablation: workloads (target {tname}) — {which}"),
+        vec![
+            "workload".into(),
+            "rules".into(),
+            "gain".into(),
+            "hit rate".into(),
+        ],
+    );
+    table.push_row(cell("full".into(), &full, full.rules().len()));
+    table.push_row(cell(
+        "targeted (in-DFS)".into(),
+        &targeted,
+        targeted.rules().len(),
+    ));
+    table.push_row(cell(
+        "targeted (post-filter)".into(),
+        &targeted,
+        post_filtered,
+    ));
+    table.push_row(cell(
+        "per-item floor ($5)".into(),
+        &floored,
+        floored.rules().len(),
+    ));
+    table
+}
+
 /// MOA acceptance vs exact-match acceptance at evaluation time.
 pub fn eval_semantics(which: Dataset, scale: &Scale, seed: u64, threads: usize) -> Table {
     let data = which.generate(scale, seed);
@@ -303,6 +381,20 @@ mod tests {
             buying >= saving - 0.05,
             "buying {buying} vs saving {saving}"
         );
+    }
+
+    #[test]
+    fn workloads_shape_and_identity() {
+        let t = workloads(Dataset::I, &Scale::tiny(), 3, 2);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.columns.len(), 4);
+        // In-DFS targeting and post-filtering the full run must agree.
+        assert_eq!(t.rows[1][1], t.rows[2][1], "targeted rule counts differ");
+        let full: usize = t.rows[0][1].parse().unwrap();
+        let targeted: usize = t.rows[1][1].parse().unwrap();
+        let floored: usize = t.rows[3][1].parse().unwrap();
+        assert!(targeted <= full, "targeting can only restrict");
+        assert!(floored <= full, "a floor can only restrict");
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use pm_txn::{
     Catalog, CodeId, ConceptId, GenSale, Hierarchy, ItemId, PromotionCode, QuantityModel, Sale,
-    Transaction, TransactionSet,
+    TargetFilter, Transaction, TransactionSet,
 };
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -53,7 +53,7 @@ pub enum OracleProfitMode {
 }
 
 /// Oracle mining parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OracleConfig {
     /// Minimum support as an absolute transaction count (≥ 1).
     pub min_support_count: u32,
@@ -64,17 +64,29 @@ pub struct OracleConfig {
     pub moa: bool,
     /// Saving or buying MOA quantity crediting (§3.1).
     pub quantity: QuantityModel,
+    /// Targeted mining: only rules whose head falls inside the filter are
+    /// kept, and the default rule restricts its arg-max to in-target heads
+    /// (falling back to the unrestricted arg-max when no head qualifies).
+    pub target: Option<TargetFilter>,
+    /// Scalar minimum `Prof_ru` admission floor (the PR 7 `--min-profit`).
+    pub min_rule_profit: Option<f64>,
+    /// Per-item minimum `Prof_ru` floors; an item's entry overrides the
+    /// scalar floor for heads on that item.
+    pub min_profit_per_item: Vec<(ItemId, f64)>,
 }
 
 impl OracleConfig {
     /// A config with the given support count and body cap, MOA on, saving
-    /// quantities.
+    /// quantities, no target, no profit floors.
     pub fn new(min_support_count: u32, max_body_len: usize) -> Self {
         Self {
             min_support_count,
             max_body_len,
             moa: true,
             quantity: QuantityModel::Saving,
+            target: None,
+            min_rule_profit: None,
+            min_profit_per_item: Vec::new(),
         }
     }
 }
@@ -183,6 +195,9 @@ impl Oracle {
     ///
     /// Panics when the dataset is empty, has no admissible head, or
     /// `min_support_count` is 0 — the optimized stack rejects all three.
+    // `!(profit < floor)` must stay spelled exactly like the emitter's
+    // `profit < mp → skip` gate: NaN profits are admitted on both sides.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn build(data: &TransactionSet, config: OracleConfig) -> Self {
         assert!(config.min_support_count >= 1, "support count must be ≥ 1");
         assert!(!data.is_empty(), "empty dataset");
@@ -201,10 +216,17 @@ impl Oracle {
         oracle.collect_heads();
         assert!(!oracle.heads.is_empty(), "no admissible rule head");
         oracle.enumerate_rules();
+        // Admission: support, target membership, and the per-head profit
+        // floor — the same filters, in the same float comparisons, that
+        // the optimized emitter applies at generation time.
         oracle.frequent = oracle
             .all_rules
             .iter()
-            .filter(|r| r.hits >= config.min_support_count)
+            .filter(|r| {
+                r.hits >= oracle.config.min_support_count
+                    && oracle.head_in_target(r.item, r.code)
+                    && !(r.profit < oracle.head_floor(r.item))
+            })
             .cloned()
             .enumerate()
             .map(|(i, mut r)| {
@@ -214,6 +236,27 @@ impl Oracle {
             .collect();
         oracle.head_totals = oracle.compute_head_totals();
         oracle
+    }
+
+    /// Does the head `(item, code)` fall inside the configured target
+    /// filter (vacuously true without one)?
+    pub fn head_in_target(&self, item: ItemId, code: CodeId) -> bool {
+        match &self.config.target {
+            None => true,
+            Some(t) => t.matches(&self.hierarchy, item, code),
+        }
+    }
+
+    /// The effective `Prof_ru` admission floor for heads on `item`: the
+    /// per-item entry when present, else the scalar floor, else `−∞`.
+    pub fn head_floor(&self, item: ItemId) -> f64 {
+        self.config
+            .min_profit_per_item
+            .iter()
+            .find(|(i, _)| *i == item)
+            .map(|&(_, f)| f)
+            .or(self.config.min_rule_profit)
+            .unwrap_or(f64::NEG_INFINITY)
     }
 
     /// The enumerated lattice nodes in first-occurrence order.
@@ -252,8 +295,17 @@ impl Oracle {
             OracleProfitMode::Profit => self.head_totals[i].1,
             OracleProfitMode::Confidence => self.head_totals[i].0 as f64,
         };
-        let mut best = 0usize;
-        for h in 1..self.heads.len() {
+        // Under a target filter the arg-max restricts to in-target heads;
+        // when none qualifies it falls back to the full head universe so
+        // the default rule (which must always exist) stays well-defined.
+        let mut domain: Vec<usize> = (0..self.heads.len())
+            .filter(|&h| self.head_in_target(self.heads[h].0, self.heads[h].1))
+            .collect();
+        if domain.is_empty() {
+            domain = (0..self.heads.len()).collect();
+        }
+        let mut best = domain[0];
+        for &h in &domain[1..] {
             if score(h).total_cmp(&score(best)) != Ordering::Less {
                 best = h;
             }
@@ -287,6 +339,103 @@ impl Oracle {
             .into_iter()
             .find(|r| self.body_matches(&r.body, sales))
             .expect("the default rule matches every customer")
+    }
+
+    /// Exhaustive top-N assortment reference (PROFSET-flavored): among
+    /// the distinct `(item, code)` pairs appearing in the ranked list
+    /// (first-occurrence rank order — the §3.2 tie-chain decides the
+    /// candidate order), find the size-`min(n, #candidates)` subset `S`
+    /// maximizing the joint recommendation profit
+    ///
+    /// ```text
+    /// score(S) = Σ_customers Prof_re(highest-ranked matching rule whose head ∈ S)
+    /// ```
+    ///
+    /// where each training transaction's non-target sales stand in for a
+    /// customer and a customer with no matching in-`S` rule contributes 0.
+    /// Customers are summed in transaction order and subsets enumerated
+    /// in lexicographic candidate-index order, keeping strictly better
+    /// scores only — ties resolve to the lexicographically smallest
+    /// subset, which the optimized greedy must reproduce on instances
+    /// where greedy is exact.
+    pub fn assortment(&self, n: usize, mode: OracleProfitMode) -> (Vec<(ItemId, CodeId)>, f64) {
+        let ranked = self.ranked_rules(mode);
+        let mut cands: Vec<(ItemId, CodeId)> = Vec::new();
+        for r in &ranked {
+            let pair = (r.item, r.code);
+            if !cands.contains(&pair) {
+                cands.push(pair);
+            }
+        }
+        // Per customer: the deduped (candidate, Prof_re) menu in rank
+        // order. The first menu entry whose candidate is in S is exactly
+        // the highest-ranked matching rule with head in S, because dedup
+        // keeps the first occurrence per pair.
+        let menus: Vec<Vec<(usize, f64)>> = self
+            .txns
+            .iter()
+            .map(|t| {
+                let mut menu: Vec<(usize, f64)> = Vec::new();
+                for r in &ranked {
+                    if !self.body_matches(&r.body, t.non_target_sales()) {
+                        continue;
+                    }
+                    let ci = cands
+                        .iter()
+                        .position(|&p| p == (r.item, r.code))
+                        .expect("every ranked head is a candidate");
+                    if !menu.iter().any(|&(c, _)| c == ci) {
+                        menu.push((ci, r.recommendation_profit(mode)));
+                    }
+                }
+                menu
+            })
+            .collect();
+        let k = n.min(cands.len());
+
+        fn score_subset(menus: &[Vec<(usize, f64)>], subset: &[usize]) -> f64 {
+            let mut total = 0.0;
+            for menu in menus {
+                if let Some(&(_, p)) = menu.iter().find(|&&(c, _)| subset.contains(&c)) {
+                    total += p;
+                }
+            }
+            total
+        }
+
+        fn search(
+            start: usize,
+            n_cands: usize,
+            k: usize,
+            subset: &mut Vec<usize>,
+            menus: &[Vec<(usize, f64)>],
+            best: &mut Option<(Vec<usize>, f64)>,
+        ) {
+            if subset.len() == k {
+                let s = score_subset(menus, subset);
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => s.total_cmp(b) == Ordering::Greater,
+                };
+                if better {
+                    *best = Some((subset.clone(), s));
+                }
+                return;
+            }
+            for c in start..n_cands {
+                if n_cands - c < k - subset.len() {
+                    break;
+                }
+                subset.push(c);
+                search(c + 1, n_cands, k, subset, menus, best);
+                subset.pop();
+            }
+        }
+
+        let mut best = None;
+        search(0, cands.len(), k, &mut Vec::new(), &menus, &mut best);
+        let (subset, score) = best.expect("k ≤ #candidates, so some subset exists");
+        (subset.into_iter().map(|ci| cands[ci]).collect(), score)
     }
 
     /// Does every body element generalize some sale (Definition 3)?
@@ -627,10 +776,8 @@ mod tests {
         Oracle::build(
             &dataset(),
             OracleConfig {
-                min_support_count: minsup,
-                max_body_len: 2,
                 moa,
-                quantity: QuantityModel::Saving,
+                ..OracleConfig::new(minsup, 2)
             },
         )
     }
@@ -790,14 +937,143 @@ mod tests {
     }
 
     #[test]
+    fn targeted_ranking_equals_post_filtering() {
+        let full = oracle(1, true);
+        let targeted = Oracle::build(
+            &dataset(),
+            OracleConfig {
+                target: Some(TargetFilter::Codes(vec![CodeId(0)])),
+                ..OracleConfig::new(1, 2)
+            },
+        );
+        // The targeted frequent set is the post-filtered full one, gen
+        // indices renumbered.
+        let expect: Vec<OracleRule> = full
+            .frequent_rules()
+            .iter()
+            .filter(|r| r.code == CodeId(0))
+            .cloned()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.gen_index = i as u32;
+                r
+            })
+            .collect();
+        assert!(!expect.is_empty());
+        assert_eq!(targeted.frequent_rules(), expect.as_slice());
+        // The default rule restricts its arg-max: code 1 wins the full
+        // profit arg-max, code 0 must win the targeted one.
+        assert_eq!(full.default_rule(OracleProfitMode::Profit).code, CodeId(1));
+        let d = targeted.default_rule(OracleProfitMode::Profit);
+        assert_eq!(d.code, CodeId(0));
+        assert_eq!(d.gen_index, u32::MAX);
+        // An impossible target falls back to the unrestricted arg-max.
+        let impossible = Oracle::build(
+            &dataset(),
+            OracleConfig {
+                target: Some(TargetFilter::Items(vec![ItemId(99)])),
+                ..OracleConfig::new(1, 2)
+            },
+        );
+        assert!(impossible.frequent_rules().is_empty());
+        assert_eq!(
+            impossible.default_rule(OracleProfitMode::Profit).code,
+            CodeId(1)
+        );
+    }
+
+    #[test]
+    fn subtree_target_follows_hierarchy() {
+        // The fixture's targets have no concept ancestors, so a subtree
+        // target admits nothing and everything falls back to the default.
+        let o = Oracle::build(
+            &dataset(),
+            OracleConfig {
+                target: Some(TargetFilter::Subtree(ConceptId(0))),
+                ..OracleConfig::new(1, 2)
+            },
+        );
+        assert!(o.frequent_rules().is_empty());
+        let ranked = o.ranked_rules(OracleProfitMode::Profit);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].gen_index, u32::MAX);
+    }
+
+    #[test]
+    fn per_item_floors_filter_like_the_scalar_floor() {
+        // A scalar floor of 5.0 keeps only rules with Prof_ru ≥ 5.
+        let scalar = Oracle::build(
+            &dataset(),
+            OracleConfig {
+                min_rule_profit: Some(5.0),
+                ..OracleConfig::new(1, 2)
+            },
+        );
+        assert!(!scalar.frequent_rules().is_empty());
+        assert!(scalar.frequent_rules().iter().all(|r| r.profit >= 5.0));
+        // A per-item entry for Sunchip overrides the scalar floor.
+        let per_item = Oracle::build(
+            &dataset(),
+            OracleConfig {
+                min_rule_profit: Some(1e18),
+                min_profit_per_item: vec![(SUNCHIP, 5.0)],
+                ..OracleConfig::new(1, 2)
+            },
+        );
+        assert_eq!(per_item.frequent_rules(), scalar.frequent_rules());
+        // A per-item floor alone behaves the same on that item.
+        let alone = Oracle::build(
+            &dataset(),
+            OracleConfig {
+                min_profit_per_item: vec![(SUNCHIP, 5.0)],
+                ..OracleConfig::new(1, 2)
+            },
+        );
+        assert_eq!(alone.frequent_rules(), scalar.frequent_rules());
+    }
+
+    #[test]
+    fn assortment_exhausts_small_instances() {
+        let o = oracle(1, true);
+        // With every candidate admitted, the score is the sum of each
+        // customer's top-1 recommendation profit.
+        let ranked = o.ranked_rules(OracleProfitMode::Profit);
+        let n_pairs = {
+            let mut pairs: Vec<(ItemId, CodeId)> = Vec::new();
+            for r in &ranked {
+                if !pairs.contains(&(r.item, r.code)) {
+                    pairs.push((r.item, r.code));
+                }
+            }
+            pairs.len()
+        };
+        let (full_set, full_score) = o.assortment(n_pairs, OracleProfitMode::Profit);
+        assert_eq!(full_set.len(), n_pairs);
+        let expect: f64 = (0..o.n_transactions())
+            .map(|tid| {
+                let t = &o.txns[tid];
+                o.recommend(t.non_target_sales(), OracleProfitMode::Profit)
+                    .recommendation_profit(OracleProfitMode::Profit)
+            })
+            .sum();
+        assert!((full_score - expect).abs() < 1e-12);
+        // n = 1 picks the single best pair; its score can only drop.
+        let (one, one_score) = o.assortment(1, OracleProfitMode::Profit);
+        assert_eq!(one.len(), 1);
+        assert!(one_score <= full_score + 1e-12);
+        // Oversized n clamps to the candidate count.
+        let (clamped, clamped_score) = o.assortment(100, OracleProfitMode::Profit);
+        assert_eq!(clamped.len(), n_pairs);
+        assert_eq!(clamped_score.to_bits(), full_score.to_bits());
+    }
+
+    #[test]
     fn buying_moa_credits_spending_over_price() {
         let o = Oracle::build(
             &dataset(),
             OracleConfig {
-                min_support_count: 1,
-                max_body_len: 1,
-                moa: true,
                 quantity: QuantityModel::Buying,
+                ..OracleConfig::new(1, 1)
             },
         );
         // Txn 0 recorded 2 × $5; head $3.8 ⇒ qty 10/3.8, margin 1.8.

@@ -35,7 +35,9 @@
 
 use crate::extend::ExtendedData;
 use crate::interner::GsId;
-use crate::miner::{MinedRules, MoaMode, PairCounts, PrunePolicy, RuleEmitter, RuleMiner};
+use crate::miner::{
+    HeadGates, MinedRules, MoaMode, PairCounts, PrunePolicy, RuleEmitter, RuleMiner,
+};
 use crate::rule::Rule;
 use crate::tidset::{TidPolicy, TidScratch, TidSet};
 use pm_txn::{Moa, TransactionSet};
@@ -84,8 +86,9 @@ const NO_FLOOR: (f64, f64) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
 /// The exact emission-time filter a cached rule must re-pass at
 /// assembly: today's support count plus the default-dominance floor,
 /// with the same expressions and tolerances as [`RuleEmitter::emit`].
-/// (Confidence and rule-profit filters are `n`-independent and were
-/// already applied when the cache was generated.)
+/// (Confidence, rule-profit/per-item floors, and the target-filter head
+/// mask are `n`-independent and were already applied when the cache was
+/// generated.)
 fn survives(r: &Rule, minsup: u32, floor: (f64, f64)) -> bool {
     if r.hits < minsup {
         return false;
@@ -273,9 +276,16 @@ impl IncrementalMiner {
         let policy = state.policy;
         let prune = state.prune;
         let scratch_levels = config.max_body_len.saturating_sub(1);
+        let gates = HeadGates::resolve(
+            miner.target(),
+            miner.item_floors(),
+            config.min_rule_profit,
+            &extended.heads,
+            state.moa.hierarchy(),
+        );
         let new_state = || {
             (
-                RuleEmitter::new(extended, config, minsup, NO_FLOOR, prune),
+                RuleEmitter::new(extended, config, &gates, minsup, NO_FLOOR, prune),
                 TidScratch::new(n, scratch_levels),
             )
         };
@@ -364,6 +374,7 @@ impl IncrementalMiner {
             state.tidsets.clone(),
             state.policy,
             state.moa.clone(),
+            miner.target().cloned(),
         )
     }
 }

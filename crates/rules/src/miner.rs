@@ -11,7 +11,9 @@ use crate::extend::{pos_part, ExtendedData, HeadId};
 use crate::interner::{GsId, GsInterner};
 use crate::rule::{ProfitMode, Rule};
 use crate::tidset::{intersect_into, TidPolicy, TidScratch, TidSet, TidView};
-use pm_txn::{CodeId, GenSale, ItemId, Moa, QuantityModel, TransactionSet};
+use pm_txn::{
+    CodeId, GenSale, Hierarchy, ItemId, Moa, QuantityModel, TargetFilter, TransactionSet,
+};
 use serde::{Deserialize, Serialize};
 
 /// A minimum-support threshold, as a fraction of the transactions or an
@@ -166,6 +168,20 @@ pub struct RuleMiner {
     /// only cuts subtrees that provably emit nothing, so mined output is
     /// byte-identical with pruning on or off.
     prune: PrunePolicy,
+    /// Targeted mining (TargetUM-flavored): restrict the head domain to
+    /// this filter. Mining with a target is byte-identical to mining
+    /// without one and dropping every rule whose head falls outside it
+    /// (gen indices renumbered); the DFS additionally prunes subtrees
+    /// none of whose attainable heads are in the target. Kept out of
+    /// [`MinerConfig`] (like the execution knobs, but for a different
+    /// reason): the saved model embeds no `MinerConfig`, and keeping the
+    /// config `Copy` matters to every call site that loops over
+    /// configurations.
+    target: Option<TargetFilter>,
+    /// Per-item minimum rule-profit floors, generalizing the scalar
+    /// `min_rule_profit`: a head on a listed item uses its entry as the
+    /// `Prof_ru` admission floor instead of the scalar one.
+    item_floors: Vec<(ItemId, f64)>,
 }
 
 impl RuleMiner {
@@ -177,6 +193,8 @@ impl RuleMiner {
             threads: 0,
             tidset: TidPolicy::Auto,
             prune: PrunePolicy::Auto,
+            target: None,
+            item_floors: Vec::new(),
         }
     }
 
@@ -223,6 +241,35 @@ impl RuleMiner {
     /// The configured pruning policy.
     pub fn prune(&self) -> PrunePolicy {
         self.prune
+    }
+
+    /// Restrict mining to rule heads inside `target` (`None` clears the
+    /// restriction). Mining with a target is byte-identical to mining
+    /// without one and keeping only the in-target heads' rules, with
+    /// generation indices renumbered; in-DFS it composes with the upper
+    /// bound to skip subtrees with no attainable in-target head.
+    pub fn with_target(mut self, target: Option<TargetFilter>) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// The configured target filter.
+    pub fn target(&self) -> Option<&TargetFilter> {
+        self.target.as_ref()
+    }
+
+    /// Set per-item minimum rule-profit floors (dollars). A head whose
+    /// item is listed uses its entry as the `Prof_ru` admission floor;
+    /// unlisted items fall back to the scalar
+    /// [`MinerConfig::min_rule_profit`] (or no floor at all).
+    pub fn with_item_floors(mut self, floors: Vec<(ItemId, f64)>) -> Self {
+        self.item_floors = floors;
+        self
+    }
+
+    /// The configured per-item profit floors.
+    pub fn item_floors(&self) -> &[(ItemId, f64)] {
+        &self.item_floors
     }
 
     /// Mine `data`, producing rules plus the supporting structures the
@@ -300,6 +347,16 @@ impl RuleMiner {
             None
         };
 
+        // Resolve the target mask and per-head profit floors once; the
+        // emitters only read them.
+        let gates = HeadGates::resolve(
+            self.target.as_ref(),
+            &self.item_floors,
+            self.config.min_rule_profit,
+            &extended.heads,
+            moa.hierarchy(),
+        );
+
         let _dfs_span = pm_obs::span("mine.dfs");
         let rules = if threads > 1 {
             self.mine_rules_parallel(
@@ -307,6 +364,7 @@ impl RuleMiner {
                 &freq,
                 &tidsets,
                 pairs.as_ref(),
+                &gates,
                 minsup,
                 default_floor,
                 threads,
@@ -316,8 +374,14 @@ impl RuleMiner {
         } else {
             // Legacy sequential path: one global emitter, generation
             // indices assigned directly at emission.
-            let mut emitter =
-                RuleEmitter::new(&extended, &self.config, minsup, default_floor, prune);
+            let mut emitter = RuleEmitter::new(
+                &extended,
+                &self.config,
+                &gates,
+                minsup,
+                default_floor,
+                prune,
+            );
             let mut scratch = TidScratch::new(n, self.config.max_body_len.saturating_sub(1));
             for &a in &freq {
                 let ts = &tidsets[a.index()];
@@ -357,6 +421,7 @@ impl RuleMiner {
             tidsets,
             tid_policy: policy,
             moa,
+            target: self.target.clone(),
         }
     }
 
@@ -454,6 +519,7 @@ impl RuleMiner {
         freq: &[GsId],
         tidsets: &[TidSet],
         pairs: Option<&PairCounts>,
+        gates: &HeadGates,
         minsup: u32,
         default_floor: (f64, f64),
         threads: usize,
@@ -467,7 +533,7 @@ impl RuleMiner {
         let scratch_levels = self.config.max_body_len.saturating_sub(1);
         let new_state = || {
             (
-                RuleEmitter::new(extended, &self.config, minsup, default_floor, prune),
+                RuleEmitter::new(extended, &self.config, gates, minsup, default_floor, prune),
                 TidScratch::new(n, scratch_levels),
             )
         };
@@ -581,11 +647,130 @@ const UB_DEPTH_NAMES: [&str; 4] = [
     "mine.ub_pruned.d4plus",
 ];
 
+/// Test hooks for injected-bug sensitivity tests (see
+/// `tests/differential_injected_target_bug.rs`). Not part of the public
+/// API contract.
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// When set, [`super::HeadGates::resolve`] deliberately mis-scopes
+    /// the target filter by admitting the first out-of-target head — the
+    /// differential suite must catch the leak.
+    pub(crate) static MISSCOPE_TARGET: AtomicBool = AtomicBool::new(false);
+
+    /// Enable/disable the mis-scoped-target bug injection.
+    pub fn set_misscope_target(on: bool) {
+        MISSCOPE_TARGET.store(on, Ordering::SeqCst);
+    }
+
+    /// Is the mis-scoped-target bug injection enabled?
+    pub fn misscope_target() -> bool {
+        MISSCOPE_TARGET.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-head admission gates: the target-filter mask plus the effective
+/// per-head `Prof_ru` floor, resolved once per mining run from the
+/// miner's [`TargetFilter`], per-item floors, and the scalar
+/// [`MinerConfig::min_rule_profit`].
+///
+/// The scalar-only resolution (`floor = [mp; n_heads]`, `node_floor =
+/// mp`, no mask) makes every emitter comparison bitwise identical to the
+/// pre-gate code (`profit < mp`, `node_ub < mp`), so untargeted
+/// scalar-floor runs are byte-for-byte unchanged.
+pub(crate) struct HeadGates {
+    /// Per-head admission mask; `None` admits every head.
+    mask: Option<Vec<bool>>,
+    /// Per-head `Prof_ru` floor; `None` when no scalar floor and no
+    /// per-item floors are configured (heads without an applicable floor
+    /// get `NEG_INFINITY`, which never filters).
+    floor: Option<Vec<f64>>,
+    /// Minimum floor over admitted heads — the only sound threshold for
+    /// the transaction-level `node_ub` short-circuit, since the node cut
+    /// must not fire while ANY admitted head could still pass its own
+    /// floor. `None` when some admitted head is floorless (the cut would
+    /// be unsound) or no floors exist at all; `+∞` when the mask admits
+    /// nothing (every subtree is then correctly infeasible).
+    node_floor: Option<f64>,
+}
+
+impl HeadGates {
+    pub(crate) fn resolve(
+        target: Option<&TargetFilter>,
+        item_floors: &[(ItemId, f64)],
+        scalar: Option<f64>,
+        heads: &[(ItemId, CodeId)],
+        hierarchy: &Hierarchy,
+    ) -> Self {
+        let mut mask = target.map(|t| {
+            heads
+                .iter()
+                .map(|&(item, code)| t.matches(hierarchy, item, code))
+                .collect::<Vec<bool>>()
+        });
+        if test_hooks::misscope_target() {
+            // Injected bug: leak the first out-of-target head.
+            if let Some(m) = &mut mask {
+                if let Some(slot) = m.iter_mut().find(|a| !**a) {
+                    *slot = true;
+                }
+            }
+        }
+        let floor = if scalar.is_none() && item_floors.is_empty() {
+            None
+        } else {
+            Some(
+                heads
+                    .iter()
+                    .map(|&(item, _)| {
+                        item_floors
+                            .iter()
+                            .find(|(i, _)| *i == item)
+                            .map(|&(_, f)| f)
+                            .or(scalar)
+                            .unwrap_or(f64::NEG_INFINITY)
+                    })
+                    .collect::<Vec<f64>>(),
+            )
+        };
+        let node_floor = floor.as_ref().and_then(|floors| {
+            let min = floors
+                .iter()
+                .enumerate()
+                .filter(|&(hi, _)| mask.as_ref().is_none_or(|m| m[hi]))
+                .fold(f64::INFINITY, |acc, (_, &f)| acc.min(f));
+            (min > f64::NEG_INFINITY).then_some(min)
+        });
+        Self {
+            mask,
+            floor,
+            node_floor,
+        }
+    }
+
+    /// Is the head admitted by the target filter?
+    #[inline]
+    fn admits(&self, hi: usize) -> bool {
+        match &self.mask {
+            None => true,
+            Some(m) => m[hi],
+        }
+    }
+
+    /// The head's effective `Prof_ru` floor, if any floor is configured.
+    #[inline]
+    fn floor_of(&self, hi: usize) -> Option<f64> {
+        self.floor.as_ref().map(|f| f[hi])
+    }
+}
+
 /// Head accumulation + rule emission with a generation-stamp trick so the
 /// dense per-head arrays are never cleared.
 pub(crate) struct RuleEmitter<'a> {
     extended: &'a ExtendedData,
     config: &'a MinerConfig,
+    /// Target mask + per-head profit floors (see [`HeadGates`]).
+    gates: &'a HeadGates,
     minsup: u32,
     /// `(Prof_re, confidence)` of the best default rule; rules at or
     /// below both floors are dominated and skipped.
@@ -666,16 +851,18 @@ impl<'a> RuleEmitter<'a> {
     pub(crate) fn new(
         extended: &'a ExtendedData,
         config: &'a MinerConfig,
+        gates: &'a HeadGates,
         minsup: u32,
         default_floor: (f64, f64),
         prune: bool,
     ) -> Self {
         let h = extended.n_heads();
         let track_pos = prune && !extended.nonneg_margins;
-        let track_ub = prune && config.min_rule_profit.is_some();
+        let track_ub = prune && gates.node_floor.is_some();
         Self {
             extended,
             config,
+            gates,
             minsup,
             default_floor,
             prune,
@@ -757,16 +944,20 @@ impl<'a> RuleEmitter<'a> {
     /// ruled out here is ruled out for every descendant at the bit
     /// level.
     fn viable(&self) -> bool {
-        if let Some(mp) = self.config.min_rule_profit {
+        if let Some(nf) = self.gates.node_floor {
             // Transaction-level short-circuit: no head's profit sum on
-            // any sub-tidset can exceed the summed max margins.
-            if self.node_ub < mp {
+            // any sub-tidset can exceed the summed max margins, and
+            // every admitted head's floor is at least `node_floor`.
+            if self.node_ub < nf {
                 return false;
             }
         }
         let ms = self.minsup as f64;
         for &h in &self.touched {
             let hi = h.index();
+            if !self.gates.admits(hi) {
+                continue;
+            }
             let hits = self.head_hits[hi];
             if hits < self.minsup {
                 continue;
@@ -778,7 +969,7 @@ impl<'a> RuleEmitter<'a> {
             } else {
                 self.head_profit[hi]
             };
-            if let Some(mp) = self.config.min_rule_profit {
+            if let Some(mp) = self.gates.floor_of(hi) {
                 if pos < mp {
                     continue;
                 }
@@ -825,6 +1016,9 @@ impl<'a> RuleEmitter<'a> {
         self.touched.sort_unstable();
         for ti in 0..self.touched.len() {
             let h = self.touched[ti];
+            if !self.gates.admits(h.index()) {
+                continue;
+            }
             let hits = self.head_hits[h.index()];
             if hits < self.minsup {
                 continue;
@@ -843,7 +1037,7 @@ impl<'a> RuleEmitter<'a> {
                     continue;
                 }
             }
-            if let Some(mp) = self.config.min_rule_profit {
+            if let Some(mp) = self.gates.floor_of(h.index()) {
                 if profit < mp {
                     continue;
                 }
@@ -989,6 +1183,9 @@ pub struct MinedRules {
     tidsets: Vec<TidSet>,
     tid_policy: TidPolicy,
     moa: Moa,
+    /// The target filter the run mined under (`None` = untargeted). The
+    /// default rule restricts its argmax to in-target heads.
+    target: Option<TargetFilter>,
 }
 
 impl MinedRules {
@@ -1004,6 +1201,7 @@ impl MinedRules {
         tidsets: Vec<TidSet>,
         tid_policy: TidPolicy,
         moa: Moa,
+        target: Option<TargetFilter>,
     ) -> Self {
         Self {
             config,
@@ -1013,7 +1211,13 @@ impl MinedRules {
             tidsets,
             tid_policy,
             moa,
+            target,
         }
+    }
+
+    /// The target filter this run mined under, if any.
+    pub fn target(&self) -> Option<&TargetFilter> {
+        self.target.as_ref()
     }
 
     /// The mined rules, in generation order.
@@ -1125,7 +1329,10 @@ impl MinedRules {
     /// The default rule `∅ → g` (§3.1): over all transactions, the head
     /// maximizing `Prof_re(∅ → g)` under `mode`. Its `gen_index` is
     /// `u32::MAX` — conceptually generated after every mined rule, so it
-    /// loses all tie-breaks.
+    /// loses all tie-breaks. Under targeted mining the argmax is
+    /// restricted to in-target heads, falling back to the full domain
+    /// when the target admits no head at all (a recommender must always
+    /// have an answer).
     pub fn default_rule(&self, mode: ProfitMode) -> Rule {
         let n = self.n_transactions();
         let h = self.extended.n_heads();
@@ -1141,11 +1348,26 @@ impl MinedRules {
             ProfitMode::Profit => profit[i],
             ProfitMode::Confidence => hits[i] as f64,
         };
+        let in_target: Vec<usize> = (0..h)
+            .filter(|&i| match &self.target {
+                None => true,
+                Some(t) => {
+                    let (item, code) = self.extended.heads[i];
+                    t.matches(self.moa.hierarchy(), item, code)
+                }
+            })
+            .collect();
+        let domain: Vec<usize> = if in_target.is_empty() {
+            (0..h).collect()
+        } else {
+            in_target
+        };
         // total_cmp, not partial_cmp().expect(): a NaN profit (e.g. a
         // degenerate 0/0 somewhere upstream) must not panic the miner;
         // under the total order NaN sorts above +∞ on the `max_by`
         // probe, which still yields a deterministic head.
-        let best = (0..h)
+        let best = domain
+            .into_iter()
             .max_by(|&a, &b| score(a).total_cmp(&score(b)))
             .expect("at least one head exists");
         Rule {
@@ -1168,6 +1390,12 @@ mod tests {
     /// (2 codes). Constructed so that specific bodies predict specific
     /// heads.
     fn dataset() -> TransactionSet {
+        dataset_with(Hierarchy::flat(3))
+    }
+
+    /// [`dataset`] with a caller-supplied hierarchy (for subtree-target
+    /// tests, which need the target item below a concept).
+    fn dataset_with(h: Hierarchy) -> TransactionSet {
         let mut cat = Catalog::new();
         for name in ["a", "b"] {
             cat.push(ItemDef {
@@ -1187,7 +1415,6 @@ mod tests {
             ],
             is_target: true,
         });
-        let h = Hierarchy::flat(3);
         let a = ItemId(0);
         let b = ItemId(1);
         let t = ItemId(2);
@@ -1692,6 +1919,216 @@ mod tests {
     fn max_body_len_one_gives_only_singletons() {
         let mined = mine(1, MoaMode::Enabled, 1);
         assert!(mined.rules().iter().all(|r| r.body.len() == 1));
+    }
+
+    /// Bitwise rule identity: every field, profit at the f64 bit level,
+    /// generation indices included.
+    fn exact(rules: &[Rule]) -> Vec<(Vec<GsId>, HeadId, u32, u32, u64, u32)> {
+        rules
+            .iter()
+            .map(|r| {
+                (
+                    r.body.clone(),
+                    r.head,
+                    r.body_count,
+                    r.hits,
+                    r.profit.to_bits(),
+                    r.gen_index,
+                )
+            })
+            .collect()
+    }
+
+    /// The defining semantics of targeted mining: keep the in-target
+    /// heads' rules, renumber generation indices.
+    fn post_filter(full: &MinedRules, t: &TargetFilter) -> Vec<Rule> {
+        let h = full.moa().hierarchy();
+        let mut out: Vec<Rule> = full
+            .rules()
+            .iter()
+            .filter(|r| {
+                let (item, code) = full.head(r.head);
+                t.matches(h, item, code)
+            })
+            .cloned()
+            .collect();
+        for (i, r) in out.iter_mut().enumerate() {
+            r.gen_index = i as u32;
+        }
+        out
+    }
+
+    /// Targeted mining is byte-identical to post-filtering the full run,
+    /// across MOA modes, emission filters (incl. dominance, whose floor
+    /// deliberately stays global under targeting), thread counts, and
+    /// prune policies.
+    #[test]
+    fn targeted_mining_equals_post_filtering() {
+        let ds = dataset();
+        let targets = [
+            TargetFilter::Items(vec![ItemId(2)]),
+            TargetFilter::Codes(vec![CodeId(0)]),
+            TargetFilter::Codes(vec![CodeId(1)]),
+            // Admits no head at all: mined set must be empty.
+            TargetFilter::Items(vec![ItemId(0)]),
+        ];
+        for moa in [MoaMode::Enabled, MoaMode::Disabled] {
+            for (min_confidence, min_rule_profit, dominated) in
+                [(None, None, false), (Some(0.5), Some(1.0), true)]
+            {
+                let config = MinerConfig {
+                    min_support: Support::Count(1),
+                    max_body_len: 3,
+                    moa,
+                    min_confidence,
+                    min_rule_profit,
+                    prune_default_dominated: dominated,
+                    ..MinerConfig::default()
+                };
+                let full = RuleMiner::new(config).with_threads(1).mine(&ds);
+                for t in &targets {
+                    let expect = post_filter(&full, t);
+                    for threads in [1usize, 4] {
+                        for prune in [PrunePolicy::Off, PrunePolicy::Upper] {
+                            let mined = RuleMiner::new(config)
+                                .with_threads(threads)
+                                .with_prune(prune)
+                                .with_target(Some(t.clone()))
+                                .mine(&ds);
+                            assert_eq!(
+                                exact(mined.rules()),
+                                exact(&expect),
+                                "{t:?} {moa:?} conf {min_confidence:?} threads {threads} \
+                                 prune {prune:?}"
+                            );
+                            assert_eq!(mined.target(), Some(t));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Subtree targets resolve through the hierarchy: targeting the
+    /// concept above the target item behaves exactly like targeting the
+    /// item, and a subtree not covering it admits nothing.
+    #[test]
+    fn subtree_target_follows_hierarchy() {
+        let mut h = Hierarchy::flat(3);
+        let snacks = h.add_concept("Snacks");
+        h.link_item(ItemId(2), snacks).unwrap();
+        let ds = dataset_with(h);
+        let config = MinerConfig {
+            min_support: Support::Count(1),
+            max_body_len: 3,
+            prune_default_dominated: false,
+            ..MinerConfig::default()
+        };
+        let full = RuleMiner::new(config).mine(&ds);
+        let covering = RuleMiner::new(config)
+            .with_target(Some(TargetFilter::Subtree(snacks)))
+            .mine(&ds);
+        // The concept covers the only target item, so nothing filters.
+        assert_eq!(exact(covering.rules()), exact(full.rules()));
+
+        let mut h2 = Hierarchy::flat(3);
+        let other = h2.add_concept("Elsewhere");
+        h2.link_item(ItemId(0), other).unwrap();
+        let ds2 = dataset_with(h2);
+        let excluded = RuleMiner::new(config)
+            .with_target(Some(TargetFilter::Subtree(other)))
+            .mine(&ds2);
+        assert!(excluded.rules().is_empty());
+        // No in-target head: the default rule falls back to the full
+        // argmax so the recommender still has an answer.
+        let full2 = RuleMiner::new(config).mine(&ds2);
+        assert_eq!(
+            excluded.default_rule(ProfitMode::Profit),
+            full2.default_rule(ProfitMode::Profit)
+        );
+    }
+
+    /// Under a target the default rule's argmax runs over in-target
+    /// heads only.
+    #[test]
+    fn targeted_default_rule_restricts_argmax() {
+        let ds = dataset();
+        let config = MinerConfig {
+            min_support: Support::Count(1),
+            max_body_len: 2,
+            prune_default_dominated: false,
+            ..MinerConfig::default()
+        };
+        for code in [CodeId(0), CodeId(1)] {
+            let mined = RuleMiner::new(config)
+                .with_target(Some(TargetFilter::Codes(vec![code])))
+                .mine(&ds);
+            let d = mined.default_rule(ProfitMode::Profit);
+            assert_eq!(mined.head(d.head), (ItemId(2), code));
+            assert_eq!(d.gen_index, u32::MAX);
+        }
+    }
+
+    /// Per-item floors generalize the scalar `min_rule_profit`: a floor
+    /// on the (only) head item is byte-identical to the scalar, listed
+    /// items override the scalar, and floors on non-head items are
+    /// inert (including for the node-level upper-bound cut, which must
+    /// not fire while an unfloored head remains admissible).
+    // `!(profit < floor)` mirrors the emitter's `profit < mp → skip`
+    // gate exactly, NaN admission included.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[test]
+    fn per_item_floors_generalize_the_scalar_floor() {
+        let ds = dataset();
+        let base = MinerConfig {
+            min_support: Support::Count(1),
+            max_body_len: 3,
+            prune_default_dominated: false,
+            ..MinerConfig::default()
+        };
+        for prune in [PrunePolicy::Off, PrunePolicy::Upper] {
+            let scalar = RuleMiner::new(MinerConfig {
+                min_rule_profit: Some(5.0),
+                ..base
+            })
+            .with_prune(prune)
+            .mine(&ds);
+            // Floor on the head item, no scalar.
+            let per_item = RuleMiner::new(base)
+                .with_prune(prune)
+                .with_item_floors(vec![(ItemId(2), 5.0)])
+                .mine(&ds);
+            assert_eq!(exact(scalar.rules()), exact(per_item.rules()));
+            // A listed item overrides an impossible scalar.
+            let overridden = RuleMiner::new(MinerConfig {
+                min_rule_profit: Some(1e18),
+                ..base
+            })
+            .with_prune(prune)
+            .with_item_floors(vec![(ItemId(2), 5.0)])
+            .mine(&ds);
+            assert_eq!(exact(scalar.rules()), exact(overridden.rules()));
+            // Floors on items without heads filter nothing.
+            let unfiltered = RuleMiner::new(base).with_prune(prune).mine(&ds);
+            let inert = RuleMiner::new(base)
+                .with_prune(prune)
+                .with_item_floors(vec![(ItemId(0), 1e18)])
+                .mine(&ds);
+            assert_eq!(exact(unfiltered.rules()), exact(inert.rules()));
+            // Brute-force semantics: exactly the rules at or above the
+            // floor survive, in order, renumbered — and here every head
+            // is on the floored item.
+            let mut expect: Vec<Rule> = unfiltered
+                .rules()
+                .iter()
+                .filter(|r| !(r.profit < 5.0))
+                .cloned()
+                .collect();
+            for (i, r) in expect.iter_mut().enumerate() {
+                r.gen_index = i as u32;
+            }
+            assert_eq!(exact(per_item.rules()), exact(&expect));
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod protocol;
 
 use pm_store::log::SalesLog;
 use pm_store::StoreError;
-use pm_txn::{Transaction, TransactionSet};
+use pm_txn::{TargetFilter, Transaction, TransactionSet};
 use polling::{Event, Events, Poller};
 use profit_core::{
     IncrementalProfitMiner, Matcher, ModelHandle, ProfitMiner, Recommendation, Recommender,
@@ -387,6 +387,9 @@ struct Job {
     seq: u64,
     sales: Vec<pm_txn::Sale>,
     top: usize,
+    /// Raw target spec, resolved by the worker against the model
+    /// snapshot it answers from (the catalog can change under reload).
+    target: Option<String>,
 }
 
 /// A reload request in flight to the control-plane executor.
@@ -1228,7 +1231,7 @@ impl Reactor {
                     );
                 }
             }
-            Request::Recommend { sales, top } => {
+            Request::Recommend { sales, top, target } => {
                 self.shared.metrics.recommends.inc();
                 let Some((token, seq)) = self.reserve_slot(slot) else {
                     return;
@@ -1242,6 +1245,7 @@ impl Reactor {
                     seq,
                     sales,
                     top,
+                    target,
                 });
                 if self.staged[shard].len() >= self.shared.cfg.batch.max(1) {
                     self.send_batch(shard);
@@ -1497,7 +1501,18 @@ fn run_job(
         if let Err(msg) = validate_sales(model, &job.sales) {
             return (error_line(&msg), false);
         }
-        recommend_with_degradation(shared, model, matcher, &job.sales, job.top)
+        // Resolve the target spec against *this* model snapshot — specs
+        // are carried raw because a hot reload can change the catalog.
+        let target = match &job.target {
+            None => None,
+            Some(spec) => {
+                match TargetFilter::parse(spec, model.moa().catalog(), model.moa().hierarchy()) {
+                    Ok(t) => Some(t),
+                    Err(msg) => return (error_line(&msg), false),
+                }
+            }
+        };
+        recommend_with_degradation(shared, model, matcher, &job.sales, job.top, target.as_ref())
     }));
     let (line, rebuild) = outcome.unwrap_or_else(|_| {
         shared.metrics.worker_panics.inc();
@@ -1524,23 +1539,27 @@ fn run_job(
 
 /// The compute section: matcher under a deadline, unwind-isolated.
 /// Panics and blown deadlines degrade to the §3.2 default rule — the
-/// daemon answers, flags it, counts it, and stays up.
+/// daemon answers, flags it, counts it, and stays up. A degraded answer
+/// ignores `target` (the default rule's head may fall outside it): the
+/// response is flagged `degraded`, and serving something beats serving
+/// nothing when the matcher is unhealthy.
 fn recommend_with_degradation(
     shared: &Shared,
     model: &RuleModel,
     matcher: Option<&Matcher<'_>>,
     sales: &[pm_txn::Sale],
     top: usize,
+    target: Option<&TargetFilter>,
 ) -> (String, bool) {
     let start = Instant::now();
     let computed = catch_unwind(AssertUnwindSafe(|| {
         pm_store::faults::apply_compute_panic();
         pm_store::faults::apply_compute_delay();
         let m = matcher.expect("index build panicked; degrading");
-        if top == 1 {
-            vec![m.recommend(sales)]
-        } else {
-            m.recommend_top_k(sales, top)
+        match target {
+            Some(t) => m.recommend_top_k_where(sales, top, t),
+            None if top == 1 => vec![m.recommend(sales)],
+            None => m.recommend_top_k(sales, top),
         }
     }));
     let elapsed = start.elapsed();

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! {"op":"ping"}
-//! {"op":"recommend","sales":[[item,code,qty],...],"top":K}   // both fields optional
+//! {"op":"recommend","sales":[[item,code,qty],...],"top":K,"target":"codes:0"}  // all fields optional
 //! {"op":"reload","model":"/path/to/model.pm"}                // path optional
 //! {"op":"ingest","txns":[{"sales":[[item,code,qty],...],"target":[item,code,qty]},...]}
 //! {"op":"stats"}
@@ -33,6 +33,12 @@ pub enum Request {
         sales: Vec<Sale>,
         /// How many distinct `(item, code)` pairs to return (≥ 1).
         top: usize,
+        /// Optional target spec (`items:…`, `subtree:…`, or `codes:…`)
+        /// restricting the answer's heads. Carried as the raw spec
+        /// string — resolution needs the *serving* model's catalog and
+        /// hierarchy, which can change under a hot reload, so the worker
+        /// resolves it against the snapshot it answers from.
+        target: Option<String>,
     },
     /// Validate and swap in a new model.
     Reload {
@@ -136,7 +142,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 }
                 Some(_) => return Err("bad request: \"sales\" must be an array".into()),
             };
-            Ok(Request::Recommend { sales, top })
+            let target = match get(map, "target") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => {
+                    return Err("bad request: \"target\" must be a target-spec string".into())
+                }
+            };
+            Ok(Request::Recommend { sales, top, target })
         }
         "ingest" => {
             let items = match get(map, "txns") {
@@ -296,15 +309,35 @@ mod tests {
                     Sale::new(ItemId(0), CodeId(0), 1),
                     Sale::new(ItemId(2), CodeId(1), 3)
                 ],
-                top: 2
+                top: 2,
+                target: None
             }
         );
-        // Both recommend fields are optional.
+        // All recommend fields are optional.
         assert_eq!(
             parse_request(r#"{"op":"recommend"}"#).unwrap(),
             Request::Recommend {
                 sales: vec![],
-                top: 1
+                top: 1,
+                target: None
+            }
+        );
+        // The target spec rides along as a raw string (resolved against
+        // the serving snapshot, not at parse time) and null means none.
+        assert_eq!(
+            parse_request(r#"{"op":"recommend","target":"codes:0","top":3}"#).unwrap(),
+            Request::Recommend {
+                sales: vec![],
+                top: 3,
+                target: Some("codes:0".into())
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"recommend","target":null}"#).unwrap(),
+            Request::Recommend {
+                sales: vec![],
+                top: 1,
+                target: None
             }
         );
         assert_eq!(
@@ -355,6 +388,7 @@ mod tests {
             (r#"{"op":"recommend","sales":[[1,2,0]]}"#, "out of range"),
             (r#"{"op":"recommend","sales":3}"#, "must be an array"),
             (r#"{"op":"recommend","top":0}"#, "≥ 1"),
+            (r#"{"op":"recommend","target":7}"#, "target-spec string"),
             (r#"{"op":"reload","model":9}"#, "string path"),
             (r#"{"op":"ingest"}"#, "missing \"txns\""),
             (r#"{"op":"ingest","txns":[]}"#, "nothing to ingest"),

@@ -12,7 +12,7 @@ use pm_rules::{MinerConfig, Support};
 use pm_serve::protocol::{obj, rec_value, render};
 use pm_serve::{ServeConfig, Server};
 use pm_store::faults;
-use pm_txn::{Sale, TransactionSet};
+use pm_txn::{Sale, TargetFilter, TransactionSet};
 use profit_core::{CutConfig, Matcher, ProfitMiner, Recommender, RuleModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -472,5 +472,91 @@ fn top_k_recommendations_match_the_offline_model() {
 
     assert_ok(&c.send(r#"{"op":"shutdown"}"#));
     server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn targeted_recommends_match_the_offline_model_and_bad_specs_error() {
+    let fix = fixture();
+    let dir = tmp_dir("target");
+    let path = sealed_model_file(&dir, "model.pm", fix);
+    let server = Server::start("127.0.0.1:0", &path, ServeConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr());
+
+    // Pick a code the model actually recommends somewhere, so the
+    // byte-equality sweep below exercises non-empty targeted answers.
+    let moa = fix.model.moa();
+    let (spec, target, code) = (0u16..4)
+        .map(|code| {
+            let spec = format!("codes:{code}");
+            let t = TargetFilter::parse(&spec, moa.catalog(), moa.hierarchy()).unwrap();
+            (spec, t, code)
+        })
+        .find(|(_, t, _)| {
+            fix.customers
+                .iter()
+                .any(|cu| !fix.model.recommend_top_k_where(cu, 3, t).is_empty())
+        })
+        .expect("some promotion code is recommendable");
+    let mut saw_nonempty = false;
+    for customer in &fix.customers {
+        let sales: Vec<String> = customer
+            .iter()
+            .map(|s| format!("[{},{},{}]", s.item.0, s.code.0, s.qty))
+            .collect();
+        let got = c.send(&format!(
+            r#"{{"op":"recommend","sales":[{}],"top":3,"target":"{spec}"}}"#,
+            sales.join(",")
+        ));
+        let recs = fix.model.recommend_top_k_where(customer, 3, &target);
+        saw_nonempty |= !recs.is_empty();
+        for r in &recs {
+            assert_eq!(r.code.0, code, "target {spec} admits only that code");
+        }
+        let want = render(&obj(vec![
+            ("ok", Value::Bool(true)),
+            ("degraded", Value::Bool(false)),
+            (
+                "recs",
+                Value::Seq(recs.iter().map(|r| rec_value(&fix.model, r)).collect()),
+            ),
+        ]));
+        assert_eq!(got, want);
+    }
+    assert!(saw_nonempty, "the chosen target must admit some answers");
+
+    // A target admitting no rule head yields an empty (but ok) answer.
+    let empty = c.send(r#"{"op":"recommend","sales":[[0,0,1]],"target":"items:item-1"}"#);
+    assert_eq!(
+        empty,
+        render(&obj(vec![
+            ("ok", Value::Bool(true)),
+            ("degraded", Value::Bool(false)),
+            ("recs", Value::Seq(vec![])),
+        ]))
+    );
+
+    // A bad spec is a clean per-request error; the connection lives on.
+    let bad = c.send(r#"{"op":"recommend","sales":[[0,0,1]],"target":"items:nope"}"#);
+    assert!(
+        bad.starts_with(r#"{"ok":false,"error":"bad target spec"#),
+        "{bad}"
+    );
+
+    // `"target":null` behaves exactly like an untargeted request.
+    let customer = &fix.customers[2];
+    let sales: Vec<String> = customer
+        .iter()
+        .map(|s| format!("[{},{},{}]", s.item.0, s.code.0, s.qty))
+        .collect();
+    let got = c.send(&format!(
+        r#"{{"op":"recommend","sales":[{}],"target":null}}"#,
+        sales.join(",")
+    ));
+    assert_eq!(got, expected_line(&fix.model, customer));
+
+    assert_ok(&c.send(r#"{"op":"shutdown"}"#));
+    let summary = server.join();
+    assert_eq!(summary.degraded, 0);
     std::fs::remove_dir_all(&dir).ok();
 }

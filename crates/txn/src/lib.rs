@@ -36,6 +36,7 @@ pub mod ids;
 pub mod moa;
 pub mod money;
 pub mod sale;
+pub mod target;
 
 pub use builder::CatalogBuilder;
 pub use catalog::{Catalog, ItemDef};
@@ -48,3 +49,4 @@ pub use ids::{CodeId, ConceptId, ItemId};
 pub use moa::{Moa, QuantityModel};
 pub use money::Money;
 pub use sale::{Sale, TargetSale, Transaction};
+pub use target::{parse_item_floors, TargetFilter};

@@ -68,10 +68,9 @@ pub fn compare_dataset(
             let oracle = Oracle::build(
                 data,
                 OracleConfig {
-                    min_support_count: minsup,
-                    max_body_len,
                     moa: moa_on,
                     quantity: qm,
+                    ..OracleConfig::new(minsup, max_body_len)
                 },
             );
             for policy in POLICIES {
@@ -98,6 +97,118 @@ pub fn compare_dataset(
                             .map_err(|e| format!("[{ctx} mode={mode:?}] {e}"))?;
                     }
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The PR-9 workload axes over one dataset: targeted mining (item and
+/// code-class filters), per-item profit floors (alone and overriding a
+/// scalar floor), and top-N assortment selection — each against the
+/// brute-force oracle, across `TidPolicy × {1,4} threads × PrunePolicy`.
+/// `Ok(())` when every cell matches; `Err` names the diverging cell.
+pub fn compare_workloads(
+    data: &TransactionSet,
+    minsup: u32,
+    max_body_len: usize,
+) -> Result<(), String> {
+    use pm_txn::{CodeId, ItemId, TargetFilter};
+    let first_target: Option<ItemId> = data.catalog().target_items().first().copied();
+    let mut targets: Vec<Option<TargetFilter>> = vec![None];
+    if let Some(t) = first_target {
+        targets.push(Some(TargetFilter::Items(vec![t])));
+    }
+    targets.push(Some(TargetFilter::Codes(vec![CodeId(0)])));
+    // (scalar floor, per-item floor overrides) regimes.
+    type FloorRegime = (Option<f64>, Vec<(ItemId, f64)>);
+    let mut floors: Vec<FloorRegime> = vec![(None, Vec::new()), (Some(2.0), Vec::new())];
+    if let Some(t) = first_target {
+        // A per-item floor alone, and one overriding a scalar floor.
+        floors.push((None, vec![(t, 5.0)]));
+        floors.push((Some(1.0), vec![(t, 5.0)]));
+    }
+    for target in &targets {
+        for (scalar, per_item) in &floors {
+            let oracle = Oracle::build(
+                data,
+                OracleConfig {
+                    target: target.clone(),
+                    min_rule_profit: *scalar,
+                    min_profit_per_item: per_item.clone(),
+                    ..OracleConfig::new(minsup, max_body_len)
+                },
+            );
+            for policy in [TidPolicy::Dense, TidPolicy::Adaptive] {
+                for threads in THREADS {
+                    for prune in PRUNES {
+                        let ctx = format!(
+                            "workload target={target:?} scalar={scalar:?} per_item={per_item:?} \
+                             policy={policy:?} threads={threads} prune={prune:?}"
+                        );
+                        let mut cfg =
+                            miner_config(minsup, max_body_len, true, QuantityModel::Saving);
+                        cfg.min_rule_profit = *scalar;
+                        let mined = RuleMiner::new(cfg)
+                            .with_threads(threads)
+                            .with_tidset(policy)
+                            .with_prune(prune)
+                            .with_target(target.clone())
+                            .with_item_floors(per_item.clone())
+                            .mine(data);
+                        compare_rule_sets(&oracle, &mined).map_err(|e| format!("[{ctx}] {e}"))?;
+                        for (mode, omode) in MODES {
+                            compare_ranked(&oracle, &mined, mode, omode)
+                                .map_err(|e| format!("[{ctx} mode={mode:?}] {e}"))?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    compare_assortments(data, minsup, max_body_len)
+}
+
+/// Top-N assortment vs the oracle's exhaustive reference on the plain
+/// (untargeted, unfloored) mining run: the exact solver must match the
+/// oracle pick-for-pick with bit-identical joint scores, and the greedy
+/// may never beat the exact optimum.
+fn compare_assortments(
+    data: &TransactionSet,
+    minsup: u32,
+    max_body_len: usize,
+) -> Result<(), String> {
+    let oracle = Oracle::build(data, OracleConfig::new(minsup, max_body_len));
+    let mined = RuleMiner::new(miner_config(
+        minsup,
+        max_body_len,
+        true,
+        QuantityModel::Saving,
+    ))
+    .mine(data);
+    for (mode, omode) in MODES {
+        for n in 1..=3usize {
+            let ctx = format!("assortment mode={mode:?} n={n}");
+            let exact = profit_core::assort_exact(&mined, n, mode);
+            let (opicks, oscore) = oracle.assortment(n, omode);
+            if exact.picks != opicks {
+                return Err(format!(
+                    "[{ctx}] exact picks {:?} vs oracle {:?}",
+                    exact.picks, opicks
+                ));
+            }
+            if exact.expected_profit.to_bits() != oscore.to_bits() {
+                return Err(format!(
+                    "[{ctx}] exact score {} vs oracle {oscore}",
+                    exact.expected_profit
+                ));
+            }
+            let greedy = profit_core::assort_greedy(&mined, n, mode);
+            if greedy.expected_profit > exact.expected_profit {
+                return Err(format!(
+                    "[{ctx}] greedy score {} beats the exact optimum {}",
+                    greedy.expected_profit, exact.expected_profit
+                ));
             }
         }
     }
@@ -325,10 +436,21 @@ fn compare_recommendations(
 /// then individual non-target sales, keeping each removal that preserves
 /// the divergence. Quadratic and restartable — fine at oracle scale.
 pub fn shrink(data: &TransactionSet, minsup: u32, max_body_len: usize) -> TransactionSet {
+    shrink_with(data, &|ds| {
+        compare_dataset(ds, minsup, max_body_len).is_err()
+    })
+}
+
+/// [`shrink`] under an arbitrary divergence predicate, so every
+/// differential axis (the core matrix, the workload axes, injected-bug
+/// checks) reuses the same greedy minimizer.
+pub fn shrink_with(
+    data: &TransactionSet,
+    diverges: &dyn Fn(&TransactionSet) -> bool,
+) -> TransactionSet {
     let rebuild = |txns: Vec<pm_txn::Transaction>| -> Option<TransactionSet> {
         TransactionSet::new(data.catalog().clone(), data.hierarchy().clone(), txns).ok()
     };
-    let diverges = |ds: &TransactionSet| compare_dataset(ds, minsup, max_body_len).is_err();
     let mut current = data.transactions().to_vec();
     // Pass 1: drop transactions.
     let mut i = 0;
@@ -371,10 +493,26 @@ pub fn shrink(data: &TransactionSet, minsup: u32, max_body_len: usize) -> Transa
 /// "Replaying a counterexample") plus, for non-flat hierarchies the CSV
 /// form cannot carry, the dataset JSON.
 pub fn report_divergence(data: &TransactionSet, minsup: u32, max_body_len: usize, msg: &str) -> ! {
-    let minimal = shrink(data, minsup, max_body_len);
-    let final_msg = compare_dataset(&minimal, minsup, max_body_len)
-        .err()
-        .unwrap_or_else(|| msg.to_string());
+    report_divergence_under(
+        data,
+        &|ds| compare_dataset(ds, minsup, max_body_len),
+        minsup,
+        max_body_len,
+        msg,
+    )
+}
+
+/// [`report_divergence`] under an arbitrary comparison (used by the
+/// workload axes, which shrink against their own predicate).
+pub fn report_divergence_under(
+    data: &TransactionSet,
+    compare: &dyn Fn(&TransactionSet) -> Result<(), String>,
+    minsup: u32,
+    max_body_len: usize,
+    msg: &str,
+) -> ! {
+    let minimal = shrink_with(data, &|ds| compare(ds).is_err());
+    let final_msg = compare(&minimal).err().unwrap_or_else(|| msg.to_string());
     let (catalog_csv, sales_csv) = pm_txn::csv::to_csv(&minimal);
     let hierarchy_note = if minimal.hierarchy().n_concepts() > 0 {
         format!(

@@ -1,0 +1,64 @@
+//! Proves the workload differential axes have teeth: with a deliberately
+//! injected targeting bug — `HeadGates::resolve` mis-scoping the target
+//! filter by admitting the first out-of-target head, via
+//! `pm_rules::miner::test_hooks` — the workload comparison must fail on
+//! datasets that are clean under the correct scoping.
+//!
+//! The hook is process-global, so this is the only test in this binary.
+
+mod common;
+
+use pm_datagen::DatasetConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn injected_misscoped_target_is_caught() {
+    // Dataset-I tiny sets carry two target items with up to four codes
+    // each, so an `items:`/`codes:` filter always leaves out-of-target
+    // heads for the injected bug to leak.
+    let datasets: Vec<_> = (0..8u64)
+        .map(|seed| {
+            DatasetConfig::tiny(24, 5, 3).generate(&mut StdRng::seed_from_u64(0xBAD_7A6 ^ seed))
+        })
+        .collect();
+    for (i, data) in datasets.iter().enumerate() {
+        common::compare_workloads(data, 1, 2)
+            .unwrap_or_else(|e| panic!("dataset {i} must be clean without the hook: {e}"));
+    }
+
+    pm_rules::miner::test_hooks::set_misscope_target(true);
+    let divergence = datasets
+        .iter()
+        .map(|data| common::compare_workloads(data, 1, 2))
+        .find_map(|r| r.err());
+    // Exercise the greedy shrinker under the workload predicate on the
+    // first diverging dataset (the only guaranteed divergence source).
+    let shrunk_still_diverges = datasets
+        .iter()
+        .find(|data| common::compare_workloads(data, 1, 2).is_err())
+        .map(|data| {
+            let minimal =
+                common::shrink_with(data, &|ds| common::compare_workloads(ds, 1, 2).is_err());
+            assert!(minimal.len() <= data.len());
+            common::compare_workloads(&minimal, 1, 2).is_err()
+        });
+    pm_rules::miner::test_hooks::set_misscope_target(false);
+
+    let err = divergence.expect("the harness must detect the mis-scoped target filter");
+    assert!(
+        err.contains("workload target="),
+        "divergence should surface in a targeted cell, got: {err}"
+    );
+    assert_eq!(
+        shrunk_still_diverges,
+        Some(true),
+        "shrinking must preserve the divergence"
+    );
+
+    // And with the hook reset the same datasets are clean again.
+    for (i, data) in datasets.iter().enumerate() {
+        common::compare_workloads(data, 1, 2)
+            .unwrap_or_else(|e| panic!("dataset {i} must be clean after the hook reset: {e}"));
+    }
+}

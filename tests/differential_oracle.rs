@@ -60,6 +60,39 @@ fn differential_body_len_three() {
     }
 }
 
+fn check_workloads(seed: u64, max_body_len: usize) {
+    let (data, minsup) = tiny_dataset(seed);
+    if let Err(msg) = common::compare_workloads(&data, minsup, max_body_len) {
+        common::report_divergence_under(
+            &data,
+            &|ds| common::compare_workloads(ds, minsup, max_body_len),
+            minsup,
+            max_body_len,
+            &format!("seed {seed}: {msg}"),
+        );
+    }
+}
+
+/// The PR-9 workload axes — targeted mining (item and code-class
+/// filters), per-item profit floors (alone and overriding a scalar
+/// floor), and top-N assortments — against the oracle over seeded tiny
+/// datasets, across `TidPolicy × {1,4} threads × PrunePolicy`.
+#[test]
+fn workload_differential_twenty_seeded_datasets() {
+    for seed in 0..20 {
+        check_workloads(seed, 2);
+    }
+}
+
+/// Workload axes at body length 3: deeper DFS under head-domain
+/// restriction and per-head floors.
+#[test]
+fn workload_body_len_three() {
+    for seed in [2, 7, 11] {
+        check_workloads(seed, 3);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
