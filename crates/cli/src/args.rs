@@ -29,7 +29,14 @@ pub struct ArgMap {
 }
 
 /// Boolean switches (no value follows).
-const SWITCHES: [&str; 5] = ["--no-moa", "--conf", "--no-prune", "--buying", "--all"];
+const SWITCHES: [&str; 6] = [
+    "--no-moa",
+    "--conf",
+    "--no-prune",
+    "--buying",
+    "--all",
+    "--no-compact",
+];
 
 impl ArgMap {
     /// Parse a flat argument list.

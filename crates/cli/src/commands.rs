@@ -7,10 +7,12 @@ use pm_eval::runner::{run_sweep, EvalConfig};
 use pm_rules::{MinerConfig, MoaMode, ProfitMode, PrunePolicy, RuleMiner, Support, TidPolicy};
 use pm_store::log::SalesLog;
 use pm_txn::{
-    parse_item_floors, Catalog, Hierarchy, ItemId, QuantityModel, Sale, TargetFilter, Transaction,
-    TransactionSet,
+    decode_stream_record, encode_stream_record, parse_item_floors, Catalog, CatalogDelta,
+    Hierarchy, ItemId, QuantityModel, Sale, TargetFilter, Transaction, TransactionSet,
 };
-use profit_core::{CutConfig, Matcher, ProfitMiner, Recommendation, Recommender, RuleModel};
+use profit_core::{
+    Checkpoint, CutConfig, Matcher, ProfitMiner, Recommendation, Recommender, RuleModel,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -213,11 +215,37 @@ fn build_pipeline(args: &ArgMap, data: &TransactionSet) -> Result<ProfitMiner, C
         .with_item_floors(item_floors(args, data.catalog())?))
 }
 
-/// Decode one sales-log record / batch file: a JSON array of
-/// [`Transaction`]s, exactly what `ingest --batch` accepts.
+/// Decode one batch file: a JSON array of [`Transaction`]s, exactly
+/// what `ingest --batch` accepts.
 fn decode_batch(payload: &[u8]) -> Result<Vec<Transaction>, String> {
     let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
     serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// Decode one sales-log record: either a legacy bare transaction array
+/// or an object record carrying a catalog delta alongside the batch.
+fn decode_record(payload: &[u8]) -> Result<(Option<CatalogDelta>, Vec<Transaction>), String> {
+    let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+    decode_stream_record(text)
+}
+
+/// Replay every retained log record onto `data`, growing the catalog
+/// where a record carries a delta. Record indices in errors are
+/// absolute stream positions (`first_abs` = the log's compaction base).
+fn replay_log(
+    data: &mut TransactionSet,
+    records: &[Vec<u8>],
+    first_abs: u64,
+    log_path: &str,
+) -> Result<(), CliError> {
+    for (i, payload) in records.iter().enumerate() {
+        let abs = first_abs + i as u64;
+        let (delta, batch) = decode_record(payload)
+            .map_err(|e| CliError::Runtime(format!("{log_path}: record {abs}: {e}")))?;
+        data.apply_stream_record(delta.as_ref(), &batch)
+            .map_err(|e| CliError::Runtime(format!("{log_path}: record {abs}: {e}")))?;
+    }
+    Ok(())
 }
 
 /// `fit`: train and save a recommender.
@@ -240,16 +268,24 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
         Some(log_path) => {
             let (_log, recovery) = SalesLog::open(log_path)
                 .map_err(|e| CliError::Runtime(format!("{log_path}: {e}")))?;
+            if recovery.base != 0 {
+                return Err(CliError::Runtime(format!(
+                    "{log_path}: log was compacted to base {} — records before the base \
+                     live only in its checkpoint; use `checkpoint --out` to refit from it",
+                    recovery.base
+                )));
+            }
             let mut inc = pipeline.into_incremental();
             let mut model = inc.fit(&data);
             for (i, payload) in recovery.records.iter().enumerate() {
-                let batch = decode_batch(payload)
-                    .map_err(|e| CliError::Runtime(format!("{log_path}: record {i}: {e}")))?;
-                if batch.is_empty() {
+                let abs = recovery.base + i as u64;
+                let (delta, batch) = decode_record(payload)
+                    .map_err(|e| CliError::Runtime(format!("{log_path}: record {abs}: {e}")))?;
+                if batch.is_empty() && delta.as_ref().is_none_or(|d| d.is_empty()) {
                     continue;
                 }
-                data.extend_from(&batch)
-                    .map_err(|e| CliError::Runtime(format!("{log_path}: record {i}: {e}")))?;
+                data.apply_stream_record(delta.as_ref(), &batch)
+                    .map_err(|e| CliError::Runtime(format!("{log_path}: record {abs}: {e}")))?;
                 model = inc.update(&data);
             }
             (model, recovery.records.len())
@@ -287,7 +323,9 @@ pub fn fit(args: &ArgMap) -> Result<String, CliError> {
 
 /// `ingest`: validate a batch of sales transactions against the base
 /// dataset plus everything already in the log, then append it to the
-/// crash-safe sales log as one record.
+/// crash-safe sales log as one record. `--catalog-delta` attaches an
+/// append-only catalog/hierarchy extension to the same record, so new
+/// items become part of the stream atomically with their first sales.
 ///
 /// The append is fsynced before the command reports success; a torn
 /// tail left by a crash mid-append is truncated away (and reported)
@@ -299,26 +337,36 @@ pub fn ingest(args: &ArgMap) -> Result<String, CliError> {
     let mut data = load_data(args)?;
     let (log, recovery) =
         SalesLog::open(log_path).map_err(|e| CliError::Runtime(format!("{log_path}: {e}")))?;
+    if recovery.base != 0 {
+        return Err(CliError::Runtime(format!(
+            "{log_path}: log was compacted to base {} — only the serving daemon (which \
+             holds the checkpointed stream) can validate ingests against it",
+            recovery.base
+        )));
+    }
     // Replay what the log already holds so the new batch is validated at
     // its actual stream position, not against the base dataset alone.
-    for (i, payload) in recovery.records.iter().enumerate() {
-        let txns = decode_batch(payload)
-            .map_err(|e| CliError::Runtime(format!("{log_path}: record {i}: {e}")))?;
-        data.extend_from(&txns)
-            .map_err(|e| CliError::Runtime(format!("{log_path}: record {i}: {e}")))?;
-    }
+    replay_log(&mut data, &recovery.records, recovery.base, log_path)?;
     let batch: Vec<Transaction> = decode_batch(read(batch_path)?.as_bytes())
         .map_err(|e| CliError::Runtime(format!("{batch_path}: {e}")))?;
-    if batch.is_empty() {
+    let delta: Option<CatalogDelta> =
+        match args.get("--catalog-delta") {
+            None => None,
+            Some(p) => Some(serde_json::from_str(&read(p)?).map_err(|e| {
+                CliError::Runtime(format!("{p}: catalog delta does not parse: {e}"))
+            })?),
+        };
+    if batch.is_empty() && delta.as_ref().is_none_or(|d| d.is_empty()) {
         return Err(CliError::Runtime(format!(
             "{batch_path}: batch is empty — nothing to ingest"
         )));
     }
-    data.extend_from(&batch)
+    data.apply_stream_record(delta.as_ref(), &batch)
         .map_err(|e| CliError::Runtime(format!("{batch_path}: {e}")))?;
-    // Append the canonical re-serialization of the *validated* batch, so
-    // replay parses exactly the transactions that were checked here.
-    let payload = serde_json::to_string(&batch).map_err(|e| CliError::Runtime(e.to_string()))?;
+    // Append the canonical re-serialization of the *validated* record, so
+    // replay parses exactly what was checked here. Delta-less batches
+    // keep the legacy bare-array bytes.
+    let payload = encode_stream_record(delta.as_ref(), &batch);
     log.append(payload.as_bytes())
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     let torn = if recovery.truncated_bytes > 0 {
@@ -329,13 +377,108 @@ pub fn ingest(args: &ArgMap) -> Result<String, CliError> {
     } else {
         String::new()
     };
+    let grown = match &delta {
+        Some(d) if !d.is_empty() => format!(
+            "; grew the catalog by {} items and {} concepts",
+            d.items.len(),
+            d.concepts.len()
+        ),
+        _ => String::new(),
+    };
     Ok(format!(
-        "appended {} transactions to {} as record {} (stream now {} transactions{})",
+        "appended {} transactions to {} as record {} (stream now {} transactions{}{})",
         batch.len(),
         log_path,
         recovery.records.len(),
         data.len(),
+        grown,
         torn
+    ))
+}
+
+/// `checkpoint`: seal the whole streaming state — data, model, warm
+/// miner caches, and log position — into an atomic `PMCK` envelope,
+/// then compact the sales log behind it (unless `--no-compact`).
+///
+/// When `--out` already holds a checkpoint, the state is *resumed* from
+/// it and only the log tail is replayed; otherwise the stream is rebuilt
+/// by a cold fit on `--data` plus a full log replay. Either way the
+/// sealed model is byte-identical to a cold fit on the whole stream.
+pub fn checkpoint(args: &ArgMap) -> Result<String, CliError> {
+    let log_path = args.require("--log")?;
+    let out = args.require("--out")?;
+    let base = load_data(args)?;
+    if base.is_empty() {
+        return Err(CliError::Runtime(
+            "dataset is empty — nothing to checkpoint".into(),
+        ));
+    }
+    let pipeline = build_pipeline(args, &base)?;
+    let (log, recovery) =
+        SalesLog::open(log_path).map_err(|e| CliError::Runtime(format!("{log_path}: {e}")))?;
+    let (mut data, mut inc, skip, how) = if std::path::Path::new(out).exists() {
+        let bytes = pm_store::checkpoint::load(out)
+            .map_err(|e| CliError::Runtime(format!("{out}: {e}")))?;
+        let ck =
+            Checkpoint::decode(&bytes).map_err(|e| CliError::Runtime(format!("{out}: {e}")))?;
+        let skip = pm_store::checkpoint::plan_replay(
+            ck.stream_pos,
+            recovery.base,
+            recovery.records.len() as u64,
+        )
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let (data, inc, _model) = ck
+            .resume(pipeline)
+            .map_err(|e| CliError::Runtime(format!("{out}: {e}")))?;
+        (data, inc, skip, "resumed from the existing checkpoint")
+    } else {
+        if recovery.base != 0 {
+            return Err(CliError::Runtime(format!(
+                "{log_path}: log was compacted to base {} but {out} does not exist — \
+                 the records before the base are gone, the stream cannot be rebuilt",
+                recovery.base
+            )));
+        }
+        let mut inc = pipeline.into_incremental();
+        let data = base;
+        inc.fit(&data);
+        (data, inc, 0, "cold-fitted the base dataset")
+    };
+    let first_abs = recovery.base + skip as u64;
+    let tail = &recovery.records[skip..];
+    replay_log(&mut data, tail, first_abs, log_path)?;
+    // One update brings model and caches to the full stream; with an
+    // empty tail it just re-assembles from the warm caches.
+    let model = inc.update(&data);
+    let miner = inc
+        .snapshot()
+        .ok_or_else(|| CliError::Runtime("the miner has no fitted state to checkpoint".into()))?;
+    let stream_pos = recovery.base + recovery.records.len() as u64;
+    let ck = Checkpoint {
+        stream_pos,
+        data_json: data.to_json(),
+        model: model.save(),
+        miner,
+    };
+    pm_store::checkpoint::save(out, &ck.encode())
+        .map_err(|e| CliError::Runtime(format!("{out}: {e}")))?;
+    let compacted = if args.switch("--no-compact") {
+        "; log left uncompacted".to_string()
+    } else {
+        let c = log
+            .compact_to(stream_pos)
+            .map_err(|e| CliError::Runtime(format!("{log_path}: {e}")))?;
+        format!(
+            "; compacted the log (dropped {} records, retained {})",
+            c.dropped, c.retained
+        )
+    };
+    Ok(format!(
+        "wrote checkpoint {out} at stream position {stream_pos} — {} transactions, {} rules \
+         ({how}, replayed {} tail records{compacted})",
+        data.len(),
+        model.rules().len(),
+        tail.len(),
     ))
 }
 
@@ -641,7 +784,15 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
         write_timeout: Duration::from_millis(args.get_or("--write-timeout-ms", 10_000u64)?.max(1)),
         deadline: Duration::from_millis(args.get_or("--deadline-ms", 250u64)?.max(1)),
         max_line: args.get_or("--max-line", 64 * 1024usize)?.max(256),
+        checkpoint: args.get("--checkpoint").map(std::path::PathBuf::from),
+        max_ingest_txns: args.get_or("--max-ingest-txns", 10_000usize)?,
+        max_ingest_bytes: args.get_or("--max-ingest-bytes", 8 * 1024 * 1024usize)?,
     };
+    if args.get("--checkpoint").is_some() && streaming.is_none() {
+        return Err(CliError::Usage(
+            "--checkpoint needs streaming mode (--data and --log)".into(),
+        ));
+    }
     let server = match &streaming {
         Some(log) => {
             let data = load_data(args)?;

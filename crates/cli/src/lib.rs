@@ -20,6 +20,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "gen" => commands::gen(&args),
         "fit" => commands::fit(&args),
         "ingest" => commands::ingest(&args),
+        "checkpoint" => commands::checkpoint(&args),
         "split" => commands::split(&args),
         "recommend" => commands::recommend(&args),
         "assort" => commands::assort(&args),
@@ -51,6 +52,9 @@ USAGE
                            [--tidset auto|dense|adaptive|sparse]
                            [--prune auto|off|upper] [--metrics metrics.json]
   profit-mining ingest     --data data.json --log sales.log --batch batch.json
+                           [--catalog-delta delta.json]
+  profit-mining checkpoint --data data.json --log sales.log --out ck.pmck
+                           [--no-compact] [fit flags]
   profit-mining split      --data data.json --at N --head head.json --tail tail.json
   profit-mining recommend  --data data.json --model model.json [--txn N] [--top K] [--all]
                            [--target SPEC] [--metrics metrics.json]
@@ -66,6 +70,8 @@ USAGE
                            [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N]
                            [--max-line BYTES] [--metrics metrics.json]
   profit-mining serve      --data data.json --log sales.log [fit flags] [serve flags]
+                           [--checkpoint ck.pmck] [--max-ingest-txns N]
+                           [--max-ingest-bytes N]
   profit-mining help
 
   --threads N selects the worker-thread count for mining and evaluation
@@ -98,10 +104,28 @@ USAGE
   against the base dataset plus everything already logged, then appends
   it to the crash-safe sales log (one fsynced record per batch; a torn
   tail from a crash mid-append is truncated away on the next open).
-  fit --log replays the log after the cold fit as incremental updates —
-  the written model is byte-identical to a cold fit on the concatenated
+  --catalog-delta attaches an append-only catalog/hierarchy extension
+  ({\"concepts\":[...],\"items\":[...]}) to the same record, so new
+  items enter the stream atomically with their first sales. fit --log
+  replays the log after the cold fit as incremental updates — the
+  written model is byte-identical to a cold fit on the concatenated
   stream. split cuts a dataset into a head dataset and a tail batch for
   exercising exactly that pipeline.
+
+  Checkpointing & recovery: checkpoint seals the whole streaming state
+  (data, model, warm miner caches, log position) into an atomic,
+  checksummed PMCK envelope and then compacts the sales log behind it,
+  so restarts replay only the records after the checkpoint. Rerunning
+  checkpoint resumes from the previous envelope instead of refitting
+  from scratch. serve --checkpoint points the daemon at its envelope:
+  {\"op\":\"checkpoint\"} (optionally with \"path\") checkpoints and
+  compacts online, and on startup the daemon restores the envelope,
+  replays the log tail, and serves a model byte-identical to a full
+  replay. A corrupt envelope falls back to full-log replay while the
+  log is complete, and is a hard error once the log was compacted. The
+  ingest batch caps (--max-ingest-txns, --max-ingest-bytes; 0 disables
+  one axis) bound the cost any single {\"op\":\"ingest\"} line can
+  impose; oversized batches are refused before touching the log.
 
   recommend --all serves every customer in --data through the indexed
   rule matcher and prints a per-(item, code) summary plus the serving

@@ -31,6 +31,7 @@
 #![deny(unsafe_code)]
 
 pub mod assort;
+pub mod checkpoint;
 pub mod cut;
 pub mod handle;
 pub mod model;
@@ -40,6 +41,7 @@ pub mod rank;
 pub mod tree;
 
 pub use assort::{assort_exact, assort_greedy, Assortment};
+pub use checkpoint::Checkpoint;
 pub use cut::CutResult;
 pub use handle::ModelHandle;
 pub use model::{Matcher, ModelRule, Recommendation, Recommender, RuleModel, SavedModel};

@@ -2,7 +2,8 @@
 
 use crate::model::RuleModel;
 use pm_rules::{
-    IncrementalMiner, MinerConfig, ProfitMode, PrunePolicy, RuleMiner, Support, TidPolicy,
+    IncrementalMiner, MinerConfig, MinerSnapshot, ProfitMode, PrunePolicy, RuleMiner, Support,
+    TidPolicy,
 };
 use pm_txn::{ItemId, TargetFilter, TransactionSet};
 use serde::{Deserialize, Serialize};
@@ -266,6 +267,36 @@ impl IncrementalProfitMiner {
             model_rules = model.rules().len()
         );
         model
+    }
+
+    /// Capture the miner's durable incremental state for a checkpoint
+    /// (see [`pm_rules::MinerSnapshot`]). `None` before
+    /// [`fit`](Self::fit).
+    pub fn snapshot(&self) -> Option<MinerSnapshot> {
+        self.inner.snapshot()
+    }
+
+    /// Rebuild a fitted incremental pipeline from a snapshot taken on
+    /// exactly `data` (see [`IncrementalMiner::restore`]). `pipeline`
+    /// must carry the same configuration the snapshotting process ran
+    /// with; call [`update`](Self::update) afterwards to obtain the
+    /// model from the warm caches.
+    pub fn restore(
+        pipeline: ProfitMiner,
+        data: &TransactionSet,
+        snap: &MinerSnapshot,
+    ) -> Result<Self, String> {
+        let cut = pipeline.cut;
+        let miner = RuleMiner::new(pipeline.miner)
+            .with_threads(pipeline.threads)
+            .with_tidset(pipeline.tidset)
+            .with_prune(pipeline.prune)
+            .with_target(pipeline.target)
+            .with_item_floors(pipeline.item_floors);
+        Ok(Self {
+            inner: IncrementalMiner::restore(miner, data, snap)?,
+            cut,
+        })
     }
 }
 

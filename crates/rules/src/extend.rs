@@ -138,16 +138,19 @@ impl ExtendedData {
     /// Extend the transactions of `data` from index `from` onward —
     /// the delta path of streaming ingestion. `data` must be the same
     /// dataset this extension was built from with new transactions
-    /// appended; the first `from` transactions are not re-read.
+    /// appended (and, possibly, its catalog grown append-only); the
+    /// first `from` transactions are not re-read.
     ///
     /// Each delta transaction runs the exact per-transaction loop of
     /// [`build`](Self::build), so the result is identical — field for
     /// field, bit for bit in every `f64` — to a cold `build` over the
     /// whole concatenated set: the head universe depends only on the
-    /// catalog (fixed), the interner assigns ids in first-encounter
-    /// order (appending reproduces the cold order), and
-    /// `GsInterner::finalize` recomputes ancestor lists from scratch,
-    /// so re-running it after new nodes is idempotent.
+    /// catalog and is rebuilt here (append-only growth appends heads,
+    /// so every existing `HeadId` keeps its meaning), the interner
+    /// assigns ids in first-encounter order (appending reproduces the
+    /// cold order), and `GsInterner::finalize` recomputes ancestor
+    /// lists from scratch, so re-running it after new nodes is
+    /// idempotent.
     pub fn extend(&mut self, data: &TransactionSet, moa: &Moa, qm: QuantityModel, from: usize) {
         assert_eq!(
             from,
@@ -155,6 +158,20 @@ impl ExtendedData {
             "delta must start exactly where the extension ends"
         );
         let catalog = data.catalog();
+        // Rebuild the head universe from the (possibly grown) catalog —
+        // the same loop as `build`. The append-only growth discipline
+        // guarantees the old universe is a prefix of the new one.
+        let mut heads = Vec::new();
+        for item in catalog.target_items() {
+            for k in 0..catalog.item(item).codes.len() {
+                heads.push((item, CodeId(k as u16)));
+            }
+        }
+        assert!(
+            heads.len() >= self.heads.len() && heads[..self.heads.len()] == self.heads[..],
+            "catalog growth must append heads, never reorder or drop them"
+        );
+        self.heads = heads;
         let head_index: std::collections::HashMap<(ItemId, CodeId), HeadId> = self
             .heads
             .iter()

@@ -33,7 +33,7 @@
 //! generation-order tie-break survives verbatim; generation indices are
 //! renumbered over the assembled sequence.
 
-use crate::extend::ExtendedData;
+use crate::extend::{ExtendedData, HeadId};
 use crate::interner::GsId;
 use crate::miner::{
     HeadGates, MinedRules, MoaMode, PairCounts, PrunePolicy, RuleEmitter, RuleMiner,
@@ -41,6 +41,7 @@ use crate::miner::{
 use crate::rule::Rule;
 use crate::tidset::{TidPolicy, TidScratch, TidSet};
 use pm_txn::{Moa, TransactionSet};
+use serde::{Deserialize, Serialize};
 
 /// A miner that amortizes re-mining across delta batches.
 pub struct IncrementalMiner {
@@ -76,6 +77,113 @@ struct AnchorCache {
     level1: Vec<Rule>,
     /// The anchor's deeper rules, in DFS pre-order.
     deeper: Vec<Rule>,
+}
+
+/// The durable incremental state of a fitted [`IncrementalMiner`], in
+/// serializable form — what a checkpoint must persist so a restarted
+/// process can resume streaming without re-running the DFS.
+///
+/// Deliberately minimal: only the resolved execution policies, the
+/// support count (an integrity cross-check) and the warm anchor caches
+/// are carried. The extension, vertical layout and floor accumulators
+/// are **rebuilt** from the transaction data at
+/// [`restore`](IncrementalMiner::restore) time with the exact loops of
+/// [`fit`](IncrementalMiner::fit) — cheaper to recompute than to store,
+/// and bit-identical by construction because the incremental paths patch
+/// them in the same left-to-right order a cold pass uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinerSnapshot {
+    /// Resolved tidset policy, encoded (`0` dense, `1` sparse,
+    /// `2` adaptive) — env changes across a restart must not flip
+    /// kernels mid-stream.
+    policy: u8,
+    /// Whether upper-bound pruning was resolved on.
+    prune: bool,
+    /// Support count at snapshot time; re-derived from the data at
+    /// restore and required to agree.
+    minsup: u32,
+    /// The warm anchor caches, ascending anchor id.
+    caches: Vec<CacheSnapshot>,
+}
+
+/// One anchor's cached DFS output, in snapshot form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheSnapshot {
+    /// The anchor's generalized-sale id.
+    anchor: u32,
+    /// Support count the cache was generated at.
+    minsup: u32,
+    /// Level-1 (singleton-body) rules, heads ascending.
+    level1: Vec<RuleSnapshot>,
+    /// Deeper rules in DFS pre-order.
+    deeper: Vec<RuleSnapshot>,
+}
+
+/// A cached rule with its profit carried as raw IEEE-754 bits: the JSON
+/// layer turns non-finite `f64`s into `null`, and the bit pattern makes
+/// the byte-identity contract explicit rather than incidental.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct RuleSnapshot {
+    body: Vec<u32>,
+    head: u32,
+    body_count: u32,
+    hits: u32,
+    profit_bits: u64,
+    gen_index: u32,
+}
+
+impl RuleSnapshot {
+    fn of(r: &Rule) -> Self {
+        Self {
+            body: r.body.iter().map(|g| g.0).collect(),
+            head: r.head.0,
+            body_count: r.body_count,
+            hits: r.hits,
+            profit_bits: r.profit.to_bits(),
+            gen_index: r.gen_index,
+        }
+    }
+
+    fn rule(&self, n_gs: usize, n_heads: usize) -> Result<Rule, String> {
+        if self.head as usize >= n_heads {
+            return Err(format!(
+                "cached rule references head {} but the data has only {n_heads} heads",
+                self.head
+            ));
+        }
+        if let Some(&b) = self.body.iter().find(|&&b| b as usize >= n_gs) {
+            return Err(format!(
+                "cached rule references generalized sale {b} but the data has only {n_gs}"
+            ));
+        }
+        Ok(Rule {
+            body: self.body.iter().map(|&b| GsId(b)).collect(),
+            head: HeadId(self.head),
+            body_count: self.body_count,
+            hits: self.hits,
+            profit: f64::from_bits(self.profit_bits),
+            gen_index: self.gen_index,
+        })
+    }
+}
+
+fn encode_policy(p: TidPolicy) -> u8 {
+    match p {
+        TidPolicy::Dense => 0,
+        TidPolicy::Sparse => 1,
+        TidPolicy::Adaptive => 2,
+        // `fit` resolves `Auto` before it ever reaches the state.
+        TidPolicy::Auto => unreachable!("snapshot of an unresolved tidset policy"),
+    }
+}
+
+fn decode_policy(b: u8) -> Result<TidPolicy, String> {
+    match b {
+        0 => Ok(TidPolicy::Dense),
+        1 => Ok(TidPolicy::Sparse),
+        2 => Ok(TidPolicy::Adaptive),
+        other => Err(format!("snapshot holds unknown tidset policy code {other}")),
+    }
 }
 
 /// The floor value that disables the default-dominance filter: both
@@ -168,7 +276,12 @@ impl IncrementalMiner {
     /// Incorporate a delta batch and re-mine. `data` must be the fitted
     /// set with new transactions appended (the first `n` are not
     /// re-read); callers grow their set in place via
-    /// [`TransactionSet::extend_from`] and pass it back whole.
+    /// [`TransactionSet::extend_from`] and pass it back whole. The
+    /// catalog and hierarchy may have grown append-only in the meantime
+    /// (see [`TransactionSet::apply_stream_record`]): MOA tables are
+    /// rebuilt over the grown catalog, but existing anchors keep their
+    /// caches — new items occur only in delta transactions, so a frozen
+    /// anchor's tidset cannot reach any new head.
     ///
     /// The result is bit-identical to a cold [`RuleMiner::mine`] over
     /// `data`, but only anchors occurring in the delta re-enter the DFS.
@@ -186,11 +299,30 @@ impl IncrementalMiner {
             "the updated set must extend the fitted one ({} < {old_n} transactions)",
             data.len()
         );
+        // Catalog growth: rebuild the MOA tables against the grown
+        // catalog before extending. Growth is append-only, so existing
+        // items' favorability tables and ancestor lists are unchanged —
+        // the old extension stays valid word for word.
+        if data.catalog().len() != state.moa.catalog().len()
+            || data.hierarchy().n_concepts() != state.moa.hierarchy().n_concepts()
+        {
+            state.moa = Moa::new(
+                data.catalog_arc(),
+                data.hierarchy_arc(),
+                config.moa == MoaMode::Enabled,
+            );
+        }
         state
             .extended
             .extend(data, &state.moa, config.quantity, old_n);
         let new_n = state.extended.n_transactions();
         let n_gs = state.extended.n_gs();
+        // New target items bring new heads; their accumulators start at
+        // zero and are patched by the delta loop below, exactly like a
+        // cold pass (old transactions cannot hit a head that did not
+        // exist when they were recorded).
+        state.head_hits.resize(state.extended.n_heads(), 0);
+        state.head_profit.resize(state.extended.n_heads(), 0.0);
 
         // Delta tids per generalized sale — ascending, because delta
         // transactions are walked in tid order. While here, patch the
@@ -238,6 +370,119 @@ impl IncrementalMiner {
         let out = Self::remine(&self.miner, &mut state);
         self.state = Some(state);
         out
+    }
+
+    /// Capture the durable incremental state for a checkpoint. Returns
+    /// `None` before [`fit`](Self::fit). See [`MinerSnapshot`] for what
+    /// is (and deliberately is not) carried.
+    pub fn snapshot(&self) -> Option<MinerSnapshot> {
+        let state = self.state.as_ref()?;
+        let caches = state
+            .caches
+            .iter()
+            .enumerate()
+            .filter_map(|(gi, c)| {
+                c.as_ref().map(|c| CacheSnapshot {
+                    anchor: gi as u32,
+                    minsup: c.minsup,
+                    level1: c.level1.iter().map(RuleSnapshot::of).collect(),
+                    deeper: c.deeper.iter().map(RuleSnapshot::of).collect(),
+                })
+            })
+            .collect();
+        Some(MinerSnapshot {
+            policy: encode_policy(state.policy),
+            prune: state.prune,
+            minsup: state.minsup,
+            caches,
+        })
+    }
+
+    /// Rebuild a fitted miner from a snapshot. `data` must hold exactly
+    /// the transactions (and catalog) the snapshot covered — the support
+    /// count re-derived from `data` is cross-checked against the
+    /// snapshot's, and every cached anchor and head must exist in the
+    /// rebuilt extension.
+    ///
+    /// The extension, tidsets and floor accumulators are recomputed with
+    /// the same loops as [`fit`](Self::fit); the DFS is skipped entirely
+    /// because the caches come back warm. Call [`update`](Self::update)
+    /// afterwards — with the restored data, or with the replayed log
+    /// tail appended — to obtain the model; an empty delta assembles
+    /// from the caches without mining a single anchor.
+    pub fn restore(
+        miner: RuleMiner,
+        data: &TransactionSet,
+        snap: &MinerSnapshot,
+    ) -> Result<Self, String> {
+        let config = *miner.config();
+        let policy = decode_policy(snap.policy)?;
+        let moa = Moa::new(
+            data.catalog_arc(),
+            data.hierarchy_arc(),
+            config.moa == MoaMode::Enabled,
+        );
+        let extended = ExtendedData::build(data, &moa, config.quantity);
+        let tidsets = extended.tidsets(policy);
+        let h = extended.n_heads();
+        let mut head_hits = vec![0u64; h];
+        let mut head_profit = vec![0.0f64; h];
+        for heads in &extended.txn_heads {
+            for &(hd, p) in heads {
+                head_hits[hd.index()] += 1;
+                head_profit[hd.index()] += p;
+            }
+        }
+        let minsup = config.min_support.to_count(extended.n_transactions());
+        if minsup != snap.minsup {
+            return Err(format!(
+                "snapshot support count {} disagrees with the data's {minsup} — \
+                 the data is not the stream the snapshot covered",
+                snap.minsup
+            ));
+        }
+        let n_gs = extended.n_gs();
+        let mut caches: Vec<Option<AnchorCache>> = (0..n_gs).map(|_| None).collect();
+        for c in &snap.caches {
+            let gi = c.anchor as usize;
+            if gi >= n_gs {
+                return Err(format!(
+                    "snapshot caches anchor {gi} but the data has only {n_gs} generalized sales"
+                ));
+            }
+            if caches[gi].is_some() {
+                return Err(format!("snapshot caches anchor {gi} twice"));
+            }
+            if c.minsup > minsup {
+                return Err(format!(
+                    "anchor {gi} was cached at support {} > today's {minsup} — \
+                     caches only stay valid as the support count rises",
+                    c.minsup
+                ));
+            }
+            let decode = |rs: &[RuleSnapshot]| -> Result<Vec<Rule>, String> {
+                rs.iter().map(|r| r.rule(n_gs, h)).collect()
+            };
+            caches[gi] = Some(AnchorCache {
+                minsup: c.minsup,
+                level1: decode(&c.level1)?,
+                deeper: decode(&c.deeper)?,
+            });
+        }
+        Ok(Self {
+            miner,
+            state: Some(MinerState {
+                moa,
+                extended,
+                tidsets,
+                policy,
+                prune: snap.prune,
+                minsup,
+                head_hits,
+                head_profit,
+                caches,
+            }),
+        })
     }
 
     /// Re-mine the frequent anchors without a cache, then assemble the
@@ -617,6 +862,180 @@ mod tests {
         let got = inc.update(&data);
         let cold = mk().mine(&data);
         assert_identical(&got, &cold, "filters");
+    }
+
+    /// Catalog growth mid-stream: new non-target and target items arrive
+    /// with a delta batch, and the incremental result must still be
+    /// bit-identical to a cold mine over the concatenated stream with
+    /// the grown catalog.
+    #[test]
+    fn growing_catalog_updates_match_cold_mining() {
+        use pm_txn::{CatalogDelta, NewItem};
+        let all = stream(5, 40);
+        let delta = CatalogDelta {
+            concepts: vec![],
+            items: vec![
+                NewItem {
+                    def: ItemDef {
+                        name: "d".into(),
+                        codes: vec![PromotionCode::unit(
+                            Money::from_cents(110),
+                            Money::from_cents(60),
+                        )],
+                        is_target: false,
+                    },
+                    parents: vec![],
+                },
+                NewItem {
+                    def: ItemDef {
+                        name: "u".into(),
+                        codes: vec![PromotionCode::unit(
+                            Money::from_cents(700),
+                            Money::from_cents(400),
+                        )],
+                        is_target: true,
+                    },
+                    parents: vec![],
+                },
+            ],
+        };
+        // Delta transactions exercise the new items alongside the old:
+        // the new non-target joins existing bodies, the new target
+        // brings a brand-new head.
+        let tail: Vec<Transaction> = (0..15u32)
+            .map(|i| {
+                let mut sales = vec![Sale::new(ItemId(i % 3), CodeId(0), 1)];
+                if i % 2 == 0 {
+                    sales.push(Sale::new(ItemId(4), CodeId(0), 2));
+                }
+                let target = if i % 3 == 0 {
+                    Sale::new(ItemId(5), CodeId(0), 1)
+                } else {
+                    Sale::new(ItemId(3), CodeId((i % 2) as u16), 1)
+                };
+                Transaction::new(sales, target)
+            })
+            .collect();
+        for policy in [TidPolicy::Dense, TidPolicy::Sparse, TidPolicy::Adaptive] {
+            for prune_dom in [false, true] {
+                let mk = || {
+                    miner_with(
+                        Support::Count(2),
+                        MoaMode::Enabled,
+                        prune_dom,
+                        2,
+                        policy,
+                        PrunePolicy::Upper,
+                    )
+                };
+                let mut inc = IncrementalMiner::new(mk());
+                let mut data = dataset(all.clone());
+                inc.fit(&data);
+                data.apply_stream_record(Some(&delta), &tail).unwrap();
+                let got = inc.update(&data);
+                let cold = mk().mine(&data);
+                assert_identical(
+                    &got,
+                    &cold,
+                    &format!("growth policy={policy:?} dom={prune_dom}"),
+                );
+            }
+        }
+    }
+
+    /// Snapshot → JSON → restore → update(empty delta) reproduces the
+    /// model bit for bit, and the restored miner keeps streaming
+    /// correctly afterwards.
+    #[test]
+    fn snapshot_restore_round_trips_bit_identically() {
+        let all = stream(9, 60);
+        let mk = || {
+            miner_with(
+                Support::Fraction(0.1),
+                MoaMode::Enabled,
+                true,
+                2,
+                TidPolicy::Adaptive,
+                PrunePolicy::Upper,
+            )
+        };
+        let mut inc = IncrementalMiner::new(mk());
+        let mut data = dataset(all[..30].to_vec());
+        inc.fit(&data);
+        data.extend_from(&all[30..50]).unwrap();
+        let expect = inc.update(&data);
+
+        let snap = inc.snapshot().unwrap();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MinerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap, "snapshot must survive the JSON layer");
+
+        let mut restored = IncrementalMiner::restore(mk(), &data, &back).unwrap();
+        let got = restored.update(&data);
+        assert_identical(&got, &expect, "restore + empty delta");
+
+        // The restored miner continues the stream exactly like one that
+        // never went down.
+        data.extend_from(&all[50..]).unwrap();
+        let streamed = restored.update(&data);
+        let cold = mk().mine(&data);
+        assert_identical(&streamed, &cold, "post-restore delta");
+    }
+
+    /// A snapshot is refused when the data is not the stream it covered,
+    /// or when its caches reference state the data does not have.
+    #[test]
+    fn restore_rejects_mismatched_data() {
+        let all = stream(13, 50);
+        let mk = || {
+            miner_with(
+                Support::Fraction(0.1),
+                MoaMode::Enabled,
+                true,
+                1,
+                TidPolicy::Adaptive,
+                PrunePolicy::Upper,
+            )
+        };
+        let mut inc = IncrementalMiner::new(mk());
+        let data = dataset(all.clone());
+        inc.fit(&data);
+        let snap = inc.snapshot().unwrap();
+
+        // Truncated data: the re-derived support count disagrees.
+        let err = IncrementalMiner::restore(mk(), &dataset(all[..20].to_vec()), &snap)
+            .err()
+            .expect("short data must be refused");
+        assert!(err.contains("support count"), "{err}");
+
+        // A cache pointing at an anchor the data never produced.
+        let mut bad = snap.clone();
+        bad.caches[0].anchor = 9999;
+        let err = IncrementalMiner::restore(mk(), &data, &bad)
+            .err()
+            .expect("unknown anchor must be refused");
+        assert!(err.contains("anchor 9999"), "{err}");
+
+        // A cached rule whose head the data does not have.
+        let mut bad = snap.clone();
+        let with_rules = bad
+            .caches
+            .iter()
+            .position(|c| !c.level1.is_empty())
+            .expect("some anchor has level-1 rules");
+        bad.caches[with_rules].level1[0].head = 200;
+        let err = IncrementalMiner::restore(mk(), &data, &bad)
+            .err()
+            .expect("unknown head must be refused");
+        assert!(err.contains("head 200"), "{err}");
+
+        // An unknown policy byte.
+        let mut bad = snap;
+        bad.policy = 7;
+        let err = IncrementalMiner::restore(mk(), &data, &bad)
+            .err()
+            .expect("unknown policy must be refused");
+        assert!(err.contains("policy code 7"), "{err}");
     }
 
     #[test]

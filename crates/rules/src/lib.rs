@@ -47,7 +47,7 @@ pub mod tidset;
 
 pub use bitset::BitSet;
 pub use extend::{ExtendedData, HeadId};
-pub use incremental::IncrementalMiner;
+pub use incremental::{IncrementalMiner, MinerSnapshot};
 pub use interner::{GsId, GsInterner};
 pub use miner::{MinedRules, MinerConfig, MoaMode, PrunePolicy, RuleMiner, Support};
 pub use rule::{ProfitMode, Rule};

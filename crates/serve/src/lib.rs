@@ -50,10 +50,17 @@
 //! * **streaming ingestion** — a daemon started with
 //!   [`Server::start_streaming`] owns a transaction stream and its
 //!   crash-safe append-only sales log (`pm_store::log`); the `ingest`
-//!   op validates a batch against the stream, fsyncs it into the log
-//!   *before* it becomes visible, refits the model incrementally
-//!   (byte-identical to a cold fit on the concatenated stream), and
-//!   hot-swaps it in with a generation bump.
+//!   op validates a batch (optionally carrying an append-only catalog
+//!   delta) against the stream, fsyncs it into the log *before* it
+//!   becomes visible, refits the model incrementally (byte-identical to
+//!   a cold fit on the concatenated stream), and hot-swaps it in with a
+//!   generation bump; batch size is bounded by configurable record and
+//!   byte caps;
+//! * **checkpointing & recovery** — the `checkpoint` op seals the whole
+//!   streaming state (data, model, warm miner caches, log position)
+//!   into an atomic `PMCK` envelope, then compacts the sales log behind
+//!   it; restart restores the checkpoint and replays only the log tail,
+//!   arriving at the same bytes as a full replay (DESIGN.md §17).
 //!
 //! Fault injection for all of the above lives in `pm_store::faults`;
 //! the integration tests drive every fault class through a live daemon.
@@ -65,11 +72,14 @@ pub mod protocol;
 
 use pm_store::log::SalesLog;
 use pm_store::StoreError;
-use pm_txn::{TargetFilter, Transaction, TransactionSet};
+use pm_txn::{
+    decode_stream_record, encode_stream_record, CatalogDelta, TargetFilter, Transaction,
+    TransactionSet,
+};
 use polling::{Event, Events, Poller};
 use profit_core::{
-    IncrementalProfitMiner, Matcher, ModelHandle, ProfitMiner, Recommendation, Recommender,
-    RuleModel, SavedModel,
+    Checkpoint, IncrementalProfitMiner, Matcher, ModelHandle, ProfitMiner, Recommendation,
+    Recommender, RuleModel, SavedModel,
 };
 use protocol::{error_line, obj, parse_request, rec_value, render, validate_sales, Request};
 use serde::Value;
@@ -107,6 +117,18 @@ pub struct ServeConfig {
     pub io_threads: usize,
     /// Maximum requests per batch shipped to a compute worker.
     pub batch: usize,
+    /// Streaming mode only: the checkpoint file. At startup a valid
+    /// checkpoint here short-circuits log replay (open checkpoint,
+    /// replay only the tail); the `checkpoint` op writes here when the
+    /// request names no path.
+    pub checkpoint: Option<PathBuf>,
+    /// Maximum transactions per `ingest` batch (`0` = unbounded).
+    /// Oversized batches are rejected with a typed error before they
+    /// reach the log.
+    pub max_ingest_txns: usize,
+    /// Maximum `ingest` request size in bytes (`0` = unbounded),
+    /// measured on the wire line.
+    pub max_ingest_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +142,9 @@ impl Default for ServeConfig {
             max_line: 64 * 1024,
             io_threads: 2,
             batch: 32,
+            checkpoint: None,
+            max_ingest_txns: 10_000,
+            max_ingest_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -164,6 +189,18 @@ pub enum ServeError {
     /// An `ingest` request reached a daemon that was not started in
     /// streaming mode (no dataset and sales log attached).
     IngestUnavailable,
+    /// An `ingest` batch exceeded the configured record or byte cap and
+    /// was rejected before touching the log.
+    IngestTooLarge {
+        /// Transactions in the rejected batch.
+        txns: usize,
+        /// Bytes in the rejected request line.
+        bytes: usize,
+        /// Configured transaction cap (`0` = unbounded).
+        max_txns: usize,
+        /// Configured byte cap (`0` = unbounded).
+        max_bytes: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -183,6 +220,17 @@ impl std::fmt::Display for ServeError {
                 f,
                 "ingest unavailable: daemon is not in streaming mode (start it with a \
                  dataset and a sales log)"
+            ),
+            ServeError::IngestTooLarge {
+                txns,
+                bytes,
+                max_txns,
+                max_bytes,
+            } => write!(
+                f,
+                "ingest rejected: batch of {txns} transactions ({bytes} bytes) exceeds \
+                 the configured cap ({max_txns} transactions / {max_bytes} bytes) — \
+                 split the batch"
             ),
         }
     }
@@ -279,6 +327,9 @@ struct Metrics {
     reload_failures: ServeCounter,
     ingests: ServeCounter,
     ingest_failures: ServeCounter,
+    ingest_oversized: ServeCounter,
+    checkpoints: ServeCounter,
+    checkpoint_failures: ServeCounter,
     control_rejected: ServeCounter,
     worker_panics: ServeCounter,
     connections: ServeCounter,
@@ -301,6 +352,9 @@ impl Metrics {
             reload_failures: ServeCounter::new("serve.reload_failures"),
             ingests: ServeCounter::new("serve.ingests"),
             ingest_failures: ServeCounter::new("serve.ingest_failures"),
+            ingest_oversized: ServeCounter::new("serve.ingest_oversized"),
+            checkpoints: ServeCounter::new("serve.checkpoints"),
+            checkpoint_failures: ServeCounter::new("serve.checkpoint_failures"),
             control_rejected: ServeCounter::new("serve.control_rejected"),
             worker_panics: ServeCounter::new("serve.worker_panics"),
             connections: ServeCounter::new("serve.connections"),
@@ -344,6 +398,10 @@ struct IngestState {
     data: TransactionSet,
     log: SalesLog,
     inc: IncrementalProfitMiner,
+    /// Absolute stream position: sales-log records ingested since the
+    /// log was created (compaction moves the log's base, not this).
+    /// Checkpoints record it; restart replay resumes from it.
+    stream_pos: u64,
 }
 
 /// State shared by the acceptor, the reactors, the compute workers, the
@@ -407,14 +465,26 @@ struct IngestJob {
     slot: usize,
     token: u64,
     seq: u64,
+    catalog: Option<CatalogDelta>,
     txns: Vec<Transaction>,
 }
 
-/// One control-plane job: reloads and ingests share the executor
-/// thread, so model swaps of either kind are serialized.
+/// A checkpoint request in flight to the control-plane executor.
+struct CheckpointJob {
+    reactor: usize,
+    slot: usize,
+    token: u64,
+    seq: u64,
+    path: Option<String>,
+}
+
+/// One control-plane job: reloads, ingests and checkpoints share the
+/// executor thread, so model swaps and stream mutations of every kind
+/// are serialized.
 enum ExecJob {
     Reload(ReloadJob),
     Ingest(IngestJob),
+    Checkpoint(CheckpointJob),
 }
 
 /// A finished response heading back to a reactor.
@@ -485,16 +555,31 @@ impl Server {
         Server::start_inner(addr, model, model_path, cfg, None)
     }
 
-    /// Start in **streaming mode**: fit a model on `data` plus every
-    /// record already in the sales log at `log_path` (creating the log
-    /// when missing, truncating any torn tail a crash left), then serve
-    /// it — and accept `{"op":"ingest",...}` requests that append a
-    /// validated batch to the log, refit incrementally, and hot-swap
-    /// the refitted model in (one generation bump per batch).
+    /// Start in **streaming mode**: recover the stream, fit (or
+    /// restore) a model, then serve it — and accept
+    /// `{"op":"ingest",...}` requests that append a validated batch to
+    /// the crash-safe sales log, refit incrementally, and hot-swap the
+    /// refitted model in (one generation bump per batch), plus
+    /// `{"op":"checkpoint"}` requests that snapshot the stream and
+    /// compact the log behind it.
+    ///
+    /// Recovery decides between two equivalent paths:
+    ///
+    /// * a valid checkpoint at [`ServeConfig::checkpoint`] restores the
+    ///   stream and the miner's warm caches, and only the log records
+    ///   *after* the checkpoint position are replayed;
+    /// * otherwise the whole log is replayed on top of `data` (`data`
+    ///   is ignored when a checkpoint is used — the checkpoint embeds
+    ///   the full stream). A corrupt checkpoint falls back to this path
+    ///   when the log still holds the whole stream, and refuses to
+    ///   start when the log was compacted past record 0 (the stream
+    ///   cannot be rebuilt). A checkpoint older than the log's
+    ///   compaction base or ahead of its end is a typed
+    ///   [`StoreError`].
     ///
     /// The served model is always byte-identical to what a cold
-    /// `pipeline.fit` on the concatenated stream would build, both at
-    /// startup (log replay) and after every ingest (delta refit).
+    /// `pipeline.fit` on the concatenated stream would build — at
+    /// startup (either recovery path), and after every ingest.
     pub fn start_streaming(
         addr: &str,
         mut data: TransactionSet,
@@ -504,19 +589,6 @@ impl Server {
     ) -> Result<Server, ServeError> {
         let log_path = log_path.as_ref();
         let (log, recovery) = SalesLog::open(log_path)?;
-        for (i, payload) in recovery.records.iter().enumerate() {
-            let batch: Vec<Transaction> = std::str::from_utf8(payload)
-                .map_err(|e| e.to_string())
-                .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
-                .map_err(|err| ServeError::Model {
-                    path: format!("{} record {i}", log_path.display()),
-                    err,
-                })?;
-            data.extend_from(&batch).map_err(|e| ServeError::Model {
-                path: format!("{} record {i}", log_path.display()),
-                err: e.to_string(),
-            })?;
-        }
         if recovery.truncated_bytes > 0 {
             pm_obs::info!(
                 "serve.log_recovered",
@@ -524,14 +596,130 @@ impl Server {
                 truncated_bytes = recovery.truncated_bytes
             );
         }
-        pm_obs::info!(
-            "serve.streaming_fit",
-            records = recovery.records.len(),
-            transactions = data.len()
-        );
-        let mut inc = pipeline.into_incremental();
-        let model = inc.fit(&data);
-        let state = IngestState { data, log, inc };
+
+        // Replay `records` (absolute indices from `first_abs`) onto `data`.
+        let replay = |data: &mut TransactionSet,
+                      records: &[Vec<u8>],
+                      first_abs: u64|
+         -> Result<(), ServeError> {
+            for (i, payload) in records.iter().enumerate() {
+                let abs = first_abs + i as u64;
+                let at = || format!("{} record {abs}", log_path.display());
+                let (delta, batch) = std::str::from_utf8(payload)
+                    .map_err(|e| e.to_string())
+                    .and_then(decode_stream_record)
+                    .map_err(|err| ServeError::Model { path: at(), err })?;
+                data.apply_stream_record(delta.as_ref(), &batch)
+                    .map_err(|e| ServeError::Model {
+                        path: at(),
+                        err: e.to_string(),
+                    })?;
+            }
+            Ok(())
+        };
+
+        // Try the checkpoint. Corruption (unreadable file, bad payload)
+        // falls back to full-log replay when the log still starts at
+        // record 0; position mismatches (stale / ahead of log) are real
+        // inconsistencies and surface as typed errors.
+        let mut resumed = None;
+        if let Some(ck_path) = cfg.checkpoint.as_ref().filter(|p| p.exists()) {
+            let corrupt = |err: String| -> Result<(), ServeError> {
+                if recovery.base == 0 {
+                    pm_obs::error!(
+                        "serve.checkpoint_ignored",
+                        path = ck_path.display(),
+                        err = err
+                    );
+                    Ok(())
+                } else {
+                    Err(ServeError::Model {
+                        path: ck_path.display().to_string(),
+                        err: format!(
+                            "checkpoint is unreadable and the sales log was compacted to \
+                             base {} — the full stream cannot be rebuilt: {err}",
+                            recovery.base
+                        ),
+                    })
+                }
+            };
+            match pm_store::checkpoint::load(ck_path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| Checkpoint::decode(&bytes))
+            {
+                Ok(ck) => {
+                    let skip = pm_store::checkpoint::plan_replay(
+                        ck.stream_pos,
+                        recovery.base,
+                        recovery.records.len() as u64,
+                    )?;
+                    match ck.resume(pipeline.clone()) {
+                        Ok((d, i, m)) => resumed = Some((d, i, m, ck.stream_pos, skip)),
+                        Err(e) => corrupt(e)?,
+                    }
+                }
+                Err(e) => corrupt(e)?,
+            }
+        }
+
+        let (state, model) = match resumed {
+            Some((mut ck_data, mut inc, model, ck_pos, skip)) => {
+                let tail = &recovery.records[skip..];
+                let model = if tail.is_empty() {
+                    model
+                } else {
+                    replay(&mut ck_data, tail, ck_pos)?;
+                    inc.update(&ck_data)
+                };
+                let stream_pos = ck_pos + tail.len() as u64;
+                pm_obs::info!(
+                    "serve.checkpoint_resumed",
+                    stream_pos = stream_pos,
+                    replayed = tail.len(),
+                    transactions = ck_data.len()
+                );
+                (
+                    IngestState {
+                        data: ck_data,
+                        log,
+                        inc,
+                        stream_pos,
+                    },
+                    model,
+                )
+            }
+            None => {
+                if recovery.base != 0 {
+                    return Err(ServeError::Model {
+                        path: log_path.display().to_string(),
+                        err: format!(
+                            "sales log was compacted to base {} but no checkpoint is \
+                             available — records before the base are gone, the stream \
+                             cannot be rebuilt",
+                            recovery.base
+                        ),
+                    });
+                }
+                replay(&mut data, &recovery.records, 0)?;
+                pm_obs::info!(
+                    "serve.streaming_fit",
+                    records = recovery.records.len(),
+                    transactions = data.len()
+                );
+                let mut inc = pipeline.into_incremental();
+                let model = inc.fit(&data);
+                let stream_pos = recovery.records.len() as u64;
+                (
+                    IngestState {
+                        data,
+                        log,
+                        inc,
+                        stream_pos,
+                    },
+                    model,
+                )
+            }
+        };
         Server::start_inner(addr, model, log_path.to_path_buf(), cfg, Some(state))
     }
 
@@ -1195,7 +1383,7 @@ impl Reactor {
                     );
                 }
             }
-            Request::Ingest { txns } => {
+            Request::Ingest { catalog, txns } => {
                 // A daemon without streaming state answers immediately —
                 // no executor round-trip for a request that cannot work.
                 if self.shared.ingest.is_none() {
@@ -1204,6 +1392,31 @@ impl Reactor {
                         error_line(&ServeError::IngestUnavailable.to_string()),
                         false,
                     );
+                    return;
+                }
+                // Enforce the batch caps before admission: an oversized
+                // batch never occupies an executor slot. A cap of 0
+                // disables that axis.
+                let (max_txns, max_bytes) = (
+                    self.shared.cfg.max_ingest_txns,
+                    self.shared.cfg.max_ingest_bytes,
+                );
+                if (max_txns > 0 && txns.len() > max_txns)
+                    || (max_bytes > 0 && bytes.len() > max_bytes)
+                {
+                    self.shared.metrics.ingest_oversized.inc();
+                    let err = ServeError::IngestTooLarge {
+                        txns: txns.len(),
+                        bytes: bytes.len(),
+                        max_txns,
+                        max_bytes,
+                    };
+                    pm_obs::debug!(
+                        "serve.ingest_oversized",
+                        txns = txns.len(),
+                        bytes = bytes.len()
+                    );
+                    self.enqueue_inline(slot, error_line(&err.to_string()), false);
                     return;
                 }
                 let Some(()) = self.admit_exec_job(slot) else {
@@ -1219,6 +1432,7 @@ impl Reactor {
                     slot,
                     token,
                     seq,
+                    catalog,
                     txns,
                 });
                 if self.reload_tx.send(job).is_err() {
@@ -1228,6 +1442,43 @@ impl Reactor {
                         slot,
                         seq,
                         error_line("ingest failed, keeping current model: daemon is stopping"),
+                    );
+                }
+            }
+            Request::Checkpoint { path } => {
+                if self.shared.ingest.is_none() {
+                    self.enqueue_inline(
+                        slot,
+                        error_line(
+                            "checkpoint unavailable: daemon is not in streaming mode — \
+                             start with --log to enable the sales log and checkpointing",
+                        ),
+                        false,
+                    );
+                    return;
+                }
+                let Some(()) = self.admit_exec_job(slot) else {
+                    return;
+                };
+                let Some((token, seq)) = self.reserve_slot(slot) else {
+                    self.release_exec_slot();
+                    return;
+                };
+                self.shared.note_queue_depth(1);
+                let job = ExecJob::Checkpoint(CheckpointJob {
+                    reactor: self.id,
+                    slot,
+                    token,
+                    seq,
+                    path,
+                });
+                if self.reload_tx.send(job).is_err() {
+                    self.shared.note_queue_depth(-1);
+                    self.release_exec_slot();
+                    self.fill_slot(
+                        slot,
+                        seq,
+                        error_line("checkpoint failed: daemon is stopping"),
                     );
                 }
             }
@@ -1629,7 +1880,11 @@ fn control_executor_loop(shared: &Arc<Shared>, rx: &Receiver<ExecJob>) {
                         (j.reactor, j.slot, j.token, j.seq, line)
                     }
                     ExecJob::Ingest(j) => {
-                        let line = handle_ingest(shared, &j.txns);
+                        let line = handle_ingest(shared, j.catalog.as_ref(), &j.txns);
+                        (j.reactor, j.slot, j.token, j.seq, line)
+                    }
+                    ExecJob::Checkpoint(j) => {
+                        let line = handle_checkpoint(shared, j.path);
                         (j.reactor, j.slot, j.token, j.seq, line)
                     }
                 };
@@ -1657,13 +1912,13 @@ fn control_executor_loop(shared: &Arc<Shared>, rx: &Receiver<ExecJob>) {
     }
 }
 
-/// Run one streaming ingest: validate the batch against the stream,
-/// make it durable in the sales log, extend the in-memory stream,
-/// refit incrementally, and swap the refitted model in. Any failure
-/// leaves the old model serving and — because the log is only appended
-/// after validation — never leaves the log holding a record a replay
-/// would reject.
-fn handle_ingest(shared: &Shared, txns: &[Transaction]) -> String {
+/// Run one streaming ingest: validate the batch (and any catalog
+/// delta) against the stream, make it durable in the sales log, extend
+/// the in-memory stream, refit incrementally, and swap the refitted
+/// model in. Any failure leaves the old model serving and — because
+/// the log is only appended after validation — never leaves the log
+/// holding a record a replay would reject.
+fn handle_ingest(shared: &Shared, catalog: Option<&CatalogDelta>, txns: &[Transaction]) -> String {
     let Some(ingest) = &shared.ingest else {
         // Normally answered inline by the reactor; kept for safety.
         return error_line(&ServeError::IngestUnavailable.to_string());
@@ -1674,23 +1929,28 @@ fn handle_ingest(shared: &Shared, txns: &[Transaction]) -> String {
         error_line(&format!("ingest rejected, keeping current model: {err}"))
     };
     let mut guard = ingest.lock().unwrap_or_else(|e| e.into_inner());
-    let IngestState { data, log, inc } = &mut *guard;
-    if let Err(e) = data.validate_delta(txns) {
+    let IngestState {
+        data,
+        log,
+        inc,
+        stream_pos,
+    } = &mut *guard;
+    if let Err(e) = data.validate_stream_record(catalog, txns) {
         return fail("validate", &e.to_string());
     }
     // Durability before visibility: the batch reaches the fsynced log
     // before it can influence any served answer. A crash after this
     // append replays the batch on restart; a crash during it leaves a
-    // torn tail the next open truncates away.
-    let payload = match serde_json::to_string(&txns.to_vec()) {
-        Ok(p) => p,
-        Err(e) => return fail("serialize", &e.to_string()),
-    };
+    // torn tail the next open truncates away. Batches without a catalog
+    // delta keep the legacy bare-array record bytes, so logs written by
+    // older builds and this one stay mutually replayable.
+    let payload = encode_stream_record(catalog, txns);
     if let Err(e) = log.append(payload.as_bytes()) {
         return fail("append", &e.to_string());
     }
-    data.extend_from(txns)
-        .expect("delta validated just above this append");
+    data.apply_stream_record(catalog, txns)
+        .expect("record validated just above this append");
+    *stream_pos += 1;
     // The incremental refit is unwind-isolated like reload validation:
     // a panicking miner degrades to a failed ingest (with the batch
     // already durable in the log), not a dead executor.
@@ -1718,6 +1978,95 @@ fn handle_ingest(shared: &Shared, txns: &[Transaction]) -> String {
         ("generation", Value::U64(generation)),
         ("transactions", Value::U64(n)),
         ("rules", Value::U64(rules)),
+    ]))
+}
+
+/// Write a checkpoint of the streaming state and compact the sales log
+/// behind it. The checkpoint is sealed atomically *first*; only then is
+/// the log compacted, so a crash between the two leaves a valid
+/// checkpoint plus an over-complete log — `plan_replay` skips the
+/// duplicate prefix on restart. A compaction failure after a sealed
+/// checkpoint is reported but leaves nothing inconsistent.
+fn handle_checkpoint(shared: &Shared, path: Option<String>) -> String {
+    let Some(ingest) = &shared.ingest else {
+        // Normally answered inline by the reactor; kept for safety.
+        return error_line(
+            "checkpoint unavailable: daemon is not in streaming mode — \
+             start with --log to enable the sales log and checkpointing",
+        );
+    };
+    let fail = |what: &str, err: &str| {
+        shared.metrics.checkpoint_failures.inc();
+        pm_obs::error!("serve.checkpoint_failed", what = what, err = err);
+        error_line(&format!("checkpoint failed: {err}"))
+    };
+    let target: PathBuf = match path
+        .map(PathBuf::from)
+        .or_else(|| shared.cfg.checkpoint.clone())
+    {
+        Some(p) => p,
+        None => {
+            return fail(
+                "target",
+                "no checkpoint path configured — start with --checkpoint or pass \"path\"",
+            )
+        }
+    };
+    let mut guard = ingest.lock().unwrap_or_else(|e| e.into_inner());
+    let IngestState {
+        data,
+        log,
+        inc,
+        stream_pos,
+    } = &mut *guard;
+    let Some(miner) = inc.snapshot() else {
+        return fail("snapshot", "the incremental miner has not fitted yet");
+    };
+    // Re-assemble the model from the warm caches (an empty delta — no
+    // mining) rather than trusting the served handle: a manual reload
+    // may have swapped in a model unrelated to the stream, and the
+    // checkpoint must stay self-consistent.
+    let model = inc.update(data);
+    let ck = Checkpoint {
+        stream_pos: *stream_pos,
+        data_json: data.to_json(),
+        model: model.save(),
+        miner,
+    };
+    if let Err(e) = pm_store::checkpoint::save(&target, &ck.encode()) {
+        return fail("save", &e.to_string());
+    }
+    // The checkpoint now owns records [0, stream_pos); drop them from
+    // the log so restart replays only the tail.
+    let compaction = match log.compact_to(*stream_pos) {
+        Ok(c) => c,
+        Err(e) => {
+            return fail(
+                "compact",
+                &format!(
+                    "checkpoint sealed at {} but log compaction failed (the log still \
+                     replays correctly, just from further back): {e}",
+                    target.display()
+                ),
+            )
+        }
+    };
+    let (generation, _) = shared.handle.snapshot();
+    shared.metrics.checkpoints.inc();
+    pm_obs::info!(
+        "serve.checkpointed",
+        path = target.display(),
+        stream_pos = *stream_pos,
+        dropped = compaction.dropped,
+        retained = compaction.retained
+    );
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::Str("checkpointed".into())),
+        ("generation", Value::U64(generation)),
+        ("stream_pos", Value::U64(*stream_pos)),
+        ("dropped", Value::U64(compaction.dropped)),
+        ("retained", Value::U64(compaction.retained)),
     ]))
 }
 
@@ -1796,6 +2145,12 @@ fn stats_value(shared: &Shared) -> Value {
         ("reload_failures", Value::U64(m.reload_failures.get())),
         ("ingests", Value::U64(m.ingests.get())),
         ("ingest_failures", Value::U64(m.ingest_failures.get())),
+        ("ingest_oversized", Value::U64(m.ingest_oversized.get())),
+        ("checkpoints", Value::U64(m.checkpoints.get())),
+        (
+            "checkpoint_failures",
+            Value::U64(m.checkpoint_failures.get()),
+        ),
         ("control_rejected", Value::U64(m.control_rejected.get())),
         ("worker_panics", Value::U64(m.worker_panics.get())),
         ("connections", Value::U64(m.connections.get())),

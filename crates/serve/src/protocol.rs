@@ -6,7 +6,9 @@
 //! {"op":"ping"}
 //! {"op":"recommend","sales":[[item,code,qty],...],"top":K,"target":"codes:0"}  // all fields optional
 //! {"op":"reload","model":"/path/to/model.pm"}                // path optional
-//! {"op":"ingest","txns":[{"sales":[[item,code,qty],...],"target":[item,code,qty]},...]}
+//! {"op":"ingest","txns":[{"sales":[[item,code,qty],...],"target":[item,code,qty]},...],
+//!  "catalog":{...}}                                          // catalog delta optional
+//! {"op":"checkpoint","path":"/path/to/ck.pmck"}              // path optional
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -18,7 +20,7 @@
 //! Field order is fixed, so byte-level determinism of responses can be
 //! asserted in tests.
 
-use pm_txn::{CodeId, ItemId, Sale, Transaction};
+use pm_txn::{CatalogDelta, CodeId, ItemId, Sale, Transaction};
 use profit_core::RuleModel;
 use serde::Value;
 
@@ -51,9 +53,20 @@ pub enum Request {
     /// incrementally, and hot-swap the refitted model in. Only served
     /// by daemons started in streaming mode.
     Ingest {
+        /// Optional append-only catalog growth shipped with the batch:
+        /// new concepts and items the transactions may reference.
+        catalog: Option<CatalogDelta>,
         /// The batch, each transaction a basket of non-target sales
         /// plus exactly one target sale.
         txns: Vec<Transaction>,
+    },
+    /// Write a crash-recovery checkpoint (model + miner state + stream
+    /// position) and compact the sales log behind it. Only served by
+    /// daemons started in streaming mode.
+    Checkpoint {
+        /// Where to write; `None` uses the path the daemon was
+        /// configured with at startup.
+        path: Option<String>,
     },
     /// Serving counters snapshot.
     Stats,
@@ -185,11 +198,31 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 };
                 txns.push(Transaction::new(sales, target));
             }
-            Ok(Request::Ingest { txns })
+            let catalog = match get(map, "catalog") {
+                None | Some(Value::Null) => None,
+                Some(v @ Value::Map(_)) => {
+                    // Round-trip through JSON text: the delta's schema
+                    // (and its validation) lives in `pm_txn::growth`,
+                    // not in a second hand-rolled parser here.
+                    let delta: CatalogDelta = serde_json::from_str(&render(v))
+                        .map_err(|e| format!("bad request: \"catalog\" does not parse: {e}"))?;
+                    Some(delta)
+                }
+                Some(_) => return Err("bad request: \"catalog\" must be an object".into()),
+            };
+            Ok(Request::Ingest { catalog, txns })
+        }
+        "checkpoint" => {
+            let path = match get(map, "path") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => return Err("bad request: \"path\" must be a string path".into()),
+            };
+            Ok(Request::Checkpoint { path })
         }
         other => Err(format!(
             "bad request: unknown op {other:?} (expected ping, recommend, reload, ingest, \
-             stats, or shutdown)"
+             checkpoint, stats, or shutdown)"
         )),
     }
 }
@@ -211,6 +244,20 @@ pub fn txn_value(t: &Transaction) -> Value {
         ),
         ("target", sale(t.target_sale())),
     ])
+}
+
+/// The complete `ingest` request line for a batch, with the catalog
+/// delta spliced in when present — the client-side counterpart of the
+/// `ingest` parser above.
+pub fn ingest_line(catalog: Option<&CatalogDelta>, txns: &[Transaction]) -> String {
+    let mut entries: Vec<(&str, Value)> = vec![("op", Value::Str("ingest".into()))];
+    if let Some(d) = catalog {
+        let v: Value = serde_json::from_str(&serde_json::to_string(d).expect("delta serializes"))
+            .expect("delta JSON re-parses as a value");
+        entries.push(("catalog", v));
+    }
+    entries.push(("txns", Value::Seq(txns.iter().map(txn_value).collect())));
+    render(&obj(entries))
 }
 
 /// Check every sale against the model's catalog before matching, so an
@@ -346,6 +393,7 @@ mod tests {
             )
             .unwrap(),
             Request::Ingest {
+                catalog: None,
                 txns: vec![Transaction::new(
                     vec![
                         Sale::new(ItemId(1), CodeId(0), 2),
@@ -355,6 +403,50 @@ mod tests {
                 )]
             }
         );
+        assert_eq!(
+            parse_request(r#"{"op":"checkpoint"}"#).unwrap(),
+            Request::Checkpoint { path: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"checkpoint","path":"/tmp/ck.pmck"}"#).unwrap(),
+            Request::Checkpoint {
+                path: Some("/tmp/ck.pmck".into())
+            }
+        );
+    }
+
+    #[test]
+    fn ingest_line_carries_the_catalog_delta() {
+        use pm_txn::{ItemDef, Money, NewItem, PromotionCode};
+        let delta = CatalogDelta {
+            concepts: vec![],
+            items: vec![NewItem {
+                def: ItemDef {
+                    name: "new-item".into(),
+                    codes: vec![PromotionCode::unit(
+                        Money::from_cents(120),
+                        Money::from_cents(70),
+                    )],
+                    is_target: false,
+                },
+                parents: vec![],
+            }],
+        };
+        let txns = vec![Transaction::new(vec![], Sale::new(ItemId(0), CodeId(0), 1))];
+        let line = ingest_line(Some(&delta), &txns);
+        let Request::Ingest { catalog, txns: got } = parse_request(&line).unwrap() else {
+            panic!("not an ingest");
+        };
+        let back = catalog.expect("delta must survive the wire");
+        assert_eq!(back.items.len(), 1);
+        assert_eq!(back.items[0].def.name, "new-item");
+        assert_eq!(got, txns);
+        // Without a delta the line parses back to a plain ingest.
+        let Request::Ingest { catalog, .. } = parse_request(&ingest_line(None, &txns)).unwrap()
+        else {
+            panic!("not an ingest");
+        };
+        assert!(catalog.is_none());
     }
 
     #[test]
@@ -373,7 +465,13 @@ mod tests {
             ("op", Value::Str("ingest".into())),
             ("txns", Value::Seq(txns.iter().map(txn_value).collect())),
         ]));
-        assert_eq!(parse_request(&line).unwrap(), Request::Ingest { txns });
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Ingest {
+                catalog: None,
+                txns
+            }
+        );
     }
 
     #[test]
@@ -405,6 +503,15 @@ mod tests {
                 r#"{"op":"ingest","txns":[{"sales":[],"target":[0,0,0]}]}"#,
                 "out of range",
             ),
+            (
+                r#"{"op":"ingest","txns":[{"sales":[],"target":[0,0,1]}],"catalog":7}"#,
+                "\"catalog\" must be an object",
+            ),
+            (
+                r#"{"op":"ingest","txns":[{"sales":[],"target":[0,0,1]}],"catalog":{"x":1}}"#,
+                "\"catalog\" does not parse",
+            ),
+            (r#"{"op":"checkpoint","path":9}"#, "string path"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "{line:?} → {err:?}");

@@ -344,3 +344,378 @@ fn overlapping_reloads_cap_deterministically_at_the_queue_depth() {
     assert_eq!(summary.reloads, pm_serve::EXECUTOR_QUEUE_CAP as u64 + 1);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// One full checkpoint lifecycle per (tidset, prune) combination: ingest,
+/// checkpoint (which compacts the log), ingest a tail, restart — and
+/// answer `recommend` and `stats` byte-identically to a daemon that
+/// recovered the same stream by replaying its whole (uncompacted) log.
+#[test]
+fn checkpoint_restart_matches_full_log_replay_byte_for_byte() {
+    use pm_rules::{PrunePolicy, TidPolicy};
+    for (tag, tidset, prune) in [
+        ("sparse-upper", TidPolicy::Sparse, PrunePolicy::Upper),
+        ("dense-off", TidPolicy::Dense, PrunePolicy::Off),
+    ] {
+        let pipe = || pipeline().with_tidset(tidset).with_prune(prune);
+        let s = stream(43);
+        let full_model = pipe().fit(&s.full);
+        let customers: Vec<Vec<Sale>> = s
+            .full
+            .transactions()
+            .iter()
+            .skip(320)
+            .take(10)
+            .map(|t| t.non_target_sales().to_vec())
+            .collect();
+
+        let dir = tmp_dir(&format!("ck-{tag}"));
+        let (log_a, log_b, ck) = (dir.join("a.log"), dir.join("b.log"), dir.join("ck.pmck"));
+        let cfg_a = || ServeConfig {
+            checkpoint: Some(ck.clone()),
+            ..ServeConfig::default()
+        };
+
+        // Daemon A: ingest, checkpoint (compacting the log), ingest.
+        let server =
+            Server::start_streaming("127.0.0.1:0", s.head.clone(), &log_a, pipe(), cfg_a())
+                .unwrap();
+        let mut c = Client::connect(server.addr());
+        assert!(c
+            .send(&ingest_line(&s.batches[0]))
+            .contains(r#""generation":2"#));
+        let resp = c.send(r#"{"op":"checkpoint"}"#);
+        assert!(resp.contains(r#""op":"checkpointed""#), "{resp}");
+        assert!(resp.contains(r#""stream_pos":1"#), "{resp}");
+        assert!(resp.contains(r#""dropped":1"#), "{resp}");
+        assert!(resp.contains(r#""retained":0"#), "{resp}");
+        assert!(c
+            .send(&ingest_line(&s.batches[1]))
+            .contains(r#""generation":3"#));
+        assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+        assert_eq!(server.join().ingests, 2);
+
+        // Daemon B: the same stream, never checkpointed.
+        let server = Server::start_streaming(
+            "127.0.0.1:0",
+            s.head.clone(),
+            &log_b,
+            pipe(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let mut c = Client::connect(server.addr());
+        for b in &s.batches {
+            assert!(c.send(&ingest_line(b)).contains(r#""op":"ingested""#));
+        }
+        assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+        server.join();
+
+        // A compacted log alone cannot rebuild the stream: restarting
+        // without the checkpoint is a typed refusal, not silent data loss.
+        let err = Server::start_streaming(
+            "127.0.0.1:0",
+            s.head.clone(),
+            &log_a,
+            pipe(),
+            ServeConfig::default(),
+        )
+        .err()
+        .expect("compacted log without checkpoint must refuse to start");
+        assert!(err.to_string().contains("compacted to base 1"), "{err}");
+
+        // Restart both recovery paths and interrogate them identically.
+        let a = Server::start_streaming("127.0.0.1:0", s.head.clone(), &log_a, pipe(), cfg_a())
+            .unwrap();
+        let b = Server::start_streaming(
+            "127.0.0.1:0",
+            s.head.clone(),
+            &log_b,
+            pipe(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let mut ca = Client::connect(a.addr());
+        let mut cb = Client::connect(b.addr());
+        for customer in &customers {
+            let line = recommend_line(customer);
+            let (ra, rb) = (ca.send(&line), cb.send(&line));
+            assert_eq!(ra, rb, "{tag}: checkpoint+tail vs full replay");
+            assert_eq!(
+                ra,
+                expected_line(&full_model, customer),
+                "{tag}: vs cold fit"
+            );
+        }
+        assert_eq!(
+            ca.send(r#"{"op":"stats"}"#),
+            cb.send(r#"{"op":"stats"}"#),
+            "{tag}: stats must be byte-identical across recovery paths"
+        );
+        for c in [&mut ca, &mut cb] {
+            assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+        }
+        a.join();
+        b.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A corrupt checkpoint degrades, never lies: with the whole stream
+/// still in the log the daemon falls back to full replay; with a
+/// compacted log it refuses to start (the stream is unrecoverable).
+#[test]
+fn corrupt_checkpoint_falls_back_only_while_the_log_is_complete() {
+    let s = stream(47);
+    let full_model = pipeline().fit(&s.full);
+    let dir = tmp_dir("ck-corrupt");
+    let (log, ck) = (dir.join("sales.log"), dir.join("ck.pmck"));
+    let cfg = || ServeConfig {
+        checkpoint: Some(ck.clone()),
+        ..ServeConfig::default()
+    };
+
+    let server =
+        Server::start_streaming("127.0.0.1:0", s.head.clone(), &log, pipeline(), cfg()).unwrap();
+    let mut c = Client::connect(server.addr());
+    for b in &s.batches {
+        assert!(c.send(&ingest_line(b)).contains(r#""op":"ingested""#));
+    }
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    server.join();
+
+    // Garbage where the checkpoint should be, but the log still starts
+    // at record 0: full replay serves the right model anyway.
+    std::fs::write(&ck, b"not a checkpoint").unwrap();
+    let server =
+        Server::start_streaming("127.0.0.1:0", s.head.clone(), &log, pipeline(), cfg()).unwrap();
+    let mut c = Client::connect(server.addr());
+    let customer = s.full.transactions()[330].non_target_sales().to_vec();
+    assert_eq!(
+        c.send(&recommend_line(&customer)),
+        expected_line(&full_model, &customer)
+    );
+    // Write a real checkpoint (compacting the log), then corrupt it:
+    // now the log tail alone cannot rebuild the stream.
+    let resp = c.send(r#"{"op":"checkpoint"}"#);
+    assert!(resp.contains(r#""op":"checkpointed""#), "{resp}");
+    assert!(resp.contains(r#""dropped":2"#), "{resp}");
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    server.join();
+
+    std::fs::write(&ck, b"still not a checkpoint").unwrap();
+    let err = Server::start_streaming("127.0.0.1:0", s.head.clone(), &log, pipeline(), cfg())
+        .err()
+        .expect("corrupt checkpoint plus compacted log must refuse to start");
+    let msg = err.to_string();
+    assert!(msg.contains("cannot be rebuilt"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The ingest caps answer inline, before the executor and before the
+/// log: an oversized batch costs a parse, nothing else.
+#[test]
+fn oversized_ingest_batches_are_refused_before_admission() {
+    let s = stream(53);
+    let dir = tmp_dir("caps");
+
+    // Record cap.
+    let log = dir.join("txns.log");
+    let cfg = ServeConfig {
+        max_ingest_txns: 10,
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::start_streaming("127.0.0.1:0", s.head.clone(), &log, pipeline(), cfg).unwrap();
+    let mut c = Client::connect(server.addr());
+    let empty_log = std::fs::metadata(&log).unwrap().len();
+    let resp = c.send(&ingest_line(&s.batches[0]));
+    assert!(
+        resp.contains("ingest rejected: batch of 50 transactions"),
+        "{resp}"
+    );
+    assert!(resp.contains("split the batch"), "{resp}");
+    assert_eq!(server.generation(), 1);
+    assert_eq!(
+        std::fs::metadata(&log).unwrap().len(),
+        empty_log,
+        "a refused batch must not touch the log"
+    );
+    // Under the cap the same connection still ingests.
+    let resp = c.send(&ingest_line(&s.batches[0][..10]));
+    assert!(resp.contains(r#""op":"ingested""#), "{resp}");
+    let stats = c.send(r#"{"op":"stats"}"#);
+    assert!(stats.contains(r#""ingest_oversized":1"#), "{stats}");
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    assert_eq!(server.join().ingests, 1);
+
+    // Byte cap.
+    let log = dir.join("bytes.log");
+    let cfg = ServeConfig {
+        max_ingest_bytes: 64,
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::start_streaming("127.0.0.1:0", s.head.clone(), &log, pipeline(), cfg).unwrap();
+    let mut c = Client::connect(server.addr());
+    let resp = c.send(&ingest_line(&s.batches[0][..1]));
+    assert!(resp.contains("ingest rejected"), "{resp}");
+    assert!(resp.contains("64 bytes"), "{resp}");
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    assert_eq!(server.join().ingests, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Catalog growth over the wire: an ingest carrying a catalog delta
+/// introduces new items mid-stream; the refit matches a cold fit on the
+/// grown concatenated stream, and a restart replays the growth record
+/// from the log.
+#[test]
+fn catalog_growth_over_the_wire_matches_the_cold_fit() {
+    use pm_txn::{CatalogDelta, CodeId, ItemDef, ItemId, Money, NewItem, PromotionCode};
+    let s = stream(59);
+    let base_items = s.head.catalog().len() as u32;
+    let delta = CatalogDelta {
+        concepts: vec![],
+        items: vec![
+            NewItem {
+                def: ItemDef {
+                    name: "wire-growth-trigger".into(),
+                    codes: vec![PromotionCode::unit(
+                        Money::from_cents(120),
+                        Money::from_cents(70),
+                    )],
+                    is_target: false,
+                },
+                parents: vec![],
+            },
+            NewItem {
+                def: ItemDef {
+                    name: "wire-growth-target".into(),
+                    codes: vec![PromotionCode::unit(
+                        Money::from_cents(900),
+                        Money::from_cents(500),
+                    )],
+                    is_target: true,
+                },
+                parents: vec![],
+            },
+        ],
+    };
+    let (nt_new, tg_new) = (ItemId(base_items), ItemId(base_items + 1));
+    // The growth batch mixes old and new items: the new non-target
+    // joins existing bodies, the new target brings a brand-new head.
+    let tail: Vec<Transaction> = s.batches[0]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut sales = t.non_target_sales().to_vec();
+            if i % 2 == 0 {
+                sales.push(Sale::new(nt_new, CodeId(0), 1));
+            }
+            let target = if i % 3 == 0 {
+                Sale::new(tg_new, CodeId(0), 1)
+            } else {
+                *t.target_sale()
+            };
+            Transaction::new(sales, target)
+        })
+        .collect();
+    let mut grown = s.head.clone();
+    grown.apply_stream_record(Some(&delta), &tail).unwrap();
+    let cold = pipeline().fit(&grown);
+    let customers: Vec<Vec<Sale>> = tail
+        .iter()
+        .take(10)
+        .map(|t| t.non_target_sales().to_vec())
+        .collect();
+
+    let dir = tmp_dir("growth");
+    let log = dir.join("sales.log");
+    let server = Server::start_streaming(
+        "127.0.0.1:0",
+        s.head.clone(),
+        &log,
+        pipeline(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr());
+    let resp = c.send(&pm_serve::protocol::ingest_line(Some(&delta), &tail));
+    assert!(resp.contains(r#""op":"ingested""#), "{resp}");
+    assert!(resp.contains(r#""generation":2"#), "{resp}");
+    for customer in &customers {
+        assert_eq!(
+            c.send(&recommend_line(customer)),
+            expected_line(&cold, customer),
+            "served growth refit must equal the cold fit on the grown stream"
+        );
+    }
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    server.join();
+
+    // Restart: the log's growth record replays — catalog and all.
+    let server = Server::start_streaming(
+        "127.0.0.1:0",
+        s.head.clone(),
+        &log,
+        pipeline(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr());
+    for customer in &customers {
+        assert_eq!(
+            c.send(&recommend_line(customer)),
+            expected_line(&cold, customer)
+        );
+    }
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A full checkpoint target disk degrades to a failed checkpoint — the
+/// old checkpoint file, the log, and the served model all stay intact.
+#[test]
+fn failed_checkpoint_write_leaves_log_and_model_untouched() {
+    let _guard = faults::test_lock();
+    let s = stream(61);
+    let dir = tmp_dir("ck-enospc");
+    let (log, ck) = (dir.join("sales.log"), dir.join("ck.pmck"));
+    let cfg = ServeConfig {
+        checkpoint: Some(ck.clone()),
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::start_streaming("127.0.0.1:0", s.head.clone(), &log, pipeline(), cfg).unwrap();
+    let mut c = Client::connect(server.addr());
+    assert!(c
+        .send(&ingest_line(&s.batches[0]))
+        .contains(r#""op":"ingested""#));
+    let resp = c.send(r#"{"op":"checkpoint"}"#);
+    assert!(resp.contains(r#""op":"checkpointed""#), "{resp}");
+    let sealed = std::fs::read(&ck).unwrap();
+    let log_len = std::fs::metadata(&log).unwrap().len();
+
+    // Every write to the checkpoint target now hits a full disk.
+    faults::set_disk_full_at(Some(0));
+    let resp = c.send(r#"{"op":"checkpoint"}"#);
+    faults::set_disk_full_at(None);
+    assert!(resp.contains("checkpoint failed"), "{resp}");
+    assert_eq!(
+        std::fs::read(&ck).unwrap(),
+        sealed,
+        "a failed checkpoint write must leave the previous checkpoint intact"
+    );
+    assert_eq!(std::fs::metadata(&log).unwrap().len(), log_len);
+    let stats = c.send(r#"{"op":"stats"}"#);
+    assert!(stats.contains(r#""checkpoints":1"#), "{stats}");
+    assert!(stats.contains(r#""checkpoint_failures":1"#), "{stats}");
+
+    // The daemon still serves and still checkpoints once the disk clears.
+    let resp = c.send(r#"{"op":"checkpoint"}"#);
+    assert!(resp.contains(r#""op":"checkpointed""#), "{resp}");
+    assert!(c.send(r#"{"op":"shutdown"}"#).starts_with(r#"{"ok":true"#));
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -296,13 +296,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the maximal run of plain bytes in one
+                    // chunk. The stop bytes (`"` and `\`) are ASCII, so
+                    // they can never split a multi-byte scalar and the
+                    // chunk boundaries are always char boundaries;
+                    // validating only the chunk keeps the whole parse
+                    // linear even for multi-megabyte strings.
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
@@ -447,6 +456,17 @@ mod tests {
     fn parses_whitespace_and_escapes() {
         let v: Vec<String> = from_str(" [ \"a\\u0041\\ud83e\\udd80\" , \"b\" ] ").unwrap();
         assert_eq!(v, vec!["aA🦀".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn long_strings_with_interleaved_escapes_parse_chunked() {
+        // The parser copies plain runs in chunks between escapes; make
+        // sure chunk stitching is seamless around escapes, multi-byte
+        // scalars, and string boundaries.
+        let plain = "αβγ test run ".repeat(1000);
+        let original = format!("{plain}\"quote\\slash\n{plain}🦀");
+        let v = round_trip(&Value::Str(original.clone()));
+        assert_eq!(v, Value::Str(original));
     }
 
     #[test]

@@ -1,10 +1,10 @@
-//! The checksummed, versioned model envelope.
+//! The checksummed, versioned envelope (models and checkpoints).
 //!
 //! Layout (all integers little-endian):
 //!
 //! ```text
 //! offset  size  field
-//!      0     4  magic  b"PMDL"
+//!      0     4  magic  b"PMDL" (models) or b"PMCK" (checkpoints)
 //!      4     4  format version (u32, currently 1)
 //!      8     8  payload length (u64)
 //!     16     4  CRC-32/IEEE of the payload (u32)
@@ -16,6 +16,11 @@
 //! in that order, so the reported error names the *outermost* thing
 //! wrong with the file. Sealing the same payload always produces the
 //! same bytes, so enveloped model files stay byte-deterministic.
+//!
+//! The checkpoint format ([`crate::checkpoint`]) reuses this exact
+//! header via [`seal_with_magic`]/[`open_with_magic`] — same version
+//! rules, same corruption taxonomy, different magic — so there is one
+//! envelope implementation, not two that drift apart.
 
 use crate::StoreError;
 
@@ -59,10 +64,17 @@ const fn crc32_table() -> [u32; 256] {
     table
 }
 
-/// Wrap `payload` in a sealed envelope.
+/// Wrap `payload` in a sealed model (`PMDL`) envelope.
 pub fn seal(payload: &[u8]) -> Vec<u8> {
+    seal_with_magic(MAGIC, payload)
+}
+
+/// Wrap `payload` in a sealed envelope under an arbitrary magic. The
+/// header layout and version are identical to [`seal`]; only the first
+/// four bytes differ.
+pub fn seal_with_magic(magic: [u8; 4], payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&magic);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -70,12 +82,18 @@ pub fn seal(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Validate an envelope and return the payload slice.
+/// Validate a model (`PMDL`) envelope and return the payload slice.
 ///
 /// Checks, in order: enough bytes for a header, magic, version,
 /// declared-vs-actual payload length (short ⇒ [`StoreError::Truncated`],
 /// long ⇒ [`StoreError::TrailingBytes`]), and finally the CRC.
 pub fn open(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    open_with_magic(MAGIC, bytes)
+}
+
+/// [`open`] under an arbitrary magic — the shared validation behind
+/// both model and checkpoint files.
+pub fn open_with_magic(magic: [u8; 4], bytes: &[u8]) -> Result<&[u8], StoreError> {
     if bytes.is_empty() {
         // A zero-byte file is its own failure mode (placeholder touch,
         // or truncation to nothing) — clearer than a generic short read.
@@ -84,13 +102,16 @@ pub fn open(bytes: &[u8]) -> Result<&[u8], StoreError> {
     if bytes.len() < HEADER_LEN {
         return Err(StoreError::TooShort { found: bytes.len() });
     }
-    let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
-    if magic != MAGIC {
-        return Err(StoreError::BadMagic { found: magic });
+    let found_magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+    if found_magic != magic {
+        return Err(StoreError::BadMagic { found: found_magic });
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
     if version == 0 || version > FORMAT_VERSION {
-        return Err(StoreError::UnsupportedVersion { found: version });
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
     }
     let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
     let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice"));
@@ -173,13 +194,16 @@ mod tests {
         bad[4..8].copy_from_slice(&99u32.to_le_bytes());
         assert_eq!(
             open(&bad).unwrap_err(),
-            StoreError::UnsupportedVersion { found: 99 }
+            StoreError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            }
         );
         let mut bad = sealed.clone();
         bad[4..8].copy_from_slice(&0u32.to_le_bytes());
         assert!(matches!(
             open(&bad).unwrap_err(),
-            StoreError::UnsupportedVersion { found: 0 }
+            StoreError::UnsupportedVersion { found: 0, .. }
         ));
         // Truncated payload.
         assert_eq!(
@@ -206,6 +230,46 @@ mod tests {
         assert!(matches!(
             open(&bad).unwrap_err(),
             StoreError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn future_version_error_names_both_versions() {
+        // A v1 reader handed v2 bytes must say what it found *and* what
+        // it can read, so the operator knows which side to upgrade.
+        let mut v2 = seal(b"future payload");
+        v2[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let err = open(&v2).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::UnsupportedVersion {
+                found: FORMAT_VERSION + 1,
+                supported: FORMAT_VERSION
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&(FORMAT_VERSION + 1).to_string())
+                && msg.contains(&FORMAT_VERSION.to_string()),
+            "error must name both the found and the supported version: {msg}"
+        );
+    }
+
+    #[test]
+    fn magic_parameterized_seal_open_round_trips_and_cross_rejects() {
+        let ck = *b"PMCK";
+        let sealed = seal_with_magic(ck, b"checkpoint payload");
+        // Same header layout, different magic, same payload validation.
+        assert_eq!(open_with_magic(ck, &sealed).unwrap(), b"checkpoint payload");
+        assert_eq!(&sealed[4..], &seal(b"checkpoint payload")[4..]);
+        // A model reader must not open a checkpoint, and vice versa.
+        assert!(matches!(
+            open(&sealed).unwrap_err(),
+            StoreError::BadMagic { found } if found == ck
+        ));
+        assert!(matches!(
+            open_with_magic(ck, &seal(b"checkpoint payload")).unwrap_err(),
+            StoreError::BadMagic { found } if found == MAGIC
         ));
     }
 }

@@ -12,6 +12,11 @@
 //! * [`set_torn_write_at`] — [`crate::write_atomic`] persists exactly
 //!   `k` payload bytes to the temp file, then fails as if the process
 //!   crashed (the rename never runs);
+//! * [`set_disk_full_at`] — writes fail with ENOSPC after `k` bytes,
+//!   but the process *survives*: [`crate::write_atomic`] must clean up
+//!   its temp file and leave the target untouched, and
+//!   [`crate::log::SalesLog::append`] must leave a tail the next open
+//!   truncates away;
 //! * [`set_short_read_at`] — [`crate::read_file`] returns only the
 //!   first `k` bytes, as if the file were truncated on disk;
 //! * [`set_corrupt_byte_at`] — [`crate::read_file`] flips the low bit
@@ -40,6 +45,7 @@ use std::time::Duration;
 const OFF: usize = usize::MAX;
 
 static TORN_WRITE_AT: AtomicUsize = AtomicUsize::new(OFF);
+static DISK_FULL_AT: AtomicUsize = AtomicUsize::new(OFF);
 static VANISH_PARENT: AtomicBool = AtomicBool::new(false);
 static SHORT_READ_AT: AtomicUsize = AtomicUsize::new(OFF);
 static CORRUPT_BYTE_AT: AtomicUsize = AtomicUsize::new(OFF);
@@ -56,6 +62,23 @@ pub fn set_torn_write_at(k: Option<usize>) {
 /// The active torn-write offset, if any.
 pub fn torn_write_at() -> Option<usize> {
     match TORN_WRITE_AT.load(Ordering::Relaxed) {
+        OFF => None,
+        k => Some(k),
+    }
+}
+
+/// Make the next writes fail with ENOSPC ("No space left on device")
+/// after persisting `k` bytes — a full disk mid-write. Unlike
+/// [`set_torn_write_at`] the process survives the error, so the
+/// graceful-failure paths (temp cleanup, intact target, recoverable
+/// log tail) are what's under test.
+pub fn set_disk_full_at(k: Option<usize>) {
+    DISK_FULL_AT.store(k.unwrap_or(OFF), Ordering::Relaxed);
+}
+
+/// The active disk-full offset, if any.
+pub fn disk_full_at() -> Option<usize> {
+    match DISK_FULL_AT.load(Ordering::Relaxed) {
         OFF => None,
         k => Some(k),
     }
@@ -163,6 +186,7 @@ pub fn apply_handle_panic() {
 /// Reset every hook to off.
 pub fn reset() {
     set_torn_write_at(None);
+    set_disk_full_at(None);
     set_vanish_parent_before_rename(false);
     set_short_read_at(None);
     set_corrupt_byte_at(None);
@@ -206,14 +230,17 @@ mod tests {
         assert_eq!(short_read_at(), None);
         assert_eq!(corrupt_byte_at(), None);
         set_torn_write_at(Some(7));
+        set_disk_full_at(Some(9));
         set_short_read_at(Some(3));
         set_corrupt_byte_at(Some(0));
         set_compute_delay_ms(5);
         set_compute_panic(true);
         set_handle_panic(true);
         assert_eq!(torn_write_at(), Some(7));
+        assert_eq!(disk_full_at(), Some(9));
         reset();
         assert_eq!(torn_write_at(), None);
+        assert_eq!(disk_full_at(), None);
         assert_eq!(short_read_at(), None);
         assert_eq!(corrupt_byte_at(), None);
         apply_compute_panic(); // must not panic after reset

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod checkpoint;
 pub mod envelope;
 pub mod faults;
 pub mod log;
@@ -70,9 +71,30 @@ pub enum StoreError {
         found: [u8; 4],
     },
     /// The header declares a format version this build cannot read.
+    /// Names both sides so the operator knows whether to upgrade the
+    /// reader or re-export the file.
     UnsupportedVersion {
         /// The version actually found.
         found: u32,
+        /// The newest version this build can read.
+        supported: u32,
+    },
+    /// A checkpoint older than the log's compacted base: the records it
+    /// needs to replay from were already compacted away. Recovery must
+    /// not proceed — the gap between checkpoint and log base is lost.
+    StaleCheckpoint {
+        /// Absolute stream position the checkpoint covers up to.
+        checkpoint_pos: u64,
+        /// Absolute index of the first record still in the log.
+        log_base: u64,
+    },
+    /// A checkpoint claiming records the log does not hold — the log
+    /// was truncated or swapped behind the checkpoint's back.
+    CheckpointAheadOfLog {
+        /// Absolute stream position the checkpoint covers up to.
+        checkpoint_pos: u64,
+        /// Absolute index one past the last record in the log.
+        log_end: u64,
     },
     /// The payload is shorter than the header declares (torn write or
     /// truncation).
@@ -118,16 +140,35 @@ impl fmt::Display for StoreError {
             ),
             StoreError::BadMagic { found } => write!(
                 f,
-                "bad magic {found:?} (expected {:?} for models, {:?} for sales logs) \
-                 — not a recognized store file",
+                "bad magic {found:?} (expected {:?} for models, {:?} for checkpoints, \
+                 {:?} for sales logs) — not a recognized store file",
                 envelope::MAGIC,
+                checkpoint::MAGIC,
                 log::MAGIC
             ),
-            StoreError::UnsupportedVersion { found } => write!(
+            StoreError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "envelope format version {found} is not readable by this build \
-                 (max supported {})",
-                envelope::FORMAT_VERSION
+                "format version {found} is not readable by this build \
+                 (it reads versions 1..={supported}) — upgrade the reader \
+                 or re-export the file"
+            ),
+            StoreError::StaleCheckpoint {
+                checkpoint_pos,
+                log_base,
+            } => write!(
+                f,
+                "stale checkpoint: it covers the stream up to record {checkpoint_pos}, \
+                 but the log was compacted to base {log_base} — the records between \
+                 them are gone; restore a newer checkpoint or the uncompacted log"
+            ),
+            StoreError::CheckpointAheadOfLog {
+                checkpoint_pos,
+                log_end,
+            } => write!(
+                f,
+                "checkpoint ahead of log: it covers the stream up to record \
+                 {checkpoint_pos}, but the log ends at record {log_end} — the log \
+                 was truncated or replaced; refusing to serve a silently rewound stream"
             ),
             StoreError::Truncated { expected, found } => write!(
                 f,
@@ -163,6 +204,10 @@ impl StoreError {
 /// Monotonic discriminator for temp-file names, so concurrent writers in
 /// one process can never collide on the same temp path.
 static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// `errno` for "No space left on device" — the injected disk-full fault
+/// reports it so the error text matches a real ENOSPC.
+const ENOSPC: i32 = 28;
 
 /// Write `bytes` to `path` atomically: write-temp → fsync → rename →
 /// fsync-directory. After a crash at any instant, `path` holds either
@@ -227,6 +272,21 @@ fn write_temp_then_rename(path: &Path, temp: &Path, bytes: &[u8]) -> Result<(), 
             op: "write",
             err: format!("injected torn write after {k} bytes"),
         });
+    }
+
+    // Deterministic fault: the disk fills after `k` bytes. Unlike a torn
+    // write the process *survives* — the error propagates, the caller's
+    // cleanup removes the temp file, and the target stays untouched.
+    if let Some(k) = faults::disk_full_at() {
+        let k = k.min(bytes.len());
+        f.write_all(&bytes[..k])
+            .map_err(|e| StoreError::io(temp, "write", e))?;
+        let _ = f.sync_all();
+        return Err(StoreError::io(
+            temp,
+            "write",
+            std::io::Error::from_raw_os_error(ENOSPC),
+        ));
     }
 
     f.write_all(bytes)
@@ -346,6 +406,36 @@ mod tests {
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
         assert_eq!(names, vec!["a.json".to_string()], "{names:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_full_mid_write_leaves_old_file_and_no_litter() {
+        let _guard = faults::test_lock();
+        let dir = tmp_dir("enospc");
+        let p = dir.join("model.pm");
+        write_atomic(&p, b"old contents").unwrap();
+        // The disk fills partway through the replacement write: the
+        // error names ENOSPC, the old file is untouched, and the temp
+        // file is cleaned up — no litter for the operator to triage.
+        for k in [0usize, 1, 5] {
+            faults::set_disk_full_at(Some(k));
+            let err = write_atomic(&p, b"new contents that do not fit").unwrap_err();
+            assert!(
+                err.to_string().contains("No space left"),
+                "error must read like a real ENOSPC: {err}"
+            );
+            faults::set_disk_full_at(None);
+            assert_eq!(read_file(&p).unwrap(), b"old contents");
+            let names: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            assert_eq!(names, vec!["model.pm".to_string()], "{names:?}");
+        }
+        // Once space frees up the same write succeeds.
+        write_atomic(&p, b"new contents that do not fit").unwrap();
+        assert_eq!(read_file(&p).unwrap(), b"new contents that do not fit");
         std::fs::remove_dir_all(&dir).ok();
     }
 

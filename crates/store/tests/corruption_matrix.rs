@@ -129,7 +129,11 @@ fn wrong_version_and_wrong_magic_are_typed_errors() {
     write_atomic(&p, &v2).unwrap();
     let err = load_model_file(&p).unwrap_err();
     assert!(
-        matches!(err, StoreError::UnsupportedVersion { found } if found == FORMAT_VERSION + 1),
+        matches!(
+            err,
+            StoreError::UnsupportedVersion { found, supported }
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ),
         "{err:?}"
     );
     assert!(err.to_string().contains("version"), "{err}");
@@ -141,7 +145,7 @@ fn wrong_version_and_wrong_magic_are_typed_errors() {
     write_atomic(&p, &v0).unwrap();
     assert!(matches!(
         load_model_file(&p).unwrap_err(),
-        StoreError::UnsupportedVersion { found: 0 }
+        StoreError::UnsupportedVersion { found: 0, .. }
     ));
 
     // A wrong magic routes to the legacy-raw path only via

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// One item: a name, its promotion codes, and whether it is a *target*
 /// item (eligible for recommendation) or a non-target item (a trigger).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ItemDef {
     /// Human-readable name (unique within a catalog built through
     /// [`CatalogBuilder`](crate::CatalogBuilder)).

@@ -3,6 +3,7 @@
 
 use crate::catalog::Catalog;
 use crate::error::TxnError;
+use crate::growth::CatalogDelta;
 use crate::hierarchy::Hierarchy;
 use crate::money::Money;
 use crate::sale::Transaction;
@@ -122,6 +123,62 @@ impl TransactionSet {
             validate_transaction(&self.catalog, t)?;
         }
         Ok(())
+    }
+
+    /// Apply an append-only catalog-growth delta: new items, codes and
+    /// concepts land at the end of their tables; nothing existing moves
+    /// or changes (see [`crate::growth`] for why that discipline keeps
+    /// incremental mining byte-exact). On any error the set is
+    /// untouched. Returns the number of items added.
+    ///
+    /// The catalog and hierarchy [`Arc`]s are *replaced*, not mutated —
+    /// models and Moa views already holding the old handles keep seeing
+    /// the pre-growth tables.
+    pub fn extend_catalog(&mut self, delta: &CatalogDelta) -> Result<usize, TxnError> {
+        if delta.is_empty() {
+            return Ok(0);
+        }
+        let (catalog, hierarchy) = delta.grown(&self.catalog, &self.hierarchy)?;
+        self.catalog = Arc::new(catalog);
+        self.hierarchy = Arc::new(hierarchy);
+        Ok(delta.items.len())
+    }
+
+    /// Validate a full stream record — an optional growth delta plus a
+    /// transaction batch checked against the *grown* catalog — without
+    /// applying anything. The growth-aware extension of
+    /// [`Self::validate_delta`]: an ingestion path calls this before
+    /// making the record durable, so the write-ahead log never holds a
+    /// record a later replay would reject.
+    pub fn validate_stream_record(
+        &self,
+        delta: Option<&CatalogDelta>,
+        txns: &[Transaction],
+    ) -> Result<(), TxnError> {
+        match delta {
+            None => self.validate_delta(txns),
+            Some(d) => {
+                let (catalog, _) = d.grown(&self.catalog, &self.hierarchy)?;
+                for t in txns {
+                    validate_transaction(&catalog, t)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Apply a full stream record: grow the catalog (if the record
+    /// carries a delta), then append the batch. The replay counterpart
+    /// of [`Self::validate_stream_record`].
+    pub fn apply_stream_record(
+        &mut self,
+        delta: Option<&CatalogDelta>,
+        txns: &[Transaction],
+    ) -> Result<usize, TxnError> {
+        if let Some(d) = delta {
+            self.extend_catalog(d)?;
+        }
+        self.extend_from(txns)
     }
 
     /// A new set sharing this catalog/hierarchy but containing only the

@@ -34,6 +34,9 @@ pub enum TxnError {
     },
     /// Duplicate item name in a builder.
     DuplicateName(String),
+    /// A catalog-growth delta hung a new target item below a concept;
+    /// target items must be immediate children of `ANY`.
+    TargetItemWithParents(ItemId),
 }
 
 impl fmt::Display for TxnError {
@@ -57,6 +60,10 @@ impl fmt::Display for TxnError {
                 "hierarchy covers {hierarchy} items but catalog has {catalog}"
             ),
             TxnError::DuplicateName(n) => write!(f, "duplicate item name {n:?}"),
+            TxnError::TargetItemWithParents(i) => write!(
+                f,
+                "new target {i} must hang directly below ANY (no concept parents)"
+            ),
         }
     }
 }

@@ -47,6 +47,16 @@ impl Hierarchy {
         &self.concept_names[c.index()]
     }
 
+    /// Extend coverage by `additional` items, each starting with no
+    /// concept parents (directly below `ANY`). The catalog-growth path:
+    /// existing items' parents are untouched, so their ancestor sets —
+    /// and everything derived from them — are exactly what they were.
+    pub fn grow_items(&mut self, additional: usize) {
+        self.n_items += additional;
+        self.item_parents
+            .extend(std::iter::repeat_with(Vec::new).take(additional));
+    }
+
     /// Add a concept, returning its id.
     pub fn add_concept(&mut self, name: impl Into<String>) -> ConceptId {
         let id = ConceptId(self.concept_names.len() as u32);

@@ -31,6 +31,7 @@ pub mod csv;
 pub mod dataset;
 pub mod error;
 pub mod gensale;
+pub mod growth;
 pub mod hierarchy;
 pub mod ids;
 pub mod moa;
@@ -44,6 +45,7 @@ pub use code::PromotionCode;
 pub use dataset::TransactionSet;
 pub use error::TxnError;
 pub use gensale::GenSale;
+pub use growth::{decode_stream_record, encode_stream_record, CatalogDelta, NewConcept, NewItem};
 pub use hierarchy::Hierarchy;
 pub use ids::{CodeId, ConceptId, ItemId};
 pub use moa::{Moa, QuantityModel};

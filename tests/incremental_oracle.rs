@@ -116,6 +116,116 @@ fn incremental_models_match_batch_on_dataset_ii_with_deep_bodies() {
     );
 }
 
+/// The growing-catalog axis: a mid-stream [`pm_txn::CatalogDelta`]
+/// introduces a new concept, a new non-target item hanging under it,
+/// and a new target item; subsequent deltas sell all of them. After
+/// every update the incremental model must equal a cold batch fit on
+/// the grown concatenated stream byte-for-byte — catalog growth is
+/// append-only precisely so the warm DFS caches stay valid.
+#[test]
+fn growing_catalog_deltas_match_cold_fits_on_the_grown_stream() {
+    use pm_txn::{
+        CatalogDelta, CodeId, ConceptId, ItemDef, ItemId, Money, NewConcept, NewItem,
+        PromotionCode, Sale, Transaction,
+    };
+    let full: TransactionSet = DatasetConfig::dataset_i()
+        .with_transactions(240)
+        .with_items(60)
+        .generate(&mut StdRng::seed_from_u64(0xCA7A));
+    let head = prefix(&full, 160);
+    let base_items = full.catalog().len() as u32;
+    let base_concepts = full.hierarchy().n_concepts() as u32;
+    let delta = CatalogDelta {
+        concepts: vec![NewConcept {
+            name: "grown-line".into(),
+            parents: vec![],
+        }],
+        items: vec![
+            NewItem {
+                def: ItemDef {
+                    name: "grown-trigger".into(),
+                    codes: vec![PromotionCode::unit(
+                        Money::from_cents(150),
+                        Money::from_cents(90),
+                    )],
+                    is_target: false,
+                },
+                // Hangs under the concept this same delta introduces.
+                parents: vec![ConceptId(base_concepts)],
+            },
+            NewItem {
+                def: ItemDef {
+                    name: "grown-target".into(),
+                    codes: vec![PromotionCode::unit(
+                        Money::from_cents(800),
+                        Money::from_cents(450),
+                    )],
+                    is_target: true,
+                },
+                parents: vec![],
+            },
+        ],
+    };
+    let (nt_new, tg_new) = (ItemId(base_items), ItemId(base_items + 1));
+    // Two delta batches over the remaining stream: the first carries the
+    // catalog delta and starts selling the new items, the second sells
+    // them again with no further growth.
+    let rewrite = |txns: &[Transaction], salt: usize| -> Vec<Transaction> {
+        txns.iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut sales = t.non_target_sales().to_vec();
+                if (i + salt).is_multiple_of(2) {
+                    sales.push(Sale::new(nt_new, CodeId(0), 1));
+                }
+                let target = if (i + salt).is_multiple_of(3) {
+                    Sale::new(tg_new, CodeId(0), 1)
+                } else {
+                    *t.target_sale()
+                };
+                Transaction::new(sales, target)
+            })
+            .collect()
+    };
+    let batch1 = rewrite(&full.transactions()[160..200], 0);
+    let batch2 = rewrite(&full.transactions()[200..240], 1);
+
+    let config = MinerConfig {
+        min_support: Support::Fraction(0.03),
+        max_body_len: 2,
+        ..MinerConfig::default()
+    };
+    for policy in POLICIES {
+        for prune in PRUNES {
+            for threads in THREADS {
+                let ctx = format!("policy={policy:?} prune={prune:?} threads={threads}");
+                let pipeline = || {
+                    ProfitMiner::new(config)
+                        .with_cut(CutConfig::default())
+                        .with_threads(threads)
+                        .with_tidset(policy)
+                        .with_prune(prune)
+                };
+                let mut inc = pipeline().into_incremental();
+                inc.fit(&head);
+                let mut grown = head.clone();
+                grown.apply_stream_record(Some(&delta), &batch1).unwrap();
+                assert_eq!(
+                    model_bytes(&pipeline().fit(&grown)),
+                    model_bytes(&inc.update(&grown)),
+                    "[{ctx}] growth delta diverged from the cold fit on the grown stream"
+                );
+                grown.apply_stream_record(None, &batch2).unwrap();
+                assert_eq!(
+                    model_bytes(&pipeline().fit(&grown)),
+                    model_bytes(&inc.update(&grown)),
+                    "[{ctx}] post-growth delta diverged from the cold fit"
+                );
+            }
+        }
+    }
+}
+
 /// Many tiny seeded streams at the rule level: the incremental miner's
 /// final rule set must equal the batch miner's rule-for-rule — same
 /// order, same `gen_index`, same counts, bit-identical profits. The
